@@ -1,0 +1,36 @@
+//! Index-construction benchmarks: key computation (serial vs crossbeam
+//! parallel) and the full static build (sort + permute + table).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use s3_bench::workload::{extracted_pool, FingerprintSampler};
+use s3_core::parallel::build_keys_parallel;
+use s3_core::S3Index;
+use s3_hilbert::HilbertCurve;
+
+fn bench_build(c: &mut Criterion) {
+    let pool = extracted_pool(3, 60, 0xB11D);
+    let mut sampler = FingerprintSampler::new(pool, 20.0, 3);
+    let n = 100_000;
+    let batch = sampler.batch(n);
+    let curve = HilbertCurve::paper();
+
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("full_build_100k", |b| {
+        b.iter(|| black_box(S3Index::build(curve.clone(), batch.clone())));
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("keys_parallel", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| black_box(build_keys_parallel(&curve, batch.fingerprint_bytes(), t)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

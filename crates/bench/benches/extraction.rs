@@ -1,0 +1,38 @@
+//! Video-pipeline benchmarks: frame synthesis, key-frame detection, Harris
+//! points and full fingerprint extraction — the front-end whose throughput
+//! bounds the monitoring real-time factor (§V-D).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use s3_video::{
+    detect_interest_points, detect_keyframes, extract_fingerprints, ExtractorParams, HarrisParams,
+    KeyframeParams, ProceduralVideo, VideoSource,
+};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let video = ProceduralVideo::new(96, 72, 60, 0xBEEF);
+    let frame = video.frame(30);
+    let mut group = c.benchmark_group("video_pipeline");
+
+    group.bench_function("synthesize_frame_96x72", |b| {
+        b.iter(|| black_box(video.frame(black_box(17))));
+    });
+
+    group.bench_function("harris_96x72", |b| {
+        b.iter(|| black_box(detect_interest_points(&frame, &HarrisParams::default())));
+    });
+
+    group.sample_size(10);
+    group.bench_function("keyframes_60f", |b| {
+        b.iter(|| black_box(detect_keyframes(&video, &KeyframeParams::default())));
+    });
+
+    let params = ExtractorParams::default();
+    group.throughput(Throughput::Elements(60));
+    group.bench_function("extract_60f", |b| {
+        b.iter(|| black_box(extract_fingerprints(&video, &params)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

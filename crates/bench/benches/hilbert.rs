@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the Hilbert-curve substrate: point↔key mapping and
+//! p-block tree descent, the primitives every query is built from.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s3_hilbert::{Block, HilbertCurve};
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hilbert_encode");
+    let mut rng = StdRng::seed_from_u64(1);
+    for dims in [4usize, 8, 20, 32] {
+        let curve = HilbertCurve::new(dims, 8).unwrap();
+        let fp: Vec<u8> = (0..dims).map(|_| rng.gen()).collect();
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &fp, |b, fp| {
+            b.iter(|| black_box(curve.encode_bytes(black_box(fp))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let curve = HilbertCurve::paper();
+    let key = curve.encode_bytes(&[137u8; 20]);
+    let mut out = vec![0u32; 20];
+    c.bench_function("hilbert_decode_d20", |b| {
+        b.iter(|| {
+            curve.decode(black_box(&key), &mut out);
+            black_box(&out);
+        });
+    });
+}
+
+fn bench_block_descent(c: &mut Criterion) {
+    // Root-to-depth-40 descent following a fixed path: the per-node cost of
+    // every filter traversal.
+    let curve = HilbertCurve::paper();
+    c.bench_function("block_descent_40_levels", |b| {
+        b.iter(|| {
+            let mut blk = Block::root(&curve);
+            for i in 0..40u32 {
+                let [l, r] = blk.split(&curve);
+                blk = if i % 3 == 0 { r } else { l };
+            }
+            black_box(blk.depth())
+        });
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_block_descent);
+criterion_main!(benches);

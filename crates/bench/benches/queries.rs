@@ -1,0 +1,107 @@
+//! Query benchmarks — the criterion counterpart of Fig. 6 (statistical vs
+//! ε-range vs sequential scan at matched expectation) plus the filter-
+//! algorithm ablation (best-first vs the paper's t_max bisection).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use s3_bench::workload::{distorted_queries, extracted_pool, tuned_depth, FingerprintSampler};
+use s3_core::{FilterAlgo, IsotropicNormal, S3Index, StatQueryOpts};
+use s3_hilbert::HilbertCurve;
+use s3_stats::NormDistribution;
+
+const SIGMA: f64 = 18.0;
+const DB: usize = 50_000;
+
+struct Setup {
+    index: S3Index,
+    model: IsotropicNormal,
+    queries: Vec<Vec<u8>>,
+    depth: u32,
+}
+
+fn setup() -> Setup {
+    let pool = extracted_pool(3, 60, 0xBE7C);
+    let mut sampler = FingerprintSampler::new(pool, 20.0, 1);
+    let batch = sampler.batch(DB);
+    let dqs = distorted_queries(&batch, 32, SIGMA, 2);
+    let index = S3Index::build(HilbertCurve::paper(), batch);
+    let model = IsotropicNormal::new(20, SIGMA);
+    let sample: Vec<_> = dqs.iter().take(5).map(|dq| dq.query).collect();
+    let depth = tuned_depth(&index, &model, 0.8, &sample);
+    Setup {
+        index,
+        model,
+        queries: dqs.iter().map(|dq| dq.query.to_vec()).collect(),
+        depth,
+    }
+}
+
+fn bench_query_kinds(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("fig6_query_kinds");
+    group.sample_size(20);
+    for alpha in [0.5f64, 0.8, 0.95] {
+        let opts = StatQueryOpts::new(alpha, s.depth);
+        let eps = NormDistribution::new(20, SIGMA).quantile(alpha);
+        let mut it = s.queries.iter().cycle();
+        group.bench_with_input(
+            BenchmarkId::new("statistical", format!("alpha{:.0}", alpha * 100.0)),
+            &alpha,
+            |b, _| {
+                b.iter(|| {
+                    let q = it.next().unwrap();
+                    black_box(s.index.stat_query(q, &s.model, &opts))
+                });
+            },
+        );
+        let mut it = s.queries.iter().cycle();
+        group.bench_with_input(
+            BenchmarkId::new("range", format!("alpha{:.0}", alpha * 100.0)),
+            &alpha,
+            |b, _| {
+                b.iter(|| {
+                    let q = it.next().unwrap();
+                    black_box(s.index.range_query(q, eps, s.depth))
+                });
+            },
+        );
+    }
+    // Sequential scan reference (alpha-independent).
+    let eps = NormDistribution::new(20, SIGMA).quantile(0.8);
+    let mut it = s.queries.iter().cycle();
+    group.sample_size(10);
+    group.bench_function("seq_scan", |b| {
+        b.iter(|| {
+            let q = it.next().unwrap();
+            black_box(s.index.seq_scan(q, eps))
+        });
+    });
+    group.finish();
+}
+
+fn bench_filter_algos(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("filter_algos");
+    group.sample_size(20);
+    let mut bf = StatQueryOpts::new(0.8, s.depth);
+    bf.algo = FilterAlgo::BestFirst;
+    let mut th = bf;
+    th.algo = FilterAlgo::Threshold { iterations: 25 };
+    let mut it = s.queries.iter().cycle();
+    group.bench_function("best_first", |b| {
+        b.iter(|| {
+            let q = it.next().unwrap();
+            black_box(s.index.stat_query(q, &s.model, &bf))
+        });
+    });
+    let mut it = s.queries.iter().cycle();
+    group.bench_function("threshold_tmax", |b| {
+        b.iter(|| {
+            let q = it.next().unwrap();
+            black_box(s.index.stat_query(q, &s.model, &th))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_kinds, bench_filter_algos);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Database-size scaling — the criterion counterpart of Fig. 7: statistical
+//! query vs sequential scan across geometrically growing databases.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use s3_bench::workload::{distorted_queries, extracted_pool, tuned_depth, FingerprintSampler};
+use s3_core::{IsotropicNormal, S3Index, StatQueryOpts};
+use s3_hilbert::HilbertCurve;
+use s3_stats::NormDistribution;
+
+fn bench_scaling(c: &mut Criterion) {
+    let pool = extracted_pool(3, 60, 0x5CA1);
+    let model = IsotropicNormal::new(20, 20.0);
+    let eps = NormDistribution::new(20, 20.0).quantile(0.8);
+    let mut group = c.benchmark_group("fig7_scaling");
+    group.sample_size(10);
+
+    for shift in [13u32, 15, 17, 19] {
+        let n = 1usize << shift;
+        let mut sampler = FingerprintSampler::new(pool.clone(), 20.0, n as u64);
+        let batch = sampler.batch(n);
+        let dqs = distorted_queries(&batch, 16, 20.0, 7);
+        let index = S3Index::build(HilbertCurve::paper(), batch);
+        let sample: Vec<_> = dqs.iter().take(4).map(|dq| dq.query).collect();
+        let depth = tuned_depth(&index, &model, 0.8, &sample);
+        let opts = StatQueryOpts::new(0.8, depth);
+
+        group.throughput(Throughput::Elements(1));
+        let mut it = dqs.iter().cycle();
+        group.bench_with_input(BenchmarkId::new("s3_statistical", n), &n, |b, _| {
+            b.iter(|| {
+                let dq = it.next().unwrap();
+                black_box(index.stat_query(&dq.query, &model, &opts))
+            });
+        });
+        let mut it = dqs.iter().cycle();
+        group.bench_with_input(BenchmarkId::new("seq_scan", n), &n, |b, _| {
+            b.iter(|| {
+                let dq = it.next().unwrap();
+                black_box(index.seq_scan(&dq.query, eps))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Voting-stage benchmarks: the robust offset estimation plus n_sim counting
+//! on buffers of realistic shape — the component the paper's conclusion
+//! flags as the next bottleneck at very large database sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use s3_cbcd::{vote, CandidateVotes, VoteParams};
+
+/// Builds a buffer with one coherent id and `junk` junk matches per
+/// candidate spread over `n_ids` ids.
+fn buffer(n_cand: usize, junk: usize, n_ids: u32, seed: u64) -> Vec<CandidateVotes> {
+    let mut s = seed | 1;
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    (0..n_cand)
+        .map(|j| {
+            let tc = 500.0 + j as f64 * 5.0;
+            let mut refs = vec![(0u32, (tc - 250.0) as u32)];
+            for _ in 0..junk {
+                refs.push((1 + (rnd() % u64::from(n_ids)) as u32, (rnd() % 5000) as u32));
+            }
+            CandidateVotes { tc, refs }
+        })
+        .collect()
+}
+
+fn bench_vote(c: &mut Criterion) {
+    let params = VoteParams::default();
+    let mut group = c.benchmark_group("voting");
+    for (n_cand, junk) in [(50usize, 5usize), (200, 20), (1000, 50)] {
+        let buf = buffer(n_cand, junk, 200, 9);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_cand}cand_{junk}junk")),
+            &buf,
+            |b, buf| {
+                b.iter(|| black_box(vote(buf, &params)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vote);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Ablation: the T(p) depth trade-off (§IV-A).
+use s3_bench::{experiments::ablation_depth, results_dir, Scale};
+
+fn main() {
+    let e = ablation_depth::run(Scale::from_args());
+    e.print();
+    e.save_json(results_dir()).expect("save results");
+}

@@ -1,0 +1,8 @@
+//! Ablation: best-first vs t_max-threshold filtering.
+use s3_bench::{experiments::ablation_filter, results_dir, Scale};
+
+fn main() {
+    let e = ablation_filter::run(Scale::from_args());
+    e.print();
+    e.save_json(results_dir()).expect("save results");
+}

@@ -1,0 +1,8 @@
+//! Ablation: isotropic vs per-component diagonal distortion model.
+use s3_bench::{experiments::ablation_model, results_dir, Scale};
+
+fn main() {
+    let e = ablation_model::run(Scale::from_args());
+    e.print();
+    e.save_json(results_dir()).expect("save results");
+}

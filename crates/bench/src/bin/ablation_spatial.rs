@@ -1,0 +1,8 @@
+//! Ablation: temporal vs spatio-temporal voting (§VI extension).
+use s3_bench::{experiments::ablation_spatial, results_dir, Scale};
+
+fn main() {
+    let e = ablation_spatial::run(Scale::from_args());
+    e.print();
+    e.save_json(results_dir()).expect("save results");
+}

@@ -1,0 +1,77 @@
+//! Runs every experiment at the requested scale and prints a summary.
+//! `--scale quick|full`.
+use s3_bench::{experiments as ex, results_dir, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let dir = results_dir();
+
+    println!("# Fig. 1");
+    let e = ex::fig1_distortion_pdf::run(scale);
+    e.print();
+    e.save_json(&dir).unwrap();
+
+    println!("# Fig. 3");
+    let e = ex::fig3_model_validation::run(scale);
+    e.print();
+    e.save_json(&dir).unwrap();
+
+    println!("# Table I");
+    let (rows, e) = ex::table1_severity::run(scale);
+    for r in &rows {
+        println!(
+            "{:<28} sigma={:>6.2}  R={:>6.2}%",
+            r.label,
+            r.sigma,
+            r.rate * 100.0
+        );
+    }
+    e.save_json(&dir).unwrap();
+
+    println!("# Fig. 5 / Fig. 6");
+    let out = ex::fig5_fig6_stat_vs_range::run(scale);
+    out.retrieval.print();
+    out.time.print();
+    out.retrieval.save_json(&dir).unwrap();
+    out.time.save_json(&dir).unwrap();
+
+    println!("# Fig. 7");
+    let e = ex::fig7_scaling::run(scale);
+    e.print();
+    e.save_json(&dir).unwrap();
+
+    println!("# Fig. 8 / Fig. 9");
+    let out = ex::fig8_fig9_robustness::run(scale);
+    for e in out.fig8.iter().chain(&out.fig9) {
+        e.print();
+        e.save_json(&dir).unwrap();
+    }
+    for (label, ms) in &out.times {
+        println!("  {label:<28} {ms:>8.3} ms/fingerprint");
+    }
+    for (alpha, ms) in &out.alpha_times {
+        println!("  alpha={alpha:<5} {ms:>8.3} ms/fingerprint");
+    }
+
+    println!("# Ablations");
+    let e = ex::ablation_depth::run(scale);
+    e.print();
+    e.save_json(&dir).unwrap();
+    let e = ex::ablation_filter::run(scale);
+    e.print();
+    e.save_json(&dir).unwrap();
+    let e = ex::ablation_model::run(scale);
+    e.print();
+    e.save_json(&dir).unwrap();
+    let e = ex::ablation_spatial::run(scale);
+    e.print();
+    e.save_json(&dir).unwrap();
+    let e = ex::knn_vs_stat::run(scale);
+    e.print();
+    e.save_json(&dir).unwrap();
+    let e = ex::eq5_nsig::run(scale);
+    e.print();
+    e.save_json(&dir).unwrap();
+
+    println!("all experiment JSON written to {}", dir.display());
+}

@@ -1,0 +1,8 @@
+//! Eq. 5 validation: pseudo-disk amortisation vs batch size.
+use s3_bench::{experiments::eq5_nsig, results_dir, Scale};
+
+fn main() {
+    let e = eq5_nsig::run(Scale::from_args());
+    e.print();
+    e.save_json(results_dir()).expect("save results");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 1 (distortion-norm pdf vs models). `--scale quick|full`.
+use s3_bench::{experiments::fig1_distortion_pdf, results_dir, Scale};
+
+fn main() {
+    let e = fig1_distortion_pdf::run(Scale::from_args());
+    e.print();
+    e.save_json(results_dir()).expect("save results");
+}

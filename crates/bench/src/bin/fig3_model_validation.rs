@@ -1,0 +1,8 @@
+//! Regenerates Fig. 3 (retrieval rate vs alpha). `--scale quick|full`.
+use s3_bench::{experiments::fig3_model_validation, results_dir, Scale};
+
+fn main() {
+    let e = fig3_model_validation::run(Scale::from_args());
+    e.print();
+    e.save_json(results_dir()).expect("save results");
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 5 and Fig. 6 (statistical vs range query).
+use s3_bench::{experiments::fig5_fig6_stat_vs_range, results_dir, Scale};
+
+fn main() {
+    let out = fig5_fig6_stat_vs_range::run(Scale::from_args());
+    out.retrieval.print();
+    out.time.print();
+    out.retrieval
+        .save_json(results_dir())
+        .expect("save results");
+    out.time.save_json(results_dir()).expect("save results");
+}

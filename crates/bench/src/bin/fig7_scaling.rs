@@ -1,0 +1,8 @@
+//! Regenerates Fig. 7 (search time vs database size).
+use s3_bench::{experiments::fig7_scaling, results_dir, Scale};
+
+fn main() {
+    let e = fig7_scaling::run(Scale::from_args());
+    e.print();
+    e.save_json(results_dir()).expect("save results");
+}

@@ -1,0 +1,22 @@
+//! Regenerates the Fig. 8 / Fig. 9 robustness abacuses and the search-time
+//! tables.
+use s3_bench::{experiments::fig8_fig9_robustness, results_dir, Scale};
+
+fn main() {
+    let out = fig8_fig9_robustness::run(Scale::from_args());
+    for e in out.fig8.iter().chain(&out.fig9) {
+        e.print();
+        e.save_json(results_dir()).expect("save results");
+    }
+    println!("mean search time per candidate fingerprint (Fig. 8 table):");
+    for (label, ms) in &out.times {
+        println!("  {label:<28} {ms:>8.3} ms");
+    }
+    println!("mean search time per alpha (Fig. 9 table, mid-size DB):");
+    for (alpha, ms) in &out.alpha_times {
+        println!(
+            "  alpha={:<5} {ms:>8.3} ms",
+            format!("{:.0}%", alpha * 100.0)
+        );
+    }
+}

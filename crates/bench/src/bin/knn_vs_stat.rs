@@ -1,0 +1,8 @@
+//! Experiment: k-NN vs statistical query on duplicated fingerprints (§I-II).
+use s3_bench::{experiments::knn_vs_stat, results_dir, Scale};
+
+fn main() {
+    let e = knn_vs_stat::run(Scale::from_args());
+    e.print();
+    e.save_json(results_dir()).expect("save results");
+}

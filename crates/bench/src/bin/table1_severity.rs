@@ -1,0 +1,13 @@
+//! Regenerates Table I (retrieval rate vs transformation severity).
+use s3_bench::{experiments::table1_severity, results_dir, Scale};
+
+fn main() {
+    let (rows, e) = table1_severity::run(Scale::from_args());
+    println!("{:<28} {:>10} {:>10}", "transformation", "sigma", "R (%)");
+    for r in &rows {
+        println!("{:<28} {:>10.2} {:>10.2}", r.label, r.sigma, r.rate * 100.0);
+    }
+    println!();
+    e.print();
+    e.save_json(results_dir()).expect("save results");
+}

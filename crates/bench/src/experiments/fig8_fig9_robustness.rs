@@ -1,0 +1,353 @@
+//! Fig. 8 & 9 — robustness abacuses of the complete CBCD system.
+//!
+//! One hundred (scaled-down here) reference clips are transformed with each
+//! of the five attacks at increasing strengths and submitted as candidates;
+//! the detection rate is plotted against the attack parameter for several
+//! database sizes (Fig. 8, α fixed at 80 %) and for several expectations α
+//! (Fig. 9, one mid-size database). Both figures come with a mean
+//! search-time table.
+//!
+//! Expected shapes (paper): the detection rate barely depends on the DB size
+//! (the statistical query guarantees the same expectation at any size, and
+//! the voting absorbs the extra false candidates); it stays flat as α drops
+//! from 95 % to 70 %, only degrading at α = 50 % for severe attacks.
+
+use crate::report::{Experiment, Scale, Series};
+use crate::workload::{experiment_extractor_params, FingerprintSampler};
+use s3_cbcd::{DbBuilder, Detector, DetectorConfig, ReferenceDb};
+use s3_core::StatQueryOpts;
+use s3_video::{
+    extract_fingerprints, ProceduralVideo, Transform, TransformChain, TransformedVideo,
+};
+use std::time::{Duration, Instant};
+
+/// One attack axis of the figures: label, parameter values, chain builder.
+pub struct Attack {
+    /// Axis label (`w_shift`, `w_scale`, …).
+    pub label: &'static str,
+    /// Parameter values swept (quick subset of the paper's axes).
+    pub values: Vec<f32>,
+    /// Builds the transform for one value.
+    pub build: fn(f32) -> Transform,
+}
+
+/// The five attack axes of Fig. 4/8/9.
+pub fn attacks(scale: Scale) -> Vec<Attack> {
+    let pick = |q: Vec<f32>, f: Vec<f32>| scale.pick(q, f);
+    vec![
+        Attack {
+            label: "w_shift",
+            values: pick(
+                vec![5.0, 15.0, 30.0],
+                vec![5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0],
+            ),
+            build: |v| Transform::Shift { wshift: v },
+        },
+        Attack {
+            label: "w_scale",
+            values: pick(
+                vec![0.7, 0.9, 1.2],
+                vec![0.6, 0.7, 0.8, 0.9, 1.1, 1.2, 1.3, 1.5],
+            ),
+            build: |v| Transform::Resize { wscale: v },
+        },
+        Attack {
+            label: "w_gamma",
+            values: pick(vec![0.5, 1.5, 2.2], vec![0.3, 0.5, 0.8, 1.2, 1.6, 2.0, 2.5]),
+            build: |v| Transform::Gamma { wgamma: v },
+        },
+        Attack {
+            label: "w_contrast",
+            values: pick(vec![0.6, 1.5, 2.5], vec![0.5, 0.8, 1.2, 1.6, 2.0, 2.5, 3.0]),
+            build: |v| Transform::Contrast { wcontrast: v },
+        },
+        Attack {
+            label: "w_noise",
+            values: pick(
+                vec![10.0, 20.0, 30.0],
+                vec![5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0],
+            ),
+            build: |v| Transform::Noise { wnoise: v },
+        },
+    ]
+}
+
+/// A reference database with `n_clips` real clips plus sampled filler up to
+/// `total_fingerprints` (the "DB size" axis of Fig. 8).
+pub fn build_db(n_clips: usize, total_fingerprints: usize, seed: u64) -> ReferenceDb {
+    let params = experiment_extractor_params();
+    let mut builder = DbBuilder::new(params);
+    let mut pool = Vec::new();
+    for i in 0..n_clips {
+        let v = ProceduralVideo::new(96, 72, 70, seed ^ ((i as u64) << 16));
+        let fps = extract_fingerprints(&v, &params);
+        pool.extend(fps.iter().map(|f| f.fingerprint));
+        builder.add_fingerprints(&format!("clip-{i}"), &fps);
+    }
+    let have = builder.fingerprint_count();
+    if total_fingerprints > have && !pool.is_empty() {
+        let mut sampler = FingerprintSampler::new(pool, 25.0, seed ^ 0xFFFF);
+        let filler = sampler.batch(total_fingerprints - have);
+        // Group filler into pseudo-videos of 500 fingerprints each so ids
+        // and time-codes look like real archive content.
+        let dims = filler.dims();
+        let mut chunk_fp: Vec<u8> = Vec::new();
+        let mut chunk_tc: Vec<u32> = Vec::new();
+        let mut chunk_id = 0usize;
+        for i in 0..filler.len() {
+            chunk_fp.extend_from_slice(filler.fingerprint(i));
+            chunk_tc.push((chunk_tc.len() as u32) * 4);
+            if chunk_tc.len() == 500 || i + 1 == filler.len() {
+                builder.add_raw(&format!("archive-{chunk_id}"), &chunk_fp, &chunk_tc);
+                chunk_fp.clear();
+                chunk_tc.clear();
+                chunk_id += 1;
+            }
+        }
+        debug_assert_eq!(dims, 20);
+    }
+    builder.build()
+}
+
+/// Extracts the transformed candidate clips once per attack value; extraction
+/// is identical for every DB size and α, so caching it dominates the harness
+/// cost.
+pub fn extract_candidates(
+    n_clips: usize,
+    seed: u64,
+    chain: &TransformChain,
+) -> Vec<Vec<s3_video::LocalFingerprint>> {
+    let params = experiment_extractor_params();
+    (0..n_clips)
+        .map(|i| {
+            let original = ProceduralVideo::new(96, 72, 70, seed ^ ((i as u64) << 16));
+            let candidate = TransformedVideo::new(&original, chain.clone(), 555 + i as u64);
+            extract_fingerprints(&candidate, &params)
+        })
+        .collect()
+}
+
+/// Measures the detection rate of pre-extracted candidates against a
+/// database built with the same clip seeds, plus the mean per-fingerprint
+/// search time.
+pub fn detection_rate(
+    db: &ReferenceDb,
+    candidates: &[Vec<s3_video::LocalFingerprint>],
+    alpha: f64,
+    depth: u32,
+) -> (f64, Duration) {
+    let mut config = DetectorConfig {
+        query: StatQueryOpts {
+            alpha,
+            depth,
+            ..StatQueryOpts::new(alpha, depth)
+        },
+        ..DetectorConfig::default()
+    };
+    config.vote.min_votes = 8;
+    let detector = Detector::new(db, config);
+
+    let mut detected = 0usize;
+    let mut searched = 0usize;
+    let mut busy = Duration::ZERO;
+    for (i, fps) in candidates.iter().enumerate() {
+        searched += fps.len();
+        let t0 = Instant::now();
+        let detections = detector.detect_fingerprints(fps);
+        busy += t0.elapsed();
+        // Correct when the right clip id is reported with a near-zero offset
+        // (the candidate is a full-clip copy; ±2 frames tolerance as in the
+        // paper's "well identified with a tolerance of 2 frames").
+        if detections
+            .iter()
+            .any(|d| d.id == i as u32 && d.offset.abs() <= 2.0)
+        {
+            detected += 1;
+        }
+    }
+    let per_fp = if searched == 0 {
+        Duration::ZERO
+    } else {
+        busy / searched as u32
+    };
+    (detected as f64 / candidates.len() as f64, per_fp)
+}
+
+/// Learns a good query depth for a database from a candidate sample, like
+/// the paper's p_min learning.
+fn learn_depth(db: &ReferenceDb, candidates: &[Vec<s3_video::LocalFingerprint>]) -> u32 {
+    let sample: Vec<_> = candidates
+        .iter()
+        .flatten()
+        .step_by(37)
+        .take(5)
+        .map(|f| f.fingerprint)
+        .collect();
+    if sample.is_empty() {
+        return StatQueryOpts::for_db_size(0.8, db.index().len()).depth;
+    }
+    let model = s3_core::IsotropicNormal::new(20, 20.0);
+    crate::workload::tuned_depth(db.index(), &model, 0.8, &sample)
+}
+
+/// Output of the robustness sweeps.
+pub struct Robustness {
+    /// One experiment per attack for the DB-size abacus (Fig. 8).
+    pub fig8: Vec<Experiment>,
+    /// One experiment per attack for the α abacus (Fig. 9).
+    pub fig9: Vec<Experiment>,
+    /// Fig. 8 search-time table rows: `(label, mean per-fingerprint ms)`.
+    pub times: Vec<(String, f64)>,
+    /// Fig. 9 search-time table rows: `(alpha, mean per-fingerprint ms)` on
+    /// the mid-size DB.
+    pub alpha_times: Vec<(f64, f64)>,
+}
+
+/// Runs both figures.
+pub fn run(scale: Scale) -> Robustness {
+    let n_clips = scale.pick(12, 40);
+    let seed = 0xF189_0000u64;
+    let db_sizes: Vec<usize> = scale.pick(vec![6_000, 30_000], vec![6_000, 30_000, 120_000]);
+    let alphas: Vec<f64> = scale.pick(vec![0.95, 0.8, 0.5], vec![0.95, 0.9, 0.8, 0.7, 0.5]);
+    let atks = attacks(scale);
+
+    // Databases (shared across attacks), with a learned query depth each.
+    let dbs: Vec<ReferenceDb> = db_sizes
+        .iter()
+        .map(|&n| build_db(n_clips, n, seed))
+        .collect();
+    let mid = dbs.len() / 2;
+
+    let mut fig8 = Vec::new();
+    let mut fig9 = Vec::new();
+    let mut times = Vec::new();
+    let mut alpha_time_acc: std::collections::HashMap<u64, (f64, usize)> =
+        std::collections::HashMap::new();
+    let mut depths: Vec<Option<u32>> = vec![None; dbs.len()];
+
+    for atk in &atks {
+        // Extract each attacked candidate set once; reuse across DBs and α.
+        let candidate_sets: Vec<Vec<Vec<s3_video::LocalFingerprint>>> = atk
+            .values
+            .iter()
+            .map(|&v| {
+                let chain = TransformChain::new(vec![(atk.build)(v)]);
+                extract_candidates(n_clips, seed, &chain)
+            })
+            .collect();
+
+        // Fig. 8: sweep the attack per DB size at alpha = 0.8.
+        let mut e8 = Experiment::new(
+            format!("fig8_dbsize_{}", atk.label),
+            format!(
+                "Fig. 8: detection rate vs {} per DB size (alpha=80%)",
+                atk.label
+            ),
+            atk.label,
+            "detection-rate",
+        );
+        e8.note(format!("{n_clips} candidate clips of 70 frames each"));
+        for (di, (db, &n)) in dbs.iter().zip(&db_sizes).enumerate() {
+            let depth = *depths[di].get_or_insert_with(|| learn_depth(db, &candidate_sets[0]));
+            let mut ys = Vec::new();
+            let mut total_ms = 0.0;
+            for cands in &candidate_sets {
+                let (rate, per_fp) = detection_rate(db, cands, 0.8, depth);
+                ys.push(rate);
+                total_ms += per_fp.as_secs_f64() * 1e3;
+            }
+            times.push((
+                format!("{} / db={n}", atk.label),
+                total_ms / atk.values.len() as f64,
+            ));
+            e8.push_series(Series::new(
+                format!("db-{n}"),
+                atk.values.iter().map(|&v| f64::from(v)).collect(),
+                ys,
+            ));
+        }
+        fig8.push(e8);
+
+        // Fig. 9: sweep the attack per alpha on the mid-size DB.
+        let mid_depth = depths[mid].expect("mid DB depth learned in fig8 loop");
+        let mut e9 = Experiment::new(
+            format!("fig9_alpha_{}", atk.label),
+            format!(
+                "Fig. 9: detection rate vs {} per alpha (mid-size DB)",
+                atk.label
+            ),
+            atk.label,
+            "detection-rate",
+        );
+        for &alpha in &alphas {
+            let mut ys = Vec::new();
+            for cands in &candidate_sets {
+                let (rate, per_fp) = detection_rate(&dbs[mid], cands, alpha, mid_depth);
+                ys.push(rate);
+                let slot = alpha_time_acc
+                    .entry((alpha * 1000.0) as u64)
+                    .or_insert((0.0, 0));
+                slot.0 += per_fp.as_secs_f64() * 1e3;
+                slot.1 += 1;
+            }
+            e9.push_series(Series::new(
+                format!("alpha-{}", (alpha * 100.0) as u32),
+                atk.values.iter().map(|&v| f64::from(v)).collect(),
+                ys,
+            ));
+        }
+        fig9.push(e9);
+    }
+
+    let mut alpha_times: Vec<(f64, f64)> = alpha_time_acc
+        .into_iter()
+        .map(|(k, (sum, n))| (k as f64 / 1000.0, sum / n as f64))
+        .collect();
+    alpha_times.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+    Robustness {
+        fig8,
+        fig9,
+        times,
+        alpha_times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_and_rate_machinery_work_on_tiny_case() {
+        // A miniature end-to-end check: mild transform on a tiny DB detects
+        // most clips; the DB-size axis barely moves the rate (Fig. 8 claim).
+        let n_clips = 5;
+        let seed = 0xABCD;
+        let small = build_db(n_clips, 2_000, seed);
+        let large = build_db(n_clips, 12_000, seed);
+        assert!(large.index().len() > 5 * small.index().len() / 2);
+        let chain = TransformChain::new(vec![Transform::Gamma { wgamma: 1.2 }]);
+        let cands = extract_candidates(n_clips, seed, &chain);
+        let (r_small, _) = detection_rate(&small, &cands, 0.8, 14);
+        let (r_large, t) = detection_rate(&large, &cands, 0.8, 14);
+        assert!(r_small >= 0.6, "small-DB rate {r_small}");
+        assert!(
+            (r_small - r_large).abs() <= 0.4001,
+            "rates should be comparable: {r_small} vs {r_large}"
+        );
+        assert!(t.as_secs_f64() < 1.0);
+    }
+
+    #[test]
+    fn attack_axes_cover_all_five_transforms() {
+        let a = attacks(Scale::Quick);
+        let labels: Vec<_> = a.iter().map(|x| x.label).collect();
+        assert_eq!(
+            labels,
+            vec!["w_shift", "w_scale", "w_gamma", "w_contrast", "w_noise"]
+        );
+        for atk in &a {
+            assert!(!atk.values.is_empty());
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! One module per reproduced table/figure (see DESIGN.md §5) plus the
+//! ablations of the design choices.
+//!
+//! Every module exposes `run(scale) -> Experiment` (some return several);
+//! the `s3-bench` binaries print the tables and persist JSON under
+//! `results/`.
+
+pub mod ablation_depth;
+pub mod ablation_filter;
+pub mod ablation_model;
+pub mod ablation_spatial;
+pub mod eq5_nsig;
+pub mod fig1_distortion_pdf;
+pub mod fig3_model_validation;
+pub mod fig5_fig6_stat_vs_range;
+pub mod fig7_scaling;
+pub mod fig8_fig9_robustness;
+pub mod knn_vs_stat;
+pub mod table1_severity;

@@ -1,0 +1,68 @@
+//! Lightweight wall-clock measurement for the experiment binaries.
+//!
+//! Criterion handles the statistical micro-benchmarks under `benches/`; the
+//! experiment binaries need simple "average seconds per query" numbers like
+//! the paper's tables, which this module provides (warm-up plus mean of a
+//! measured run).
+
+use std::time::{Duration, Instant};
+
+/// Measures the mean duration of `f` over `runs` invocations after `warmup`
+/// discarded invocations.
+pub fn mean_time<F: FnMut()>(warmup: usize, runs: usize, mut f: F) -> Duration {
+    assert!(runs > 0);
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    start.elapsed() / runs as u32
+}
+
+/// Measures one invocation of `f`, returning its result and the elapsed time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration in adaptive units (the paper reports ms).
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_time_counts_only_measured_runs() {
+        let mut calls = 0;
+        let d = mean_time(2, 3, || calls += 1);
+        assert_eq!(calls, 5);
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, d) = timed(|| 7 * 6);
+        assert_eq!(v, 42);
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.0 µs");
+    }
+}

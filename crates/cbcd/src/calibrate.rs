@@ -1,0 +1,243 @@
+//! Decision-threshold calibration against a false-alarm budget.
+//!
+//! The paper sets the threshold on `n_sim` "so that in average less than 1
+//! false alarm occurs per hour when the system is continuously monitoring a
+//! TV channel" (§V-C). This module reproduces that procedure: run the
+//! detector over non-referenced material, collect the spurious `n_sim`
+//! scores, and pick the smallest threshold whose false-alarm rate fits the
+//! budget.
+
+use crate::detector::Detector;
+use crate::voting::vote;
+use s3_video::LocalFingerprint;
+
+/// Result of a calibration run.
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    /// Smallest `min_votes` meeting the false-alarm budget.
+    pub min_votes: usize,
+    /// False alarms observed at that threshold during calibration.
+    pub false_alarms: usize,
+    /// Hours of negative material scanned.
+    pub hours_scanned: f64,
+    /// All spurious `n_sim` scores observed (for reporting the margin).
+    pub spurious_scores: Vec<usize>,
+}
+
+impl Calibration {
+    /// Observed false alarms per hour at the chosen threshold.
+    pub fn rate_per_hour(&self) -> f64 {
+        if self.hours_scanned == 0.0 {
+            return 0.0;
+        }
+        self.false_alarms as f64 / self.hours_scanned
+    }
+}
+
+/// Calibrates `min_votes` on negative (non-referenced) fingerprint streams.
+///
+/// * `negatives` — candidate streams extracted from material that is *not* in
+///   the database; every detection on them is a false alarm;
+/// * `fps_rate` — stream frame rate, to convert time-codes to hours;
+/// * `max_rate_per_hour` — the budget (the paper uses 1.0).
+///
+/// The detector's configured threshold is ignored: voting runs with
+/// `min_votes = 1` to collect the full spurious-score distribution, then the
+/// threshold is chosen as one more than the largest score whose cumulative
+/// rate exceeds the budget.
+pub fn calibrate_threshold(
+    detector: &Detector<'_>,
+    negatives: &[Vec<LocalFingerprint>],
+    fps_rate: f64,
+    max_rate_per_hour: f64,
+) -> Calibration {
+    assert!(fps_rate > 0.0 && max_rate_per_hour > 0.0);
+    let mut spurious: Vec<usize> = Vec::new();
+    let mut frames_total = 0.0f64;
+    let mut permissive = detector.config().vote;
+    permissive.min_votes = 1;
+    for stream in negatives {
+        if stream.is_empty() {
+            continue;
+        }
+        let first = f64::from(stream.first().unwrap().tc);
+        let last = f64::from(stream.last().unwrap().tc);
+        frames_total += (last - first).max(1.0);
+        let buffer = detector.query_buffer(stream);
+        for det in vote(&buffer, &permissive) {
+            spurious.push(det.nsim);
+        }
+    }
+    let hours = frames_total / fps_rate / 3600.0;
+    let budget = (max_rate_per_hour * hours).max(0.0);
+
+    // Choose the smallest threshold with (count of scores >= threshold) <= budget.
+    let mut threshold = 1usize;
+    loop {
+        let alarms = spurious.iter().filter(|&&s| s >= threshold).count();
+        if (alarms as f64) <= budget {
+            spurious.sort_unstable();
+            return Calibration {
+                min_votes: threshold,
+                false_alarms: alarms,
+                hours_scanned: hours,
+                spurious_scores: spurious,
+            };
+        }
+        threshold += 1;
+    }
+}
+
+/// Calibrates `min_votes` for *monitoring*: negative streams are run through
+/// the same sliding-window voting the monitor uses, because spurious `n_sim`
+/// scores grow with the number of candidate fingerprints in a buffer — a
+/// threshold calibrated on whole-clip buffers under-estimates what a larger
+/// monitoring window can produce by chance.
+pub fn calibrate_monitor_threshold(
+    detector: &Detector<'_>,
+    negatives: &[Vec<LocalFingerprint>],
+    monitor_params: &crate::monitor::MonitorParams,
+    fps_rate: f64,
+    max_rate_per_hour: f64,
+) -> Calibration {
+    assert!(fps_rate > 0.0 && max_rate_per_hour > 0.0);
+    let mut spurious: Vec<usize> = Vec::new();
+    let mut frames_total = 0.0f64;
+    let mut permissive = detector.config().vote;
+    permissive.min_votes = 1;
+    for stream in negatives {
+        if stream.is_empty() {
+            continue;
+        }
+        let first = f64::from(stream.first().unwrap().tc);
+        let last = f64::from(stream.last().unwrap().tc);
+        frames_total += (last - first).max(1.0);
+        // Re-create the monitor's windowing over the search results.
+        let buffer = detector.query_buffer(stream);
+        let mut tcs: Vec<f64> = buffer.iter().map(|cv| cv.tc).collect();
+        tcs.dedup();
+        let step = monitor_params.window - monitor_params.overlap;
+        let mut start = 0usize;
+        loop {
+            let end_kf = (start + monitor_params.window).min(tcs.len());
+            let lo_tc = tcs[start];
+            let hi_tc = tcs[end_kf - 1];
+            let window: Vec<crate::voting::CandidateVotes> = buffer
+                .iter()
+                .filter(|cv| cv.tc >= lo_tc && cv.tc <= hi_tc)
+                .cloned()
+                .collect();
+            for det in vote(&window, &permissive) {
+                spurious.push(det.nsim);
+            }
+            if end_kf == tcs.len() {
+                break;
+            }
+            start += step;
+        }
+    }
+    let hours = frames_total / fps_rate / 3600.0;
+    let budget = (max_rate_per_hour * hours).max(0.0);
+    let mut threshold = 1usize;
+    loop {
+        let alarms = spurious.iter().filter(|&&s| s >= threshold).count();
+        if (alarms as f64) <= budget {
+            spurious.sort_unstable();
+            return Calibration {
+                min_votes: threshold,
+                false_alarms: alarms,
+                hours_scanned: hours,
+                spurious_scores: spurious,
+            };
+        }
+        threshold += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectorConfig;
+    use crate::registry::DbBuilder;
+    use s3_video::{extract_fingerprints, ExtractorParams, ProceduralVideo};
+
+    fn fast_params() -> ExtractorParams {
+        let mut p = ExtractorParams::default();
+        p.harris.max_points = 6;
+        p
+    }
+
+    #[test]
+    fn calibration_finds_separating_threshold() {
+        let mut b = DbBuilder::new(fast_params());
+        for i in 0..3 {
+            let v = ProceduralVideo::new(96, 72, 60, 3000 + i);
+            b.add_video(&format!("ref-{i}"), &v);
+        }
+        let db = b.build();
+        let det = Detector::new(&db, DetectorConfig::default());
+        // Negative streams: unrelated seeds.
+        let negatives: Vec<_> = (0..3)
+            .map(|i| {
+                extract_fingerprints(
+                    &ProceduralVideo::new(96, 72, 60, 90_000 + i),
+                    &fast_params(),
+                )
+            })
+            .collect();
+        let cal = calibrate_threshold(&det, &negatives, 25.0, 1.0);
+        assert!(cal.min_votes >= 1);
+        assert!(cal.hours_scanned > 0.0);
+        // With the chosen threshold, a true copy must still be detectable.
+        let mut cfg = DetectorConfig::default();
+        cfg.vote.min_votes = cal.min_votes.max(3);
+        let det2 = Detector::new(&db, cfg);
+        let copy = ProceduralVideo::new(96, 72, 60, 3001);
+        let found = det2.detect_video(&copy);
+        assert!(
+            found.iter().any(|d| d.id == 1),
+            "copy lost at calibrated threshold {}: {found:?}",
+            cal.min_votes
+        );
+    }
+
+    #[test]
+    fn monitor_calibration_not_below_clip_calibration() {
+        let mut b = DbBuilder::new(fast_params());
+        for i in 0..3 {
+            let v = ProceduralVideo::new(96, 72, 60, 3100 + i);
+            b.add_video(&format!("ref-{i}"), &v);
+        }
+        let db = b.build();
+        let det = Detector::new(&db, DetectorConfig::default());
+        let negatives: Vec<_> = (0..3)
+            .map(|i| {
+                extract_fingerprints(
+                    &ProceduralVideo::new(96, 72, 120, 91_000 + i),
+                    &fast_params(),
+                )
+            })
+            .collect();
+        let per_clip = calibrate_threshold(&det, &negatives, 25.0, 1.0);
+        let params = crate::monitor::MonitorParams::default();
+        let windowed =
+            crate::calibrate::calibrate_monitor_threshold(&det, &negatives, &params, 25.0, 1.0);
+        // A window no larger than the clip cannot create more spurious mass,
+        // but sub-windows can isolate coincidences; both must be sane.
+        assert!(windowed.min_votes >= 1);
+        assert!(per_clip.min_votes >= 1);
+        assert!(windowed.hours_scanned > 0.0);
+    }
+
+    #[test]
+    fn empty_negatives_accept_threshold_one() {
+        let mut b = DbBuilder::new(fast_params());
+        b.add_video("only", &ProceduralVideo::new(96, 72, 40, 1));
+        let db = b.build();
+        let det = Detector::new(&db, DetectorConfig::default());
+        let cal = calibrate_threshold(&det, &[], 25.0, 1.0);
+        assert_eq!(cal.min_votes, 1);
+        assert_eq!(cal.false_alarms, 0);
+        assert_eq!(cal.rate_per_hour(), 0.0);
+    }
+}

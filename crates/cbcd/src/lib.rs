@@ -1,0 +1,33 @@
+//! # s3-cbcd — the complete content-based video copy detection system
+//!
+//! Assembles the paper's full pipeline (§III) on top of `s3-core` and
+//! `s3-video`:
+//!
+//! * [`registry`] — reference database construction (fingerprints tagged
+//!   with video id and time-code, indexed by the static S³ structure);
+//! * [`voting`] — the robust voting strategy: per-id temporal-offset
+//!   estimation with a Tukey-biweight M-estimator (eq. 2) and `n_sim` vote
+//!   counting;
+//! * [`detector`] — extraction → statistical search → voting, end to end;
+//! * [`monitor`] — continuous sliding-window stream monitoring (§V-D) with
+//!   real-time-factor reporting;
+//! * [`calibrate`] — decision-threshold calibration against a false-alarms
+//!   -per-hour budget (§V-C).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod calibrate;
+pub mod detector;
+pub mod monitor;
+pub mod persist;
+pub mod registry;
+pub mod spatial;
+pub mod voting;
+
+pub use calibrate::{calibrate_monitor_threshold, calibrate_threshold, Calibration};
+pub use detector::{Detector, DetectorConfig};
+pub use monitor::{Monitor, MonitorEvent, MonitorParams, MonitorStats};
+pub use registry::{DbBuilder, ReferenceDb};
+pub use spatial::{vote_spatial, SpatialCandidateVotes, SpatialDetection, SpatialVoteParams};
+pub use voting::{vote, CandidateVotes, Detection, VoteParams};

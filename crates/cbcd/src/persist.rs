@@ -1,0 +1,231 @@
+//! Persistence of the reference database.
+//!
+//! A monitoring deployment fingerprints its archive once (days of compute at
+//! the paper's 75,000-hour scale) and reuses it across restarts. This module
+//! saves and loads the complete [`ReferenceDb`] — records, video names,
+//! interest-point positions and the extraction parameters (the candidate
+//! pipeline must match the reference pipeline exactly, so parameters travel
+//! with the data).
+//!
+//! Format (single file, little-endian):
+//!
+//! ```text
+//! magic "S3REFDB1"
+//! extractor params (fixed-width fields)
+//! name count u32, then per name: byte length u32 + UTF-8 bytes
+//! record batch (s3-core columnar encoding)
+//! positions: one (u16, u16) pair per record, in batch order
+//! ```
+
+use crate::registry::{DbBuilder, ReferenceDb};
+use bytes::{Buf, BufMut};
+use s3_core::RecordBatch;
+use s3_video::{ExtractorParams, FINGERPRINT_DIMS};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"S3REFDB1";
+
+fn put_params(buf: &mut Vec<u8>, p: &ExtractorParams) {
+    buf.put_f32_le(p.keyframes.smooth_sigma);
+    buf.put_u32_le(p.keyframes.min_gap as u32);
+    buf.put_f32_le(p.harris.derivation_sigma);
+    buf.put_f32_le(p.harris.integration_sigma);
+    buf.put_f32_le(p.harris.k);
+    buf.put_u32_le(p.harris.max_points as u32);
+    buf.put_u32_le(p.harris.border as u32);
+    buf.put_f32_le(p.harris.relative_threshold);
+    buf.put_f32_le(p.fingerprint.spatial_offset);
+    buf.put_i32_le(p.fingerprint.temporal_offset as i32);
+    buf.put_f32_le(p.fingerprint.sigma);
+}
+
+fn get_params(buf: &mut &[u8]) -> Option<ExtractorParams> {
+    if buf.remaining() < 4 * 11 {
+        return None;
+    }
+    let mut p = ExtractorParams::default();
+    p.keyframes.smooth_sigma = buf.get_f32_le();
+    p.keyframes.min_gap = buf.get_u32_le() as usize;
+    p.harris.derivation_sigma = buf.get_f32_le();
+    p.harris.integration_sigma = buf.get_f32_le();
+    p.harris.k = buf.get_f32_le();
+    p.harris.max_points = buf.get_u32_le() as usize;
+    p.harris.border = buf.get_u32_le() as usize;
+    p.harris.relative_threshold = buf.get_f32_le();
+    p.fingerprint.spatial_offset = buf.get_f32_le();
+    p.fingerprint.temporal_offset = buf.get_i32_le() as isize;
+    p.fingerprint.sigma = buf.get_f32_le();
+    Some(p)
+}
+
+impl ReferenceDb {
+    /// Serializes the database into a writer.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_slice(MAGIC);
+        put_params(&mut buf, self.extractor_params());
+        let names: Vec<&str> = (0..self.video_count() as u32)
+            .map(|id| self.name(id).expect("dense ids"))
+            .collect();
+        buf.put_u32_le(names.len() as u32);
+        for n in names {
+            buf.put_u32_le(n.len() as u32);
+            buf.put_slice(n.as_bytes());
+        }
+        self.index().records().encode_into(&mut buf);
+        for i in 0..self.index().len() {
+            let (x, y) = self.position(i);
+            buf.put_u16_le(x);
+            buf.put_u16_le(y);
+        }
+        w.write_all(&buf)
+    }
+
+    /// Saves the database to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        self.write_to(&mut f)?;
+        f.sync_all()
+    }
+
+    /// Deserializes a database written by [`ReferenceDb::write_to`].
+    pub fn read_from(r: &mut impl Read) -> io::Result<ReferenceDb> {
+        let mut raw = Vec::new();
+        r.read_to_end(&mut raw)?;
+        let mut buf: &[u8] = &raw;
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        if buf.remaining() < 8 || &buf[..8] != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        buf.advance(8);
+        let params = get_params(&mut buf).ok_or_else(|| bad("truncated params"))?;
+        if buf.remaining() < 4 {
+            return Err(bad("truncated name count"));
+        }
+        let n_names = buf.get_u32_le() as usize;
+        let mut names = Vec::with_capacity(n_names);
+        for _ in 0..n_names {
+            if buf.remaining() < 4 {
+                return Err(bad("truncated name length"));
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(bad("truncated name"));
+            }
+            let name = std::str::from_utf8(&buf[..len])
+                .map_err(|_| bad("non-UTF8 name"))?
+                .to_string();
+            buf.advance(len);
+            names.push(name);
+        }
+        let batch = RecordBatch::decode_from(&mut buf).ok_or_else(|| bad("truncated records"))?;
+        if batch.dims() != FINGERPRINT_DIMS {
+            return Err(bad("unexpected fingerprint dimension"));
+        }
+        if buf.remaining() < batch.len() * 4 {
+            return Err(bad("truncated positions"));
+        }
+        let positions: Vec<(u16, u16)> = (0..batch.len())
+            .map(|_| (buf.get_u16_le(), buf.get_u16_le()))
+            .collect();
+
+        // Rebuild through the registry so internal invariants (sorted index,
+        // aligned positions) are re-established by construction.
+        Ok(DbBuilder::rehydrate(params, names, batch, positions))
+    }
+
+    /// Loads a database from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<ReferenceDb> {
+        let mut f = std::fs::File::open(path)?;
+        ReferenceDb::read_from(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{Detector, DetectorConfig};
+    use s3_video::ProceduralVideo;
+
+    fn sample_db() -> ReferenceDb {
+        let mut p = ExtractorParams::default();
+        p.harris.max_points = 7;
+        let mut b = DbBuilder::new(p);
+        for i in 0..3u64 {
+            let v = ProceduralVideo::new(96, 72, 50, 0x9E5 + (i << 10));
+            b.add_video(&format!("vid-{i}"), &v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_everything() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        db.write_to(&mut buf).unwrap();
+        let back = ReferenceDb::read_from(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(back.video_count(), db.video_count());
+        assert_eq!(back.fingerprint_count(), db.fingerprint_count());
+        for id in 0..db.video_count() as u32 {
+            assert_eq!(back.name(id), db.name(id));
+        }
+        // Records and positions must survive, as (fingerprint, id, tc, x, y)
+        // multisets (the sort is deterministic, so order matches too).
+        for i in 0..db.index().len() {
+            assert_eq!(
+                back.index().records().record(i),
+                db.index().records().record(i)
+            );
+            assert_eq!(back.position(i), db.position(i));
+        }
+        // Extraction parameters travel with the data.
+        assert_eq!(
+            back.extractor_params().harris.max_points,
+            db.extractor_params().harris.max_points
+        );
+        assert_eq!(
+            back.extractor_params().fingerprint.sigma,
+            db.extractor_params().fingerprint.sigma
+        );
+    }
+
+    #[test]
+    fn loaded_db_detects_like_the_original() {
+        let db = sample_db();
+        let path = std::env::temp_dir().join(format!("s3_refdb_{}.bin", std::process::id()));
+        db.save(&path).unwrap();
+        let loaded = ReferenceDb::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let mut cfg = DetectorConfig::default();
+        cfg.vote.min_votes = 8;
+        let copy = ProceduralVideo::new(96, 72, 50, 0x9E5 + (1 << 10));
+        let a = Detector::new(&db, cfg.clone()).detect_video(&copy);
+        let b = Detector::new(&loaded, cfg).detect_video(&copy);
+        assert_eq!(a, b, "loaded database must behave identically");
+        assert!(a.iter().any(|d| d.id == 1));
+    }
+
+    #[test]
+    fn corrupted_inputs_rejected() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        db.write_to(&mut buf).unwrap();
+
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(ReferenceDb::read_from(&mut bad.as_slice()).is_err());
+        // Truncations at several depths.
+        for cut in [4usize, 20, 60, buf.len() - 3] {
+            let mut t = buf.clone();
+            t.truncate(cut);
+            assert!(
+                ReferenceDb::read_from(&mut t.as_slice()).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+}

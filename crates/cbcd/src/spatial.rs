@@ -1,0 +1,355 @@
+//! Spatio-temporal voting — the paper's stated future work (§VI): "we would
+//! like to extend the estimation step to the spatial positions of the
+//! interest points in order to improve the discriminance of the
+//! fingerprints."
+//!
+//! The temporal voting of [`crate::voting`] only checks that matches agree on
+//! one time offset `b`. A true copy is additionally *spatially* coherent:
+//! interest points map through one geometric transform — for the paper's
+//! attack family, a translation (shift) plus the mild displacement of a
+//! resize. Junk matches that accidentally align in time almost never align
+//! in space as well, so requiring both drops the spurious `n_sim` ceiling.
+//!
+//! The spatial model fitted here is a robust 2-D translation
+//! `(x', y') = (x + dx, y + dy)` estimated per id with Tukey-biweight
+//! location steps per axis, after the temporal fit has selected each
+//! candidate's best reference.
+
+use crate::voting::VoteParams;
+use s3_stats::{median, tukey_location};
+use std::collections::HashMap;
+
+/// The retrieved references of one candidate fingerprint, with positions.
+#[derive(Clone, Debug, Default)]
+pub struct SpatialCandidateVotes {
+    /// Candidate time-code `tc'`.
+    pub tc: f64,
+    /// Candidate interest-point position.
+    pub x: f64,
+    /// Candidate interest-point position.
+    pub y: f64,
+    /// Retrieved `(id, tc, x, y)` tuples.
+    pub refs: Vec<(u32, u32, u16, u16)>,
+}
+
+/// Parameters of the spatio-temporal vote.
+#[derive(Clone, Copy, Debug)]
+pub struct SpatialVoteParams {
+    /// Temporal voting parameters.
+    pub temporal: VoteParams,
+    /// Tukey constant for the spatial location fit (pixels).
+    pub spatial_tukey_c: f64,
+    /// Spatial residual tolerance for counting a vote (pixels).
+    pub spatial_tolerance: f64,
+}
+
+impl Default for SpatialVoteParams {
+    fn default() -> Self {
+        SpatialVoteParams {
+            temporal: VoteParams::default(),
+            spatial_tukey_c: 12.0,
+            spatial_tolerance: 6.0,
+        }
+    }
+}
+
+/// One spatio-temporally coherent detection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpatialDetection {
+    /// Identifier of the referenced video.
+    pub id: u32,
+    /// Temporal offset `b`.
+    pub offset: f64,
+    /// Fitted spatial translation.
+    pub dx: f64,
+    /// Fitted spatial translation.
+    pub dy: f64,
+    /// Candidates coherent in time only (the classical `n_sim`).
+    pub nsim_temporal: usize,
+    /// Candidates coherent in both time and space.
+    pub nsim: usize,
+    /// Buffer size.
+    pub ncand: usize,
+}
+
+struct Entry {
+    tc_cand: f64,
+    x_cand: f64,
+    y_cand: f64,
+    /// `(tc, x, y)` of each retrieved reference under this id.
+    refs: Vec<(f64, f64, f64)>,
+}
+
+fn group_by_id(buffer: &[SpatialCandidateVotes]) -> HashMap<u32, Vec<Entry>> {
+    let mut by_id: HashMap<u32, Vec<Entry>> = HashMap::new();
+    for cand in buffer {
+        let mut local: HashMap<u32, Vec<(f64, f64, f64)>> = HashMap::new();
+        for &(id, tc, x, y) in &cand.refs {
+            local
+                .entry(id)
+                .or_default()
+                .push((f64::from(tc), f64::from(x), f64::from(y)));
+        }
+        for (id, refs) in local {
+            by_id.entry(id).or_default().push(Entry {
+                tc_cand: cand.tc,
+                x_cand: cand.x,
+                y_cand: cand.y,
+                refs,
+            });
+        }
+    }
+    by_id
+}
+
+/// Temporal fit (as in [`crate::voting`]) followed by a spatial translation
+/// fit over each candidate's best temporal match.
+fn fit(entries: &[Entry], params: &SpatialVoteParams) -> Option<SpatialDetection> {
+    let vp = &params.temporal;
+    // --- temporal stage (same algorithm as voting::fit_offset) ---
+    let bin = vp.tolerance.max(0.5);
+    let mut hist: HashMap<i64, u32> = HashMap::new();
+    for e in entries {
+        let mut seen: Vec<i64> = Vec::with_capacity(e.refs.len());
+        for &(tc, _, _) in &e.refs {
+            let k = ((e.tc_cand - tc) / bin).round() as i64;
+            if !seen.contains(&k) {
+                seen.push(k);
+                *hist.entry(k).or_insert(0) += 1;
+            }
+        }
+    }
+    let (&best_bin, _) = hist
+        .iter()
+        .max_by_key(|&(k, v)| (*v, std::cmp::Reverse(*k)))?;
+    let mut b = best_bin as f64 * bin;
+    for _ in 0..vp.refine_rounds {
+        let samples: Vec<f64> = entries
+            .iter()
+            .map(|e| {
+                let (tc, _, _) = best_ref(e, b);
+                e.tc_cand - tc
+            })
+            .collect();
+        let est = tukey_location(&samples, vp.tukey_c, b, 1e-6, 50);
+        if est.weight_sum == 0.0 || (est.location - b).abs() < 1e-9 {
+            b = if est.weight_sum == 0.0 {
+                b
+            } else {
+                est.location
+            };
+            break;
+        }
+        b = est.location;
+    }
+
+    // Temporal inliers.
+    let inliers: Vec<&Entry> = entries
+        .iter()
+        .filter(|e| {
+            e.refs
+                .iter()
+                .any(|&(tc, _, _)| (e.tc_cand - tc - b).abs() <= vp.tolerance)
+        })
+        .collect();
+    let nsim_temporal = inliers.len();
+    if nsim_temporal < vp.min_votes {
+        return None;
+    }
+
+    // --- spatial stage: robust translation over the temporal inliers ---
+    let dxs: Vec<f64> = inliers
+        .iter()
+        .map(|e| {
+            let (_, x, _) = best_ref(e, b);
+            e.x_cand - x
+        })
+        .collect();
+    let dys: Vec<f64> = inliers
+        .iter()
+        .map(|e| {
+            let (_, _, y) = best_ref(e, b);
+            e.y_cand - y
+        })
+        .collect();
+    let dx0 = median(&dxs).unwrap_or(0.0);
+    let dy0 = median(&dys).unwrap_or(0.0);
+    let dx = tukey_location(&dxs, params.spatial_tukey_c, dx0, 1e-6, 50).location;
+    let dy = tukey_location(&dys, params.spatial_tukey_c, dy0, 1e-6, 50).location;
+
+    // Votes coherent in both time and space.
+    let nsim = inliers
+        .iter()
+        .filter(|e| {
+            e.refs.iter().any(|&(tc, x, y)| {
+                (e.tc_cand - tc - b).abs() <= vp.tolerance
+                    && (e.x_cand - x - dx).abs() <= params.spatial_tolerance
+                    && (e.y_cand - y - dy).abs() <= params.spatial_tolerance
+            })
+        })
+        .count();
+    Some(SpatialDetection {
+        id: 0, // filled by caller
+        offset: b,
+        dx,
+        dy,
+        nsim_temporal,
+        nsim,
+        ncand: 0, // filled by caller
+    })
+}
+
+fn best_ref(e: &Entry, b: f64) -> (f64, f64, f64) {
+    *e.refs
+        .iter()
+        .min_by(|p, q| {
+            let rp = (e.tc_cand - p.0 - b).abs();
+            let rq = (e.tc_cand - q.0 - b).abs();
+            rp.partial_cmp(&rq).unwrap()
+        })
+        .expect("non-empty refs")
+}
+
+/// Runs the spatio-temporal voting strategy; detections require `min_votes`
+/// candidates coherent in *both* time and space, strongest first.
+pub fn vote_spatial(
+    buffer: &[SpatialCandidateVotes],
+    params: &SpatialVoteParams,
+) -> Vec<SpatialDetection> {
+    let ncand = buffer.len();
+    let mut detections: Vec<SpatialDetection> = group_by_id(buffer)
+        .into_iter()
+        .filter_map(|(id, entries)| {
+            if entries.len() < params.temporal.min_votes {
+                return None;
+            }
+            let mut det = fit(&entries, params)?;
+            det.id = id;
+            det.ncand = ncand;
+            (det.nsim >= params.temporal.min_votes).then_some(det)
+        })
+        .collect();
+    detections.sort_by(|a, b| b.nsim.cmp(&a.nsim).then(a.id.cmp(&b.id)));
+    detections
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A coherent copy: offset 50 in time, translation (+7, -3) in space,
+    /// plus per-candidate junk with the SAME id but incoherent geometry.
+    fn coherent_buffer(n: usize, junk: usize, seed: u64) -> Vec<SpatialCandidateVotes> {
+        let mut s = seed | 1;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 33) as f64 / (1u64 << 31) as f64
+        };
+        (0..n)
+            .map(|j| {
+                let tc = 60.0 + j as f64 * 6.0;
+                let x = 20.0 + (j % 7) as f64 * 9.0;
+                let y = 15.0 + (j % 5) as f64 * 11.0;
+                let mut refs = vec![(4u32, (tc - 50.0) as u32, (x - 7.0) as u16, (y + 3.0) as u16)];
+                for _ in 0..junk {
+                    refs.push((
+                        4,
+                        (rnd() * 3000.0) as u32,
+                        (rnd() * 96.0) as u16,
+                        (rnd() * 72.0) as u16,
+                    ));
+                }
+                SpatialCandidateVotes { tc, x, y, refs }
+            })
+            .collect()
+    }
+
+    fn params() -> SpatialVoteParams {
+        let mut p = SpatialVoteParams::default();
+        p.temporal.min_votes = 5;
+        p
+    }
+
+    #[test]
+    fn recovers_temporal_and_spatial_offsets() {
+        let buffer = coherent_buffer(20, 2, 3);
+        let det = vote_spatial(&buffer, &params());
+        assert!(!det.is_empty());
+        let d = &det[0];
+        assert_eq!(d.id, 4);
+        assert!((d.offset - 50.0).abs() <= 1.0, "offset {}", d.offset);
+        assert!((d.dx - 7.0).abs() <= 1.0, "dx {}", d.dx);
+        assert!((d.dy + 3.0).abs() <= 1.0, "dy {}", d.dy);
+        assert_eq!(d.nsim, 20);
+    }
+
+    #[test]
+    fn spatial_check_kills_temporally_coherent_junk() {
+        // Junk that aligns in TIME but not in SPACE: same id, correct tc,
+        // random positions — classical voting cannot reject it, the spatial
+        // stage must.
+        let mut buffer = coherent_buffer(0, 0, 5);
+        let mut s = 17u64;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for j in 0..20 {
+            let tc = 60.0 + j as f64 * 6.0;
+            buffer.push(SpatialCandidateVotes {
+                tc,
+                x: rnd() * 96.0,
+                y: rnd() * 72.0,
+                refs: vec![(
+                    9,
+                    (tc - 80.0) as u32,
+                    (rnd() * 96.0) as u16,
+                    (rnd() * 72.0) as u16,
+                )],
+            });
+        }
+        let det = vote_spatial(&buffer, &params());
+        // The time-coherent junk (id 9) must score far below its temporal
+        // coherence count.
+        for d in &det {
+            if d.id == 9 {
+                assert!(d.nsim_temporal >= 15, "junk IS temporally coherent");
+                assert!(
+                    d.nsim < 5,
+                    "spatial stage must reject spatially-random junk: {d:?}"
+                );
+            }
+        }
+        assert!(
+            !det.iter().any(|d| d.id == 9),
+            "junk must not survive the combined threshold: {det:?}"
+        );
+    }
+
+    #[test]
+    fn junk_among_true_matches_does_not_bias_fit() {
+        let buffer = coherent_buffer(20, 6, 7);
+        let det = vote_spatial(&buffer, &params());
+        assert!(!det.is_empty());
+        assert!((det[0].dx - 7.0).abs() <= 1.5, "dx {}", det[0].dx);
+        assert!((det[0].dy + 3.0).abs() <= 1.5, "dy {}", det[0].dy);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert!(vote_spatial(&[], &params()).is_empty());
+    }
+
+    #[test]
+    fn nsim_never_exceeds_temporal_nsim() {
+        let buffer = coherent_buffer(15, 4, 9);
+        for d in vote_spatial(&buffer, &params()) {
+            assert!(d.nsim <= d.nsim_temporal);
+            assert!(d.nsim_temporal <= d.ncand);
+        }
+    }
+}

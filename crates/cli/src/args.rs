@@ -1,0 +1,111 @@
+//! Minimal argument parsing for the CLI (no external dependencies).
+//!
+//! Supports `--key value` flags and positional arguments. Unknown flags are
+//! an error so typos surface early.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: positionals plus `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses an argument list (without the program/subcommand names).
+    ///
+    /// `allowed` lists the accepted flag names (without `--`).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I, allowed: &[&str]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if !allowed.contains(&name) {
+                    return Err(format!(
+                        "unknown flag --{name} (expected one of: {})",
+                        allowed
+                            .iter()
+                            .map(|a| format!("--{a}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                out.flags.insert(name.to_string(), value);
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument `i`.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Number of positional arguments.
+    #[allow(dead_code)] // used by tests; kept for future subcommands
+    pub fn positional_len(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// String flag value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Parses a flag as `T`, with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {raw:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(
+            strs(&["out.idx", "--videos", "8", "--seed", "42"]),
+            &["videos", "seed"],
+        )
+        .unwrap();
+        assert_eq!(a.positional(0), Some("out.idx"));
+        assert_eq!(a.positional_len(), 1);
+        assert_eq!(a.get("videos"), Some("8"));
+        assert_eq!(a.get_parsed::<u64>("seed", 0).unwrap(), 42);
+        assert_eq!(a.get_parsed::<u64>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        let err = Args::parse(strs(&["--nope", "1"]), &["yes"]).unwrap_err();
+        assert!(err.contains("--nope"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = Args::parse(strs(&["--videos"]), &["videos"]).unwrap_err();
+        assert!(err.contains("needs a value"));
+    }
+
+    #[test]
+    fn rejects_bad_parse() {
+        let a = Args::parse(strs(&["--n", "abc"]), &["n"]).unwrap();
+        assert!(a.get_parsed::<u32>("n", 0).is_err());
+    }
+}

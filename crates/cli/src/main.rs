@@ -1,0 +1,400 @@
+//! `s3cbcd` — command-line front end of the S³ copy-detection system.
+//!
+//! Operates on the pseudo-disk index format and the synthetic video library:
+//!
+//! ```text
+//! s3cbcd build <index-file> [--videos N] [--frames N] [--seed S]
+//! s3cbcd info <index-file>
+//! s3cbcd query <index-file> [--alpha A] [--sigma S] [--depth P] [--queries N] [--mem MB]
+//! s3cbcd detect <index-file-dir-seed> ... (see `detect --help`)
+//! s3cbcd monitor [--archive N] [--stream-frames N] [--seed S]
+//! ```
+//!
+//! `build`/`info`/`query` exercise the index layer against a disk file;
+//! `detect` and `monitor` run the full in-memory CBCD pipeline on synthetic
+//! material (the substitute for real broadcast capture, see DESIGN.md).
+
+mod args;
+
+use args::Args;
+use s3_cbcd::{
+    calibrate_monitor_threshold, DbBuilder, Detector, DetectorConfig, Monitor, MonitorParams,
+};
+use s3_core::pseudo_disk::DiskIndex;
+use s3_core::{IsotropicNormal, RecordBatch, S3Index, StatQueryOpts};
+use s3_hilbert::HilbertCurve;
+use s3_video::{
+    extract_fingerprints, ExtractorParams, ProceduralVideo, Transform, TransformChain,
+    TransformedVideo, VideoSource, Y4mVideo,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest: Vec<String> = argv.collect();
+    let result = match cmd.as_str() {
+        "build" => cmd_build(rest),
+        "info" => cmd_info(rest),
+        "query" => cmd_query(rest),
+        "detect" => cmd_detect(rest),
+        "monitor" => cmd_monitor(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "s3cbcd — Statistical Similarity Search video copy detection
+
+USAGE:
+  s3cbcd build <index-file> [video.y4m ...] [--videos N] [--frames N] [--seed S]
+      Fingerprint videos (given .y4m files, or a synthetic library) and
+      write a pseudo-disk index.
+  s3cbcd info <index-file>
+      Print header information of an index file.
+  s3cbcd query <index-file> [--alpha A] [--sigma S] [--queries N] [--mem MB]
+      Run distorted self-queries through the pseudo-disk engine and report
+      retrieval rate and timing.
+  s3cbcd detect [ref.y4m ...] [--candidate FILE] [--videos N] [--frames N]
+                [--seed S] [--attack NAME]
+      Build an in-memory reference DB (from .y4m files or a synthetic
+      library), then detect a candidate: either --candidate FILE, or an
+      attacked copy of one reference.
+      Attacks: resize | shift | gamma | contrast | noise | combo
+  s3cbcd monitor [--archive N] [--stream-frames N] [--seed S]
+      Monitor a synthetic broadcast with embedded copies; report events and
+      the real-time factor.";
+
+fn cmd_build(rest: Vec<String>) -> Result<(), String> {
+    let a = Args::parse(rest, &["videos", "frames", "seed"])?;
+    let path = a.positional(0).ok_or("build needs an output path")?;
+    let n_videos: usize = a.get_parsed("videos", 8)?;
+    let frames: usize = a.get_parsed("frames", 100)?;
+    let seed: u64 = a.get_parsed("seed", 1)?;
+
+    let params = ExtractorParams::default();
+    let mut batch = RecordBatch::new(20);
+    if a.positional_len() > 1 {
+        // Real material: each positional after the index path is a .y4m file.
+        for i in 1..a.positional_len() {
+            let file = a.positional(i).expect("checked");
+            let video = Y4mVideo::open(file).map_err(|e| e.to_string())?;
+            eprintln!(
+                "fingerprinting {file} ({} frames @ {}x{}) ...",
+                video.len(),
+                video.width(),
+                video.height()
+            );
+            for f in extract_fingerprints(&video, &params) {
+                batch.push(&f.fingerprint, (i - 1) as u32, f.tc);
+            }
+        }
+    } else {
+        eprintln!("fingerprinting {n_videos} synthetic videos of {frames} frames ...");
+        for i in 0..n_videos {
+            let v = ProceduralVideo::new(96, 72, frames, seed ^ ((i as u64) << 20));
+            for f in extract_fingerprints(&v, &params) {
+                batch.push(&f.fingerprint, i as u32, f.tc);
+            }
+        }
+    }
+    eprintln!("indexing {} fingerprints ...", batch.len());
+    let index = S3Index::build(HilbertCurve::paper(), batch);
+    DiskIndex::write(&index, path).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {path}: {} records, {} data bytes",
+        index.len(),
+        DiskIndex::open(path)
+            .map_err(|e| e.to_string())?
+            .data_bytes()
+    );
+    Ok(())
+}
+
+fn cmd_info(rest: Vec<String>) -> Result<(), String> {
+    let a = Args::parse(rest, &[])?;
+    let path = a.positional(0).ok_or("info needs an index path")?;
+    let disk = DiskIndex::open(path).map_err(|e| e.to_string())?;
+    println!("index file : {path}");
+    println!("records    : {}", disk.len());
+    println!(
+        "space      : [0,255]^{} (order {})",
+        disk.curve().dims(),
+        disk.curve().order()
+    );
+    println!("key bits   : {}", disk.curve().key_bits());
+    println!("data bytes : {}", disk.data_bytes());
+    Ok(())
+}
+
+fn cmd_query(rest: Vec<String>) -> Result<(), String> {
+    let a = Args::parse(rest, &["alpha", "sigma", "depth", "queries", "mem", "seed"])?;
+    let path = a.positional(0).ok_or("query needs an index path")?;
+    let alpha: f64 = a.get_parsed("alpha", 0.8)?;
+    let sigma: f64 = a.get_parsed("sigma", 15.0)?;
+    let n_queries: usize = a.get_parsed("queries", 100)?;
+    let mem_mb: u64 = a.get_parsed("mem", 256)?;
+    let seed: u64 = a.get_parsed("seed", 7)?;
+
+    let disk = DiskIndex::open(path).map_err(|e| e.to_string())?;
+    let dims = disk.curve().dims();
+    let default_depth = StatQueryOpts::for_db_size(alpha, disk.len() as usize).depth;
+    let depth: u32 = a.get_parsed("depth", default_depth)?;
+
+    // Synthetic mid-range probes (the distribution real descriptors live in).
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let queries: Vec<Vec<u8>> = (0..n_queries)
+        .map(|_| {
+            (0..dims)
+                .map(|_| {
+                    let mut acc = 0.0f64;
+                    for _ in 0..4 {
+                        acc += (next() >> 40) as f64 / (1u64 << 24) as f64 - 0.5;
+                    }
+                    (128.0 + acc * sigma * 3.0).clamp(0.0, 255.0) as u8
+                })
+                .collect()
+        })
+        .collect();
+    let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+
+    let model = IsotropicNormal::new(dims, sigma);
+    let opts = StatQueryOpts {
+        alpha,
+        depth,
+        ..StatQueryOpts::new(alpha, depth)
+    };
+    let batch = disk
+        .stat_query_batch(&qrefs, &model, &opts, mem_mb << 20)
+        .map_err(|e| e.to_string())?;
+
+    let total_matches: usize = batch.matches.iter().map(Vec::len).sum();
+    let total_scanned: usize = batch.stats.iter().map(|st| st.entries_scanned).sum();
+    let total_blocks: usize = batch.stats.iter().map(|st| st.blocks_selected).sum();
+    println!("queries            : {}", queries.len());
+    println!("depth p            : {depth}");
+    println!("matches            : {total_matches}");
+    println!(
+        "blocks / scanned   : {} / {} per query (avg)",
+        total_blocks / queries.len().max(1),
+        total_scanned / queries.len().max(1)
+    );
+    println!(
+        "sections           : {} ({} loaded, {} bytes)",
+        batch.sections, batch.timing.sections_loaded, batch.timing.bytes_loaded
+    );
+    println!(
+        "filter/load/refine : {:?} / {:?} / {:?}",
+        batch.timing.filter, batch.timing.load, batch.timing.refine
+    );
+    println!(
+        "per query          : {:?}",
+        batch.timing.per_query(queries.len())
+    );
+    Ok(())
+}
+
+fn cmd_detect(rest: Vec<String>) -> Result<(), String> {
+    let a = Args::parse(rest, &["videos", "frames", "seed", "attack", "candidate"])?;
+    let n_videos: usize = a.get_parsed("videos", 6)?;
+    let frames: usize = a.get_parsed("frames", 100)?;
+    let seed: u64 = a.get_parsed("seed", 3)?;
+    let attack = a.get("attack").unwrap_or("combo");
+
+    let chain = match attack {
+        "resize" => TransformChain::new(vec![Transform::Resize { wscale: 0.9 }]),
+        "shift" => TransformChain::new(vec![Transform::Shift { wshift: 10.0 }]),
+        "gamma" => TransformChain::new(vec![Transform::Gamma { wgamma: 1.6 }]),
+        "contrast" => TransformChain::new(vec![Transform::Contrast { wcontrast: 1.6 }]),
+        "noise" => TransformChain::new(vec![Transform::Noise { wnoise: 10.0 }]),
+        "combo" => TransformChain::new(vec![
+            Transform::Resize { wscale: 0.93 },
+            Transform::Gamma { wgamma: 1.3 },
+            Transform::Noise { wnoise: 6.0 },
+        ]),
+        other => return Err(format!("unknown attack '{other}'")),
+    };
+
+    let mut builder = DbBuilder::new(ExtractorParams::default());
+    let use_files = a.positional_len() > 0;
+    if use_files {
+        for i in 0..a.positional_len() {
+            let file = a.positional(i).expect("checked");
+            let video = Y4mVideo::open(file).map_err(|e| e.to_string())?;
+            eprintln!("registering {file} ...");
+            builder.add_video(file, &video);
+        }
+    } else {
+        eprintln!("registering {n_videos} synthetic reference videos ...");
+        for i in 0..n_videos {
+            let v = ProceduralVideo::new(96, 72, frames, seed ^ ((i as u64) << 20));
+            builder.add_video(&format!("video-{i}"), &v);
+        }
+    }
+    let db = builder.build();
+    eprintln!(
+        "database: {} fingerprints from {} videos",
+        db.fingerprint_count(),
+        db.video_count()
+    );
+
+    // Candidate: an explicit .y4m, or an attacked copy of one reference.
+    let (candidate_fps, target): (Vec<s3_video::LocalFingerprint>, Option<u32>) =
+        if let Some(file) = a.get("candidate") {
+            let video = Y4mVideo::open(file).map_err(|e| e.to_string())?;
+            println!("candidate: {file}");
+            (extract_fingerprints(&video, db.extractor_params()), None)
+        } else if use_files {
+            return Err("with .y4m references, pass --candidate FILE".into());
+        } else {
+            let t = n_videos / 2;
+            let original = ProceduralVideo::new(96, 72, frames, seed ^ ((t as u64) << 20));
+            let candidate = TransformedVideo::new(&original, chain.clone(), 99);
+            println!("attacking video-{t} with [{}]", chain.label());
+            (
+                extract_fingerprints(&candidate, db.extractor_params()),
+                Some(t as u32),
+            )
+        };
+
+    // Calibrate the decision threshold on non-referenced clips (§V-C).
+    let negatives: Vec<_> = (0..2u64)
+        .map(|i| {
+            let v = ProceduralVideo::new(96, 72, frames, seed ^ 0x0F0F_0000 ^ (i << 4));
+            extract_fingerprints(&v, db.extractor_params())
+        })
+        .collect();
+    let probe = Detector::new(&db, DetectorConfig::default());
+    let cal = s3_cbcd::calibrate_threshold(&probe, &negatives, 25.0, 1.0);
+    eprintln!("calibrated n_sim threshold: {}", cal.min_votes);
+
+    let mut config = DetectorConfig::default();
+    config.vote.min_votes = cal.min_votes;
+    let detector = Detector::new(&db, config);
+    let detections = detector.detect_fingerprints(&candidate_fps);
+    if detections.is_empty() {
+        println!("no detection");
+    }
+    for d in &detections {
+        println!(
+            "detected {} (id {}) offset {:+.1}, votes {}/{}",
+            db.name(d.id).unwrap_or("?"),
+            d.id,
+            d.offset,
+            d.nsim,
+            d.ncand
+        );
+    }
+    match target {
+        Some(t) if detections.iter().any(|d| d.id == t) => {
+            println!("OK: correct video identified");
+            Ok(())
+        }
+        Some(_) => Err("the attacked video was not identified".into()),
+        None => Ok(()),
+    }
+}
+
+fn cmd_monitor(rest: Vec<String>) -> Result<(), String> {
+    let a = Args::parse(rest, &["archive", "stream-frames", "seed"])?;
+    let n_archive: usize = a.get_parsed("archive", 6)?;
+    let stream_frames: usize = a.get_parsed("stream-frames", 400)?;
+    let seed: u64 = a.get_parsed("seed", 11)?;
+
+    eprintln!("building archive of {n_archive} videos ...");
+    let mut builder = DbBuilder::new(ExtractorParams::default());
+    for i in 0..n_archive {
+        let v = ProceduralVideo::new(96, 72, 100, seed ^ ((i as u64) << 20));
+        builder.add_video(&format!("archive-{i}"), &v);
+    }
+    let db = builder.build();
+
+    // Stream: live content with one embedded rerun in the middle.
+    let rerun_id = n_archive / 2;
+    let live_a = ProceduralVideo::new(96, 72, stream_frames / 2, seed ^ 0xAAAA);
+    let rerun_src = ProceduralVideo::new(96, 72, 100, seed ^ ((rerun_id as u64) << 20));
+    let rerun = TransformedVideo::new(
+        &rerun_src,
+        TransformChain::new(vec![Transform::Gamma { wgamma: 1.25 }]),
+        5,
+    );
+    let live_b = ProceduralVideo::new(96, 72, stream_frames / 2, seed ^ 0xBBBB);
+
+    let mut stream = Vec::new();
+    let mut base = 0u32;
+    let segs: [(&dyn VideoSource, &str); 3] =
+        [(&live_a, "live"), (&rerun, "rerun"), (&live_b, "live")];
+    for (seg, label) in segs {
+        let mut fps = extract_fingerprints(&seg, db.extractor_params());
+        for f in &mut fps {
+            f.tc += base;
+        }
+        eprintln!("  [{base:>5}..] {label}");
+        stream.extend(fps);
+        base += seg.len() as u32;
+    }
+
+    // Calibrate, then monitor.
+    let negatives: Vec<_> = (0..3u64)
+        .map(|i| {
+            let v = ProceduralVideo::new(96, 72, 250, seed ^ 0xCC00 ^ i);
+            extract_fingerprints(&v, db.extractor_params())
+        })
+        .collect();
+    let probe = Detector::new(&db, DetectorConfig::default());
+    let params = MonitorParams::default();
+    let cal = calibrate_monitor_threshold(&probe, &negatives, &params, 25.0, 1.0);
+    eprintln!("calibrated n_sim threshold: {}", cal.min_votes);
+
+    let mut config = DetectorConfig::default();
+    config.vote.min_votes = cal.min_votes;
+    let detector = Detector::new(&db, config);
+    let mut monitor = Monitor::new(&detector, params);
+    for chunk in stream.chunks(32) {
+        monitor.push(chunk);
+    }
+    let (events, stats) = monitor.finish();
+    for e in &events {
+        println!(
+            "event: {} (id {}) offset {:+.0}, n_sim {}, tc {:.0}..{:.0}",
+            detector.db().name(e.id).unwrap_or("?"),
+            e.id,
+            e.offset,
+            e.nsim,
+            e.first_tc,
+            e.last_tc
+        );
+    }
+    println!(
+        "{} fingerprints, {} windows, {:.2?}, real-time factor {:.1}x @25fps",
+        stats.fingerprints,
+        stats.windows,
+        stats.elapsed,
+        stats.real_time_factor(25.0)
+    );
+    if events.iter().any(|e| e.id == rerun_id as u32) {
+        println!("OK: embedded rerun detected");
+        Ok(())
+    } else {
+        Err("embedded rerun missed".into())
+    }
+}

@@ -1,0 +1,152 @@
+//! Partition-depth auto-tuning (§IV-A, last paragraph).
+//!
+//! The response time of a query decomposes as `T(p) = T_f(p) + T_r(p)`:
+//! filtering time grows with the depth `p` (more tree nodes, more blocks)
+//! while refinement time shrinks (better selectivity). `T(p)` generally has a
+//! single minimum `p_min`, which the paper learns "at the start of the
+//! retrieval stage". [`tune_depth`] measures a query sample across a depth
+//! range and returns the full profile, so the trade-off itself can be
+//! reported (the ablation bench plots it).
+
+use crate::distortion::DistortionModel;
+use crate::index::{S3Index, StatQueryOpts};
+use std::time::{Duration, Instant};
+
+/// Measured cost of one candidate depth.
+#[derive(Clone, Copy, Debug)]
+pub struct DepthProfile {
+    /// Partition depth `p`.
+    pub depth: u32,
+    /// Mean wall-clock time per query.
+    pub avg_time: Duration,
+    /// Mean filter nodes expanded (`T_f` work proxy).
+    pub avg_nodes: f64,
+    /// Mean records scanned in refinement (`T_r` work proxy).
+    pub avg_entries: f64,
+    /// Mean blocks selected.
+    pub avg_blocks: f64,
+}
+
+/// Outcome of the tuning sweep.
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// Profile per candidate depth, in sweep order.
+    pub profiles: Vec<DepthProfile>,
+    /// The depth with minimal average time — `p_min`.
+    pub best_depth: u32,
+}
+
+/// Sweeps `depths` over `sample` queries and picks the fastest.
+///
+/// The `opts.depth` field is overridden per candidate; everything else
+/// (α, refinement, filter algorithm, budget) is used as given.
+///
+/// # Panics
+/// If `depths` or `sample` is empty.
+pub fn tune_depth(
+    index: &S3Index,
+    model: &dyn DistortionModel,
+    opts: &StatQueryOpts,
+    sample: &[&[u8]],
+    depths: &[u32],
+) -> TuneResult {
+    assert!(!depths.is_empty(), "no candidate depths");
+    assert!(!sample.is_empty(), "no sample queries");
+    let mut profiles = Vec::with_capacity(depths.len());
+    for &depth in depths {
+        let mut o = *opts;
+        o.depth = depth;
+        let mut nodes = 0usize;
+        let mut entries = 0usize;
+        let mut blocks = 0usize;
+        let start = Instant::now();
+        for q in sample {
+            let res = index.stat_query(q, model, &o);
+            nodes += res.stats.nodes_expanded;
+            entries += res.stats.entries_scanned;
+            blocks += res.stats.blocks_selected;
+        }
+        let elapsed = start.elapsed();
+        let n = sample.len() as f64;
+        profiles.push(DepthProfile {
+            depth,
+            avg_time: elapsed / sample.len() as u32,
+            avg_nodes: nodes as f64 / n,
+            avg_entries: entries as f64 / n,
+            avg_blocks: blocks as f64 / n,
+        });
+    }
+    let best_depth = profiles
+        .iter()
+        .min_by_key(|p| p.avg_time)
+        .expect("profiles nonempty")
+        .depth;
+    TuneResult {
+        profiles,
+        best_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distortion::IsotropicNormal;
+    use crate::fingerprint::RecordBatch;
+    use s3_hilbert::HilbertCurve;
+
+    fn index(n: usize) -> S3Index {
+        let mut batch = RecordBatch::with_capacity(4, n);
+        let mut s = 0x12345u64;
+        let mut fp = [0u8; 4];
+        for i in 0..n {
+            for c in fp.iter_mut() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                *c = (s >> 32) as u8;
+            }
+            batch.push(&fp, i as u32, 0);
+        }
+        S3Index::build(HilbertCurve::new(4, 8).unwrap(), batch)
+    }
+
+    #[test]
+    fn sweep_reports_all_depths_and_tradeoff() {
+        let idx = index(5000);
+        let model = IsotropicNormal::new(4, 10.0);
+        let opts = StatQueryOpts::new(0.8, 8);
+        let queries: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i * 20, 100, 50, 200]).collect();
+        let sample: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        let depths = [2u32, 6, 10, 14];
+        let res = tune_depth(&idx, &model, &opts, &sample, &depths);
+        assert_eq!(res.profiles.len(), 4);
+        assert!(depths.contains(&res.best_depth));
+        // The T_f proxy must grow with depth, the T_r proxy must shrink.
+        let first = &res.profiles[0];
+        let last = &res.profiles[3];
+        assert!(last.avg_nodes > first.avg_nodes, "filter work grows with p");
+        assert!(
+            last.avg_entries < first.avg_entries,
+            "refinement work shrinks with p: {} vs {}",
+            last.avg_entries,
+            first.avg_entries
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate depths")]
+    fn empty_depths_rejected() {
+        let idx = index(10);
+        let model = IsotropicNormal::new(4, 10.0);
+        let q: &[u8] = &[0, 0, 0, 0];
+        tune_depth(&idx, &model, &StatQueryOpts::new(0.8, 4), &[q], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no sample queries")]
+    fn empty_sample_rejected() {
+        let idx = index(10);
+        let model = IsotropicNormal::new(4, 10.0);
+        tune_depth(&idx, &model, &StatQueryOpts::new(0.8, 4), &[], &[4]);
+    }
+}

@@ -1,0 +1,354 @@
+//! Insert-capable wrapper over the static S³ index.
+//!
+//! The paper's structure is deliberately static: "the S³ system is static: no
+//! dynamic insertion or deletion are possible" (§IV). For a TV-archive
+//! monitor that ingests new material daily, a real deployment needs inserts.
+//! [`DynamicIndex`] adds them the classical LSM way without touching the
+//! static core: new records accumulate in a small *overlay* (kept sorted by
+//! Hilbert key); queries run the block filter once and scan both the main
+//! index and the overlay against the same key ranges; when the overlay
+//! outgrows a configurable fraction of the main index, the two are merged
+//! into a fresh static index.
+//!
+//! Deletions stay out of scope, as in the paper — archives only grow.
+
+use crate::distortion::DistortionModel;
+use crate::filter::{
+    merge_block_ranges, select_blocks_best_first, select_blocks_range, select_blocks_threshold,
+};
+use crate::fingerprint::{dist_sq, RecordBatch};
+use crate::index::{FilterAlgo, Match, QueryResult, QueryStats, Refine, S3Index, StatQueryOpts};
+use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
+
+/// A static S³ index plus a sorted insert overlay.
+#[derive(Clone, Debug)]
+pub struct DynamicIndex {
+    main: S3Index,
+    /// Overlay records, sorted by Hilbert key (parallel vectors).
+    overlay_keys: Vec<Key256>,
+    overlay: RecordBatch,
+    /// Merge when `overlay_len > merge_fraction * main_len` (and overlay is
+    /// non-trivially sized).
+    merge_fraction: f64,
+    /// Number of merges performed (observability for tests and ops).
+    merges: usize,
+}
+
+impl DynamicIndex {
+    /// Wraps an existing static index.
+    ///
+    /// `merge_fraction` in `(0, 1]`: the overlay size that triggers a merge,
+    /// as a fraction of the main index (0.1 = merge at 10 %).
+    pub fn new(main: S3Index, merge_fraction: f64) -> Self {
+        assert!(
+            merge_fraction > 0.0 && merge_fraction <= 1.0,
+            "merge fraction out of range: {merge_fraction}"
+        );
+        let dims = main.records().dims();
+        DynamicIndex {
+            main,
+            overlay_keys: Vec::new(),
+            overlay: RecordBatch::new(dims),
+            merge_fraction,
+            merges: 0,
+        }
+    }
+
+    /// Creates an empty dynamic index over `curve`.
+    pub fn empty(curve: HilbertCurve, merge_fraction: f64) -> Self {
+        let dims = curve.dims();
+        DynamicIndex::new(
+            S3Index::build(curve, RecordBatch::new(dims)),
+            merge_fraction,
+        )
+    }
+
+    /// Total records (main + overlay).
+    pub fn len(&self) -> usize {
+        self.main.len() + self.overlay.len()
+    }
+
+    /// True if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records currently in the overlay.
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// Merges performed so far.
+    pub fn merges(&self) -> usize {
+        self.merges
+    }
+
+    /// The wrapped static index (current main generation).
+    pub fn main(&self) -> &S3Index {
+        &self.main
+    }
+
+    /// Inserts one record; triggers a merge when the overlay outgrows the
+    /// configured fraction of the main index.
+    pub fn insert(&mut self, fingerprint: &[u8], id: u32, tc: u32) {
+        let key = self.main.curve().encode_bytes(fingerprint);
+        // Sorted insert (overlays are small by construction).
+        let pos = self.overlay_keys.partition_point(|k| *k < key);
+        self.overlay_keys.insert(pos, key);
+        // RecordBatch has no insert-at; rebuild the tail. Overlays are small,
+        // and amortised cost stays linear in overlay size.
+        let mut rebuilt = RecordBatch::with_capacity(self.overlay.dims(), self.overlay.len() + 1);
+        for i in 0..pos {
+            let r = self.overlay.record(i);
+            rebuilt.push(r.fingerprint, r.id, r.tc);
+        }
+        rebuilt.push(fingerprint, id, tc);
+        for i in pos..self.overlay.len() {
+            let r = self.overlay.record(i);
+            rebuilt.push(r.fingerprint, r.id, r.tc);
+        }
+        self.overlay = rebuilt;
+
+        let threshold = (self.main.len() as f64 * self.merge_fraction).max(256.0);
+        if self.overlay.len() as f64 > threshold {
+            self.merge();
+        }
+    }
+
+    /// Forces the overlay into the main index (one static rebuild).
+    pub fn merge(&mut self) {
+        if self.overlay.is_empty() {
+            return;
+        }
+        let mut all = RecordBatch::with_capacity(self.overlay.dims(), self.len());
+        all.extend_from(self.main.records());
+        all.extend_from(&self.overlay);
+        self.main = S3Index::build(self.main.curve().clone(), all);
+        self.overlay = RecordBatch::new(self.overlay.dims());
+        self.overlay_keys.clear();
+        self.merges += 1;
+    }
+
+    /// Statistical query over main + overlay: one filter pass, two scans.
+    pub fn stat_query(
+        &self,
+        q: &[u8],
+        model: &dyn DistortionModel,
+        opts: &StatQueryOpts,
+    ) -> QueryResult {
+        let curve = self.main.curve();
+        let outcome = match opts.algo {
+            FilterAlgo::BestFirst => {
+                select_blocks_best_first(curve, model, q, opts.depth, opts.alpha, opts.max_blocks)
+            }
+            FilterAlgo::Threshold { iterations } => select_blocks_threshold(
+                curve,
+                model,
+                q,
+                opts.depth,
+                opts.alpha,
+                opts.max_blocks,
+                iterations,
+            ),
+        };
+        // Main scan through the static engine.
+        let mut result = self.main.stat_query(q, model, opts);
+        // Overlay scan against the same ranges.
+        let ranges = merge_block_ranges(curve, &outcome);
+        self.scan_overlay(q, &ranges, opts.refine, Some(model), &mut result);
+        result.stats.mass = outcome.mass;
+        result
+    }
+
+    /// Exact ε-range query over main + overlay.
+    pub fn range_query(&self, q: &[u8], eps: f64, depth: u32) -> QueryResult {
+        let curve = self.main.curve();
+        let outcome = select_blocks_range(curve, q, depth, eps, usize::MAX);
+        let mut result = self.main.range_query(q, eps, depth);
+        let ranges = merge_block_ranges(curve, &outcome);
+        self.scan_overlay(q, &ranges, Refine::Range(eps), None, &mut result);
+        result
+    }
+
+    /// Scans overlay records inside `ranges`, appending matches. Overlay
+    /// matches get indices offset by the main length so they stay unique.
+    fn scan_overlay(
+        &self,
+        q: &[u8],
+        ranges: &[KeyRange],
+        refine: Refine,
+        model: Option<&dyn DistortionModel>,
+        out: &mut QueryResult,
+    ) {
+        let base = self.main.len();
+        for range in ranges {
+            let lo = self.overlay_keys.partition_point(|k| *k < range.lo);
+            let hi = match range.hi {
+                KeyBound::Excl(h) => self.overlay_keys.partition_point(|k| *k < h),
+                KeyBound::End => self.overlay_keys.len(),
+            };
+            out.stats.entries_scanned += hi.saturating_sub(lo);
+            for i in lo..hi {
+                let fp = self.overlay.fingerprint(i);
+                let keep = match refine {
+                    Refine::All => Some(None),
+                    Refine::Range(eps) => {
+                        let d2 = dist_sq(q, fp) as f64;
+                        (d2 <= eps * eps).then_some(Some(d2))
+                    }
+                    Refine::LogLikelihood(bound) => {
+                        let model = model.expect("likelihood refinement needs a model");
+                        let delta: Vec<f64> = q
+                            .iter()
+                            .zip(fp)
+                            .map(|(&a, &b)| f64::from(b) - f64::from(a))
+                            .collect();
+                        (model.log_pdf(&delta) >= bound).then(|| Some(dist_sq(q, fp) as f64))
+                    }
+                };
+                if let Some(dist_sq) = keep {
+                    out.matches.push(Match {
+                        index: base + i,
+                        id: self.overlay.id(i),
+                        tc: self.overlay.tc(i),
+                        dist_sq,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: the stats of a dynamic query are those of the main engine
+/// plus the overlay scan count (exposed for tests).
+pub type DynamicQueryStats = QueryStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distortion::IsotropicNormal;
+
+    const DIMS: usize = 6;
+
+    fn curve() -> HilbertCurve {
+        HilbertCurve::new(DIMS, 8).unwrap()
+    }
+
+    fn rand_fp(state: &mut u64) -> Vec<u8> {
+        (0..DIMS)
+            .map(|_| {
+                *state ^= *state << 13;
+                *state ^= *state >> 7;
+                *state ^= *state << 17;
+                (*state >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn ids(matches: &[Match]) -> Vec<(u32, u32)> {
+        let mut v: Vec<(u32, u32)> = matches.iter().map(|m| (m.id, m.tc)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn inserted_records_are_queryable() {
+        let mut dyn_idx = DynamicIndex::empty(curve(), 0.5);
+        let fp = [10u8, 20, 30, 40, 50, 60];
+        dyn_idx.insert(&fp, 7, 99);
+        assert_eq!(dyn_idx.len(), 1);
+        let model = IsotropicNormal::new(DIMS, 10.0);
+        let res = dyn_idx.stat_query(&fp, &model, &StatQueryOpts::new(0.9, 8));
+        assert!(res.matches.iter().any(|m| m.id == 7 && m.tc == 99));
+        let res = dyn_idx.range_query(&fp, 5.0, 8);
+        assert_eq!(res.matches.len(), 1);
+    }
+
+    #[test]
+    fn dynamic_equals_static_rebuild() {
+        // Build the same record set two ways: all-static, and half static +
+        // half inserted; every query must agree.
+        let mut state = 0xD1Au64;
+        let records: Vec<Vec<u8>> = (0..600).map(|_| rand_fp(&mut state)).collect();
+
+        let mut full = RecordBatch::new(DIMS);
+        for (i, fp) in records.iter().enumerate() {
+            full.push(fp, i as u32, 0);
+        }
+        let static_idx = S3Index::build(curve(), full);
+
+        let mut half = RecordBatch::new(DIMS);
+        for (i, fp) in records.iter().take(300).enumerate() {
+            half.push(fp, i as u32, 0);
+        }
+        let mut dyn_idx = DynamicIndex::new(S3Index::build(curve(), half), 1.0);
+        for (i, fp) in records.iter().enumerate().skip(300) {
+            dyn_idx.insert(fp, i as u32, 0);
+        }
+        assert_eq!(dyn_idx.len(), 600);
+
+        let model = IsotropicNormal::new(DIMS, 12.0);
+        let mut qstate = 0xBEEFu64;
+        for _ in 0..20 {
+            let q = rand_fp(&mut qstate);
+            let opts = StatQueryOpts::new(0.85, 10);
+            let a = static_idx.stat_query(&q, &model, &opts);
+            let b = dyn_idx.stat_query(&q, &model, &opts);
+            assert_eq!(ids(&a.matches), ids(&b.matches), "stat query diverged");
+            let a = static_idx.range_query(&q, 90.0, 10);
+            let b = dyn_idx.range_query(&q, 90.0, 10);
+            assert_eq!(ids(&a.matches), ids(&b.matches), "range query diverged");
+        }
+    }
+
+    #[test]
+    fn merge_threshold_triggers_and_preserves_results() {
+        let mut base = RecordBatch::new(DIMS);
+        let mut state = 1u64;
+        for i in 0..1000u32 {
+            base.push(&rand_fp(&mut state), i, 0);
+        }
+        // 256-minimum dominates 10% of 1000: merge fires past 256 overlay rows.
+        let mut dyn_idx = DynamicIndex::new(S3Index::build(curve(), base), 0.1);
+        for i in 0..400u32 {
+            dyn_idx.insert(&rand_fp(&mut state), 10_000 + i, i);
+        }
+        assert!(dyn_idx.merges() >= 1, "merge should have fired");
+        assert_eq!(dyn_idx.len(), 1400);
+        // Every inserted record remains findable by exact range query.
+        let mut state2 = 1u64;
+        for _ in 0..1000 {
+            rand_fp(&mut state2); // replay base
+        }
+        for i in 0..400u32 {
+            let fp = rand_fp(&mut state2);
+            let res = dyn_idx.range_query(&fp, 0.5, 10);
+            assert!(
+                res.matches.iter().any(|m| m.id == 10_000 + i),
+                "record {i} lost after merge"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_merge_empties_overlay() {
+        let mut dyn_idx = DynamicIndex::empty(curve(), 1.0);
+        let mut state = 3u64;
+        for i in 0..50u32 {
+            dyn_idx.insert(&rand_fp(&mut state), i, 0);
+        }
+        assert_eq!(dyn_idx.overlay_len(), 50);
+        dyn_idx.merge();
+        assert_eq!(dyn_idx.overlay_len(), 0);
+        assert_eq!(dyn_idx.main().len(), 50);
+        assert_eq!(dyn_idx.merges(), 1);
+        dyn_idx.merge(); // no-op on empty overlay
+        assert_eq!(dyn_idx.merges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge fraction out of range")]
+    fn bad_merge_fraction() {
+        DynamicIndex::empty(curve(), 0.0);
+    }
+}

@@ -1,0 +1,686 @@
+//! The S³ index structure (§IV).
+//!
+//! The fingerprint database is *physically ordered* by position on the
+//! Hilbert curve; the structure is static (no dynamic insertion or deletion),
+//! exactly as in the paper. A query is answered in two steps:
+//!
+//! 1. **Filtering** ([`crate::filter`]) selects a set of p-blocks — i.e.
+//!    curve intervals — according to the distortion model (statistical query)
+//!    or the query ball (ε-range query).
+//! 2. **Refinement** locates each interval in the sorted record array via an
+//!    index table plus binary search, merges abutting intervals, and scans
+//!    the records sequentially, applying the refinement predicate.
+
+use crate::distortion::DistortionModel;
+use crate::filter::{
+    merge_block_ranges, select_blocks_bbox, select_blocks_best_first, select_blocks_range,
+    select_blocks_threshold, FilterOutcome,
+};
+use crate::fingerprint::{dist_sq, RecordBatch};
+use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
+
+/// Which algorithm computes the statistical block selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FilterAlgo {
+    /// Exact minimal set by best-first descent (default).
+    #[default]
+    BestFirst,
+    /// The paper's `t_max` bisection with the given iteration count.
+    Threshold {
+        /// Number of bisection steps on `t`.
+        iterations: usize,
+    },
+}
+
+/// Refinement predicate applied to each scanned record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Refine {
+    /// Return every record in the selected blocks (the paper's behaviour:
+    /// the voting stage downstream is the real discriminator).
+    All,
+    /// Keep records within Euclidean distance `ε` of the query.
+    Range(f64),
+    /// Keep records whose distortion log-density exceeds the bound.
+    LogLikelihood(f64),
+}
+
+/// Options of a statistical query.
+#[derive(Clone, Copy, Debug)]
+pub struct StatQueryOpts {
+    /// Expectation α ∈ (0, 1]: target probability that a relevant
+    /// (distorted) fingerprint falls in the searched region.
+    pub alpha: f64,
+    /// Partition depth `p`.
+    pub depth: u32,
+    /// Refinement predicate.
+    pub refine: Refine,
+    /// Filtering algorithm.
+    pub algo: FilterAlgo,
+    /// Hard budget on selected blocks.
+    pub max_blocks: usize,
+}
+
+impl StatQueryOpts {
+    /// Reasonable defaults for a given α and depth: best-first filter,
+    /// return-all refinement, 64k block budget.
+    pub fn new(alpha: f64, depth: u32) -> Self {
+        StatQueryOpts {
+            alpha,
+            depth,
+            refine: Refine::All,
+            algo: FilterAlgo::BestFirst,
+            max_blocks: 1 << 16,
+        }
+    }
+
+    /// Defaults with the partition depth matched to the database size.
+    ///
+    /// Deeper partitions are more selective but fragment the query region
+    /// across exponentially more blocks (`T_f` grows), while shallow ones
+    /// over-scan (`T_r` grows) — the `T(p) = T_f(p) + T_r(p)` trade-off of
+    /// §IV-A. This heuristic places the block population a few powers of two
+    /// above the record count; [`crate::autotune::tune_depth`] refines it
+    /// empirically like the paper's start-of-retrieval learning.
+    pub fn for_db_size(alpha: f64, n_records: usize) -> Self {
+        // Cap at 20: beyond that the binomial fragmentation of a wide
+        // distortion model dominates filter cost for any realistic σ; when
+        // the model is narrow, `autotune` will pick deeper partitions.
+        let depth = (usize::BITS - n_records.max(1).leading_zeros() + 2).clamp(8, 20);
+        StatQueryOpts::new(alpha, depth)
+    }
+}
+
+/// One record returned by a query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Match {
+    /// Position of the record in the index (stable across queries).
+    pub index: usize,
+    /// Video sequence identifier.
+    pub id: u32,
+    /// Time-code.
+    pub tc: u32,
+    /// Squared distance to the query, when the refinement computed it.
+    pub dist_sq: Option<f64>,
+}
+
+/// Work counters of a query (the paper's `T_f` / `T_r` decomposition).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryStats {
+    /// Tree nodes expanded by the filter.
+    pub nodes_expanded: usize,
+    /// Blocks selected by the filter.
+    pub blocks_selected: usize,
+    /// Contiguous key ranges scanned after merging abutting blocks.
+    pub ranges_scanned: usize,
+    /// Records visited by the refinement scan.
+    pub entries_scanned: usize,
+    /// Probability mass captured (statistical queries).
+    pub mass: f64,
+    /// `t_max` (threshold filter only).
+    pub tmax: Option<f64>,
+    /// True if the block budget truncated the filter.
+    pub truncated: bool,
+}
+
+/// Result of a query: matches plus work counters.
+#[derive(Clone, Debug, Default)]
+pub struct QueryResult {
+    /// Matching records.
+    pub matches: Vec<Match>,
+    /// Work counters.
+    pub stats: QueryStats,
+}
+
+/// The static S³ index: records sorted by Hilbert key, an index table for
+/// O(1) coarse range location, and the query engines.
+#[derive(Clone, Debug)]
+pub struct S3Index {
+    curve: HilbertCurve,
+    keys: Vec<Key256>,
+    records: RecordBatch,
+    /// `table[i]` = first record whose key has top `table_depth` bits ≥ `i`.
+    table: Vec<u32>,
+    table_depth: u32,
+}
+
+impl S3Index {
+    /// Builds the index: computes Hilbert keys, sorts, and constructs the
+    /// coarse index table.
+    ///
+    /// # Panics
+    /// If the batch dimension differs from the curve's, or the curve order
+    /// is not 8 (byte components), or more than `u32::MAX` records.
+    pub fn build(curve: HilbertCurve, records: RecordBatch) -> S3Index {
+        Self::build_with_perm(curve, records).0
+    }
+
+    /// As [`S3Index::build`], additionally returning the sort permutation:
+    /// sorted record `i` was input record `perm[i]`. Lets callers keep
+    /// side-tables (e.g. interest-point positions) aligned with the index.
+    pub fn build_with_perm(curve: HilbertCurve, records: RecordBatch) -> (S3Index, Vec<u32>) {
+        assert_eq!(records.dims(), curve.dims(), "dimension mismatch");
+        assert_eq!(curve.order(), 8, "fingerprints are byte vectors (order 8)");
+        assert!(records.len() <= u32::MAX as usize, "too many records");
+
+        let n = records.len();
+        let mut keyed: Vec<(Key256, u32)> = (0..n)
+            .map(|i| (curve.encode_bytes(records.fingerprint(i)), i as u32))
+            .collect();
+        // Unstable sort: equal keys are identical fingerprints, order among
+        // them is irrelevant.
+        keyed.sort_unstable_by_key(|a| a.0);
+
+        let perm: Vec<u32> = keyed.iter().map(|&(_, i)| i).collect();
+        let records = records.permuted(&perm);
+        let keys: Vec<Key256> = keyed.into_iter().map(|(k, _)| k).collect();
+
+        let table_depth = Self::pick_table_depth(&curve, n);
+        let table = Self::build_table(&curve, &keys, table_depth);
+
+        (
+            S3Index {
+                curve,
+                keys,
+                records,
+                table,
+                table_depth,
+            },
+            perm,
+        )
+    }
+
+    /// As [`S3Index::build`] with the Hilbert keys computed across `threads`
+    /// worker threads (the dominant cost of construction; the sort stays
+    /// single-threaded).
+    pub fn build_parallel(curve: HilbertCurve, records: RecordBatch, threads: usize) -> S3Index {
+        assert_eq!(records.dims(), curve.dims(), "dimension mismatch");
+        assert_eq!(curve.order(), 8, "fingerprints are byte vectors (order 8)");
+        assert!(records.len() <= u32::MAX as usize, "too many records");
+
+        let keys =
+            crate::parallel::build_keys_parallel(&curve, records.fingerprint_bytes(), threads);
+        let n = records.len();
+        let mut keyed: Vec<(Key256, u32)> = keys.into_iter().zip(0..n as u32).collect();
+        keyed.sort_unstable_by_key(|&(k, _)| k);
+        let perm: Vec<u32> = keyed.iter().map(|&(_, i)| i).collect();
+        let records = records.permuted(&perm);
+        let keys: Vec<Key256> = keyed.into_iter().map(|(k, _)| k).collect();
+        let table_depth = Self::pick_table_depth(&curve, n);
+        let table = Self::build_table(&curve, &keys, table_depth);
+        S3Index {
+            curve,
+            keys,
+            records,
+            table,
+            table_depth,
+        }
+    }
+
+    fn pick_table_depth(curve: &HilbertCurve, n: usize) -> u32 {
+        // ~1 table slot per 16 records, capped to keep the table small and
+        // within the key width.
+        let want = (n / 16).next_power_of_two().trailing_zeros();
+        want.clamp(1, 20).min(curve.key_bits())
+    }
+
+    fn build_table(curve: &HilbertCurve, keys: &[Key256], depth: u32) -> Vec<u32> {
+        let slots = 1usize << depth;
+        let shift = curve.key_bits() - depth;
+        let mut table = vec![0u32; slots + 1];
+        // Walk the sorted keys once, recording the first record of each slot.
+        let mut slot = 0usize;
+        for (i, key) in keys.iter().enumerate() {
+            let s = key.shr(shift).low_u128() as usize;
+            while slot <= s {
+                table[slot] = i as u32;
+                slot += 1;
+            }
+        }
+        while slot <= slots {
+            table[slot] = keys.len() as u32;
+            slot += 1;
+        }
+        table
+    }
+
+    /// The curve the index is built on.
+    pub fn curve(&self) -> &HilbertCurve {
+        &self.curve
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The sorted records (index `i` matches [`Match::index`]).
+    pub fn records(&self) -> &RecordBatch {
+        &self.records
+    }
+
+    /// Sorted Hilbert keys, parallel to [`S3Index::records`].
+    pub fn keys(&self) -> &[Key256] {
+        &self.keys
+    }
+
+    /// Locates the half-open record range `[start, end)` covered by a key range.
+    pub fn locate(&self, range: &KeyRange) -> (usize, usize) {
+        let start = self.lower_bound(&range.lo);
+        let end = match range.hi {
+            KeyBound::Excl(hi) => self.lower_bound(&hi),
+            KeyBound::End => self.keys.len(),
+        };
+        (start, end.max(start))
+    }
+
+    /// First record index with key ≥ `key`, accelerated by the index table.
+    fn lower_bound(&self, key: &Key256) -> usize {
+        let shift = self.curve.key_bits() - self.table_depth;
+        let slot = key.shr(shift).low_u128() as usize;
+        let lo = self.table[slot] as usize;
+        let hi = self.table[slot + 1] as usize;
+        lo + self.keys[lo..hi].partition_point(|k| k < key)
+    }
+
+    /// Shared refinement scan over merged ranges.
+    fn refine_scan(
+        &self,
+        q: &[u8],
+        outcome: &FilterOutcome,
+        refine: Refine,
+        model: Option<&dyn DistortionModel>,
+    ) -> QueryResult {
+        let merged = merge_block_ranges(&self.curve, outcome);
+        let mut matches = Vec::new();
+        let mut entries = 0usize;
+        let mut delta = vec![0.0f64; q.len()];
+        for range in &merged {
+            let (start, end) = self.locate(range);
+            entries += end - start;
+            for i in start..end {
+                let fp = self.records.fingerprint(i);
+                let keep = match refine {
+                    Refine::All => {
+                        matches.push(Match {
+                            index: i,
+                            id: self.records.id(i),
+                            tc: self.records.tc(i),
+                            dist_sq: None,
+                        });
+                        continue;
+                    }
+                    Refine::Range(eps) => {
+                        let d2 = dist_sq(q, fp) as f64;
+                        if d2 <= eps * eps {
+                            Some(d2)
+                        } else {
+                            None
+                        }
+                    }
+                    Refine::LogLikelihood(bound) => {
+                        let model = model.expect("LogLikelihood refinement needs a model");
+                        for (j, (&a, &b)) in q.iter().zip(fp).enumerate() {
+                            delta[j] = f64::from(b) - f64::from(a);
+                        }
+                        if model.log_pdf(&delta) >= bound {
+                            Some(dist_sq(q, fp) as f64)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(d2) = keep {
+                    matches.push(Match {
+                        index: i,
+                        id: self.records.id(i),
+                        tc: self.records.tc(i),
+                        dist_sq: Some(d2),
+                    });
+                }
+            }
+        }
+        QueryResult {
+            matches,
+            stats: QueryStats {
+                nodes_expanded: outcome.nodes_expanded,
+                blocks_selected: outcome.blocks.len(),
+                ranges_scanned: merged.len(),
+                entries_scanned: entries,
+                mass: outcome.mass,
+                tmax: outcome.tmax,
+                truncated: outcome.truncated,
+            },
+        }
+    }
+
+    /// Statistical query of expectation α (§II, eq. 1).
+    pub fn stat_query(
+        &self,
+        q: &[u8],
+        model: &dyn DistortionModel,
+        opts: &StatQueryOpts,
+    ) -> QueryResult {
+        let outcome = match opts.algo {
+            FilterAlgo::BestFirst => select_blocks_best_first(
+                &self.curve,
+                model,
+                q,
+                opts.depth,
+                opts.alpha,
+                opts.max_blocks,
+            ),
+            FilterAlgo::Threshold { iterations } => select_blocks_threshold(
+                &self.curve,
+                model,
+                q,
+                opts.depth,
+                opts.alpha,
+                opts.max_blocks,
+                iterations,
+            ),
+        };
+        self.refine_scan(q, &outcome, opts.refine, Some(model))
+    }
+
+    /// Exact ε-range query through the index: geometric block filter plus
+    /// distance refinement. Recall is exact (the filter is complete).
+    pub fn range_query(&self, q: &[u8], eps: f64, depth: u32) -> QueryResult {
+        let outcome = select_blocks_range(&self.curve, q, depth, eps, usize::MAX);
+        self.refine_scan(q, &outcome, Refine::Range(eps), None)
+    }
+
+    /// ε-range query through the classical bounding-box filter (the only
+    /// geometric filter a Lawder-style rectangle-query structure can apply
+    /// to a sphere, §IV). Recall is exact; cost degenerates toward a scan in
+    /// high dimension — the baseline the paper's Fig. 6 speed-ups compare
+    /// against.
+    pub fn range_query_bbox(&self, q: &[u8], eps: f64, depth: u32) -> QueryResult {
+        let outcome = select_blocks_bbox(&self.curve, q, depth, eps, usize::MAX);
+        self.refine_scan(q, &outcome, Refine::Range(eps), None)
+    }
+
+    /// Sequential-scan ε-range query — the reference baseline of Fig. 7.
+    pub fn seq_scan(&self, q: &[u8], eps: f64) -> QueryResult {
+        let eps_sq = eps * eps;
+        let mut matches = Vec::new();
+        for i in 0..self.len() {
+            let d2 = dist_sq(q, self.records.fingerprint(i)) as f64;
+            if d2 <= eps_sq {
+                matches.push(Match {
+                    index: i,
+                    id: self.records.id(i),
+                    tc: self.records.tc(i),
+                    dist_sq: Some(d2),
+                });
+            }
+        }
+        QueryResult {
+            matches,
+            stats: QueryStats {
+                entries_scanned: self.len(),
+                ranges_scanned: 1,
+                ..QueryStats::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distortion::IsotropicNormal;
+
+    /// Deterministic pseudo-random batch (avoids a rand dependency here).
+    fn synthetic_batch(dims: usize, n: usize, seed: u64) -> RecordBatch {
+        let mut batch = RecordBatch::with_capacity(dims, n);
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut fp = vec![0u8; dims];
+        for i in 0..n {
+            for c in fp.iter_mut() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                *c = (s >> 32) as u8;
+            }
+            batch.push(&fp, (i / 50) as u32, (i % 50) as u32);
+        }
+        batch
+    }
+
+    fn small_index() -> S3Index {
+        let curve = HilbertCurve::new(4, 8).unwrap();
+        S3Index::build(curve, synthetic_batch(4, 3000, 42))
+    }
+
+    #[test]
+    fn build_sorts_by_key() {
+        let idx = small_index();
+        assert_eq!(idx.len(), 3000);
+        for w in idx.keys().windows(2) {
+            assert!(w[0] <= w[1], "keys must be sorted");
+        }
+    }
+
+    #[test]
+    fn build_preserves_record_association() {
+        // Each record's (fingerprint, id, tc) triple must survive the sort.
+        let curve = HilbertCurve::new(3, 8).unwrap();
+        let mut batch = RecordBatch::new(3);
+        batch.push(&[9, 9, 9], 1, 11);
+        batch.push(&[0, 0, 0], 2, 22);
+        batch.push(&[255, 0, 255], 3, 33);
+        let idx = S3Index::build(curve.clone(), batch);
+        for i in 0..3 {
+            let r = idx.records().record(i);
+            match r.id {
+                1 => assert_eq!((r.fingerprint, r.tc), (&[9u8, 9, 9][..], 11)),
+                2 => assert_eq!((r.fingerprint, r.tc), (&[0u8, 0, 0][..], 22)),
+                3 => assert_eq!((r.fingerprint, r.tc), (&[255u8, 0, 255][..], 33)),
+                other => panic!("unexpected id {other}"),
+            }
+            // Stored key must equal the fingerprint's key.
+            assert_eq!(idx.keys()[i], curve.encode_bytes(r.fingerprint));
+        }
+    }
+
+    #[test]
+    fn parallel_build_equals_serial_build() {
+        let curve = HilbertCurve::new(4, 8).unwrap();
+        let batch = synthetic_batch(4, 2000, 77);
+        let a = S3Index::build(curve.clone(), batch.clone());
+        let b = S3Index::build_parallel(curve, batch, 4);
+        assert_eq!(a.keys(), b.keys());
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn locate_full_curve_covers_everything() {
+        let idx = small_index();
+        let range = KeyRange {
+            lo: Key256::ZERO,
+            hi: KeyBound::End,
+        };
+        assert_eq!(idx.locate(&range), (0, idx.len()));
+    }
+
+    #[test]
+    fn locate_agrees_with_linear_scan() {
+        let idx = small_index();
+        // Probe a few numeric ranges.
+        for (lo_i, hi_i) in [(0usize, 10), (5, 2995), (1000, 2000)] {
+            let lo = idx.keys()[lo_i];
+            let hi = idx.keys()[hi_i];
+            let range = KeyRange {
+                lo,
+                hi: KeyBound::Excl(hi),
+            };
+            let (s, e) = idx.locate(&range);
+            let s_lin = idx.keys().iter().position(|k| *k >= lo).unwrap();
+            let e_lin = idx.keys().iter().position(|k| *k >= hi).unwrap();
+            assert_eq!((s, e), (s_lin, e_lin));
+        }
+    }
+
+    #[test]
+    fn range_query_matches_seq_scan_exactly() {
+        // The geometric filter is complete, so the index range query must
+        // return exactly the sequential scan's results.
+        let idx = small_index();
+        let q = [100u8, 150, 20, 240];
+        for eps in [10.0, 60.0, 150.0] {
+            for depth in [4u32, 8, 12] {
+                let a = idx.range_query(&q, eps, depth);
+                let b = idx.seq_scan(&q, eps);
+                let mut ai: Vec<usize> = a.matches.iter().map(|m| m.index).collect();
+                let mut bi: Vec<usize> = b.matches.iter().map(|m| m.index).collect();
+                ai.sort_unstable();
+                bi.sort_unstable();
+                assert_eq!(ai, bi, "eps={eps} depth={depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn bbox_range_query_matches_exact_range_query_results() {
+        let idx = small_index();
+        let q = [90u8, 180, 60, 30];
+        for eps in [40.0, 120.0] {
+            let a = idx.range_query(&q, eps, 8);
+            let b = idx.range_query_bbox(&q, eps, 8);
+            let mut ai: Vec<usize> = a.matches.iter().map(|m| m.index).collect();
+            let mut bi: Vec<usize> = b.matches.iter().map(|m| m.index).collect();
+            ai.sort_unstable();
+            bi.sort_unstable();
+            assert_eq!(ai, bi, "recall must be identical at eps={eps}");
+            // The box filter can only scan at least as much as the exact ball
+            // filter (the box contains the ball).
+            assert!(b.stats.entries_scanned >= a.stats.entries_scanned);
+            assert!(b.stats.blocks_selected >= a.stats.blocks_selected);
+        }
+    }
+
+    #[test]
+    fn stat_query_returns_block_contents() {
+        let idx = small_index();
+        let model = IsotropicNormal::new(4, 15.0);
+        let q = [128u8, 128, 128, 128];
+        let opts = StatQueryOpts::new(0.9, 8);
+        let res = idx.stat_query(&q, &model, &opts);
+        assert!(res.stats.mass >= 0.9);
+        assert!(res.stats.blocks_selected > 0);
+        assert_eq!(res.stats.entries_scanned, res.matches.len());
+        // Ranges after merging cannot exceed block count.
+        assert!(res.stats.ranges_scanned <= res.stats.blocks_selected);
+    }
+
+    #[test]
+    fn stat_query_finds_exact_duplicate() {
+        // Insert a known fingerprint; a statistical query on the exact value
+        // must retrieve it for reasonable alpha (its cell has maximal mass).
+        let curve = HilbertCurve::new(4, 8).unwrap();
+        let mut batch = synthetic_batch(4, 2000, 7);
+        batch.push(&[77, 88, 99, 111], 999, 1234);
+        let idx = S3Index::build(curve, batch);
+        let model = IsotropicNormal::new(4, 10.0);
+        let res = idx.stat_query(&[77, 88, 99, 111], &model, &StatQueryOpts::new(0.8, 10));
+        assert!(
+            res.matches.iter().any(|m| m.id == 999 && m.tc == 1234),
+            "exact duplicate must be retrieved"
+        );
+    }
+
+    #[test]
+    fn stat_query_threshold_algo_equivalent_retrieval() {
+        let idx = small_index();
+        let model = IsotropicNormal::new(4, 12.0);
+        // Interior query: all components several σ away from the cube
+        // boundary, so the full α is achievable.
+        let q = [60u8, 190, 130, 90];
+        let mut bf_opts = StatQueryOpts::new(0.85, 10);
+        let mut th_opts = bf_opts;
+        bf_opts.algo = FilterAlgo::BestFirst;
+        th_opts.algo = FilterAlgo::Threshold { iterations: 30 };
+        let bf = idx.stat_query(&q, &model, &bf_opts);
+        let th = idx.stat_query(&q, &model, &th_opts);
+        assert!(th.stats.mass >= 0.85);
+        // The threshold result is a superset (B(tmax) ⊇ minimal set).
+        let bf_set: std::collections::HashSet<usize> = bf.matches.iter().map(|m| m.index).collect();
+        let th_set: std::collections::HashSet<usize> = th.matches.iter().map(|m| m.index).collect();
+        assert!(bf_set.is_subset(&th_set));
+    }
+
+    #[test]
+    fn refine_range_filters_by_distance() {
+        let idx = small_index();
+        let model = IsotropicNormal::new(4, 20.0);
+        let q = [200u8, 40, 90, 170];
+        let mut opts = StatQueryOpts::new(0.9, 8);
+        opts.refine = Refine::Range(50.0);
+        let res = idx.stat_query(&q, &model, &opts);
+        for m in &res.matches {
+            let d2 = m.dist_sq.expect("range refinement computes distances");
+            assert!(d2 <= 2500.0);
+        }
+        // All refinement returns at least as many.
+        opts.refine = Refine::All;
+        let all = idx.stat_query(&q, &model, &opts);
+        assert!(all.matches.len() >= res.matches.len());
+    }
+
+    #[test]
+    fn refine_loglikelihood_keeps_high_density() {
+        let idx = small_index();
+        let model = IsotropicNormal::new(4, 20.0);
+        let q = [128u8, 128, 128, 128];
+        let mut opts = StatQueryOpts::new(0.95, 8);
+        // Bound at the density of a 2σ-per-component offset.
+        let bound = model.log_pdf(&[40.0, 40.0, 40.0, 40.0]);
+        opts.refine = Refine::LogLikelihood(bound);
+        let res = idx.stat_query(&q, &model, &opts);
+        for m in &res.matches {
+            assert!(m.dist_sq.is_some());
+        }
+    }
+
+    #[test]
+    fn empty_index_queries_return_empty() {
+        let curve = HilbertCurve::new(4, 8).unwrap();
+        let idx = S3Index::build(curve, RecordBatch::new(4));
+        assert!(idx.is_empty());
+        let model = IsotropicNormal::new(4, 10.0);
+        let res = idx.stat_query(&[0, 0, 0, 0], &model, &StatQueryOpts::new(0.9, 6));
+        assert!(res.matches.is_empty());
+        let res = idx.range_query(&[0, 0, 0, 0], 100.0, 6);
+        assert!(res.matches.is_empty());
+    }
+
+    #[test]
+    fn single_record_index() {
+        let curve = HilbertCurve::new(4, 8).unwrap();
+        let mut batch = RecordBatch::new(4);
+        batch.push(&[1, 2, 3, 4], 5, 6);
+        let idx = S3Index::build(curve, batch);
+        let model = IsotropicNormal::new(4, 10.0);
+        let res = idx.stat_query(&[1, 2, 3, 4], &model, &StatQueryOpts::new(0.5, 4));
+        assert_eq!(res.matches.len(), 1);
+        assert_eq!(res.matches[0].id, 5);
+    }
+
+    #[test]
+    fn duplicate_fingerprints_all_returned() {
+        let curve = HilbertCurve::new(4, 8).unwrap();
+        let mut batch = RecordBatch::new(4);
+        for i in 0..10 {
+            batch.push(&[50, 60, 70, 80], i, i * 100);
+        }
+        let idx = S3Index::build(curve, batch);
+        let model = IsotropicNormal::new(4, 5.0);
+        let res = idx.stat_query(&[50, 60, 70, 80], &model, &StatQueryOpts::new(0.7, 8));
+        assert_eq!(res.matches.len(), 10, "all duplicates share one cell");
+    }
+}

@@ -1,0 +1,60 @@
+//! # s3-core — the Statistical Similarity Search (S³) index
+//!
+//! Reproduction of the indexing contribution of Joly, Buisson & Frélicot,
+//! *"Statistical similarity search applied to content-based video copy
+//! detection"* (ICDE 2005).
+//!
+//! The crate provides:
+//!
+//! * [`RecordBatch`] — columnar fingerprint storage (`[0,255]^D` vectors with
+//!   video id and time-code);
+//! * [`DistortionModel`] / [`IsotropicNormal`] / [`DiagonalNormal`] — the
+//!   probability law of the fingerprint distortion `ΔS` (§IV-C);
+//! * [`filter`] — statistical and geometric block-selection filters over the
+//!   Hilbert p-block partition (§IV-A);
+//! * [`S3Index`] — the static sorted-by-curve index with statistical,
+//!   ε-range and sequential-scan queries;
+//! * [`pseudo_disk`] — the larger-than-memory batched search strategy
+//!   (§IV-B, eq. 5);
+//! * [`autotune`] — selection of the partition depth `p_min` minimising
+//!   `T(p) = T_f(p) + T_r(p)` (§IV-A);
+//! * [`knn`] — exact k-nearest-neighbour search on the same structure
+//!   (the alternative paradigm discussed in §I-II).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use s3_core::{IsotropicNormal, RecordBatch, S3Index, StatQueryOpts};
+//! use s3_hilbert::HilbertCurve;
+//!
+//! // Index a handful of 20-byte fingerprints.
+//! let mut batch = RecordBatch::new(20);
+//! batch.push(&[128u8; 20], /*id=*/ 1, /*tc=*/ 0);
+//! batch.push(&[10u8; 20], 2, 40);
+//! let index = S3Index::build(HilbertCurve::paper(), batch);
+//!
+//! // Statistical query: search the region holding 90 % of the distortion mass.
+//! let model = IsotropicNormal::new(20, 20.0);
+//! let mut probe = [128u8; 20];
+//! probe[3] = 141; // a mildly distorted copy of the first fingerprint
+//! let result = index.stat_query(&probe, &model, &StatQueryOpts::new(0.9, 24));
+//! assert!(result.matches.iter().any(|m| m.id == 1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod autotune;
+pub mod distortion;
+pub mod dynamic;
+pub mod filter;
+pub mod fingerprint;
+pub mod index;
+pub mod knn;
+pub mod parallel;
+pub mod pseudo_disk;
+
+pub use distortion::{DiagonalNormal, DistortionModel, IsotropicNormal};
+pub use dynamic::DynamicIndex;
+pub use fingerprint::{dist, dist_sq, Record, RecordBatch, PAPER_DIMS};
+pub use index::{FilterAlgo, Match, QueryResult, QueryStats, Refine, S3Index, StatQueryOpts};

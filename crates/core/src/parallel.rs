@@ -1,0 +1,161 @@
+//! Parallel batch search and parallel index construction.
+//!
+//! The S³ index is immutable after construction, so queries parallelise
+//! trivially: [`stat_query_batch`] shards a query batch across scoped
+//! crossbeam threads. [`build_keys_parallel`] parallelises the dominant cost
+//! of construction (Hilbert key computation); the final sort stays
+//! single-threaded and is a small fraction of build time.
+//!
+//! This goes beyond the paper (which reports single-core Pentium-IV numbers)
+//! but is what the paper's TV-monitoring deployment would use today; the
+//! monitoring example uses it to stay ahead of real time.
+
+use crate::distortion::DistortionModel;
+use crate::index::{QueryResult, S3Index, StatQueryOpts};
+use s3_hilbert::{HilbertCurve, Key256};
+
+/// Runs a batch of statistical queries across `threads` worker threads.
+///
+/// Results are returned in input order. With `threads == 1` this is a plain
+/// sequential loop (no thread spawn).
+pub fn stat_query_batch(
+    index: &S3Index,
+    queries: &[&[u8]],
+    model: &dyn DistortionModel,
+    opts: &StatQueryOpts,
+    threads: usize,
+) -> Vec<QueryResult> {
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 || queries.len() <= 1 {
+        return queries
+            .iter()
+            .map(|q| index.stat_query(q, model, opts))
+            .collect();
+    }
+    let chunk = queries.len().div_ceil(threads);
+    let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (qs, rs) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (q, slot) in qs.iter().zip(rs.iter_mut()) {
+                    *slot = Some(index.stat_query(q, model, opts));
+                }
+            });
+        }
+    })
+    .expect("query worker panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// Computes Hilbert keys for a flat fingerprint buffer in parallel.
+///
+/// `fingerprints` is `n * dims` bytes, row-major. Returns one key per row.
+pub fn build_keys_parallel(
+    curve: &HilbertCurve,
+    fingerprints: &[u8],
+    threads: usize,
+) -> Vec<Key256> {
+    assert!(threads > 0, "need at least one thread");
+    let dims = curve.dims();
+    assert_eq!(fingerprints.len() % dims, 0, "ragged fingerprint buffer");
+    let n = fingerprints.len() / dims;
+    if threads == 1 || n <= 1 {
+        return fingerprints
+            .chunks_exact(dims)
+            .map(|fp| curve.encode_bytes(fp))
+            .collect();
+    }
+    let rows_per = n.div_ceil(threads);
+    let mut keys = vec![Key256::ZERO; n];
+    crossbeam::thread::scope(|scope| {
+        for (fps, ks) in fingerprints
+            .chunks(rows_per * dims)
+            .zip(keys.chunks_mut(rows_per))
+        {
+            scope.spawn(move |_| {
+                for (fp, k) in fps.chunks_exact(dims).zip(ks.iter_mut()) {
+                    *k = curve.encode_bytes(fp);
+                }
+            });
+        }
+    })
+    .expect("key worker panicked");
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distortion::IsotropicNormal;
+    use crate::fingerprint::RecordBatch;
+
+    fn index(n: usize) -> S3Index {
+        let mut batch = RecordBatch::with_capacity(4, n);
+        let mut s = 0xFEEDu64;
+        let mut fp = [0u8; 4];
+        for i in 0..n {
+            for c in fp.iter_mut() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                *c = (s >> 32) as u8;
+            }
+            batch.push(&fp, i as u32, 0);
+        }
+        S3Index::build(HilbertCurve::new(4, 8).unwrap(), batch)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let idx = index(2000);
+        let model = IsotropicNormal::new(4, 12.0);
+        let opts = StatQueryOpts::new(0.85, 10);
+        let queries: Vec<Vec<u8>> = (0..23u8).map(|i| vec![i * 11, 200 - i, i, 128]).collect();
+        let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        let seq = stat_query_batch(&idx, &qrefs, &model, &opts, 1);
+        let par = stat_query_batch(&idx, &qrefs, &model, &opts, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            let ai: Vec<usize> = a.matches.iter().map(|m| m.index).collect();
+            let bi: Vec<usize> = b.matches.iter().map(|m| m.index).collect();
+            assert_eq!(ai, bi);
+        }
+    }
+
+    #[test]
+    fn parallel_keys_match_sequential() {
+        let curve = HilbertCurve::new(5, 8).unwrap();
+        let mut fps = Vec::new();
+        let mut s = 77u64;
+        for _ in 0..997 * 5 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            fps.push((s >> 32) as u8);
+        }
+        let a = build_keys_parallel(&curve, &fps, 1);
+        let b = build_keys_parallel(&curve, &fps, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_batch_ok() {
+        let idx = index(10);
+        let model = IsotropicNormal::new(4, 12.0);
+        let opts = StatQueryOpts::new(0.8, 6);
+        assert!(stat_query_batch(&idx, &[], &model, &opts, 4).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_queries_ok() {
+        let idx = index(100);
+        let model = IsotropicNormal::new(4, 12.0);
+        let opts = StatQueryOpts::new(0.8, 6);
+        let q: &[u8] = &[1, 2, 3, 4];
+        let r = stat_query_batch(&idx, &[q, q, q], &model, &opts, 16);
+        assert_eq!(r.len(), 3);
+    }
+}

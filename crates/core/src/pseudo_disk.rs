@@ -1,0 +1,682 @@
+//! Pseudo-disk strategy for databases exceeding main memory (§IV-B).
+//!
+//! The fingerprint database lives in a single file, physically ordered along
+//! the Hilbert curve. When it does not fit in memory, `N_sig` queries are
+//! batched: the curve is split into `2^r` regular sections, sized so the most
+//! filled section fits the memory budget. The filtering step — which is
+//! independent of the database — runs first for every query; each section is
+//! then loaded once and the refinement step runs for every query interval
+//! that intersects it. The amortised per-query cost is
+//! `T_tot = T + T_load / N_sig` (eq. 5): the loading term is the linear
+//! component visible at the right of Fig. 7.
+//!
+//! File layout (little-endian):
+//!
+//! ```text
+//! magic "S3IDX001" | dims u32 | order u32 | n u64 | table_depth u32 | pad u32
+//! table  : (2^table_depth + 1) × u64   first-record index per key slot
+//! keys   : n × 32 bytes                sorted Hilbert keys
+//! fps    : n × dims bytes              fingerprints
+//! ids    : n × u32
+//! tcs    : n × u32
+//! ```
+
+use crate::distortion::DistortionModel;
+use crate::filter::{merge_block_ranges, select_blocks_best_first, select_blocks_range};
+use crate::fingerprint::dist_sq;
+use crate::index::{Match, QueryStats, Refine, S3Index, StatQueryOpts};
+use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const MAGIC: &[u8; 8] = b"S3IDX001";
+/// Depth of the on-disk index table (64k slots; boundaries of any coarser
+/// section partition are exact prefixes of it).
+pub const TABLE_DEPTH: u32 = 16;
+const HEADER_LEN: u64 = 8 + 4 + 4 + 8 + 4 + 4;
+const KEY_LEN: u64 = 32;
+
+/// A file-backed S³ index queried through the pseudo-disk strategy.
+#[derive(Debug)]
+pub struct DiskIndex {
+    path: PathBuf,
+    curve: HilbertCurve,
+    n: u64,
+    table_depth: u32,
+    /// `table[s]` = first record whose key's top `table_depth` bits ≥ `s`.
+    table: Vec<u64>,
+}
+
+/// Aggregate timing of one batched search — the terms of eq. 5.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchTiming {
+    /// Total filtering time (database-independent first stage).
+    pub filter: Duration,
+    /// Total section loading time (`T_load`).
+    pub load: Duration,
+    /// Total refinement time.
+    pub refine: Duration,
+    /// Sections actually loaded (empty intersections are skipped).
+    pub sections_loaded: usize,
+    /// Bytes read from disk.
+    pub bytes_loaded: u64,
+}
+
+impl BatchTiming {
+    /// Average per-query total time `T_tot = T + T_load / N_sig`.
+    pub fn per_query(&self, n_queries: usize) -> Duration {
+        if n_queries == 0 {
+            return Duration::ZERO;
+        }
+        (self.filter + self.load + self.refine) / n_queries as u32
+    }
+}
+
+/// Result of a batched pseudo-disk search.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-query matches, parallel to the input query slice.
+    pub matches: Vec<Vec<Match>>,
+    /// Per-query work counters.
+    pub stats: Vec<QueryStats>,
+    /// Aggregate timing.
+    pub timing: BatchTiming,
+    /// Number of sections the curve was split into (`2^r`).
+    pub sections: usize,
+}
+
+fn write_key(w: &mut impl Write, k: &Key256) -> io::Result<()> {
+    for limb in k.limbs() {
+        w.write_all(&limb.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_key(bytes: &[u8]) -> Key256 {
+    let mut limbs = [0u64; 4];
+    for (i, limb) in limbs.iter_mut().enumerate() {
+        *limb = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+    }
+    Key256::from_limbs(limbs)
+}
+
+impl DiskIndex {
+    /// Serializes a built in-memory index into the pseudo-disk format.
+    pub fn write(index: &S3Index, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let curve = index.curve();
+        let n = index.len() as u64;
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&(curve.dims() as u32).to_le_bytes())?;
+        w.write_all(&(curve.order() as u32).to_le_bytes())?;
+        w.write_all(&n.to_le_bytes())?;
+        let table_depth = TABLE_DEPTH.min(curve.key_bits());
+        w.write_all(&table_depth.to_le_bytes())?;
+        w.write_all(&0u32.to_le_bytes())?;
+
+        // Index table: first record per key slot, rebuilt from sorted keys.
+        let shift = curve.key_bits() - table_depth;
+        let slots = 1usize << table_depth;
+        let mut slot = 0usize;
+        for (i, key) in index.keys().iter().enumerate() {
+            let s = key.shr(shift).low_u128() as usize;
+            while slot <= s {
+                w.write_all(&(i as u64).to_le_bytes())?;
+                slot += 1;
+            }
+        }
+        while slot <= slots {
+            w.write_all(&n.to_le_bytes())?;
+            slot += 1;
+        }
+
+        for key in index.keys() {
+            write_key(&mut w, key)?;
+        }
+        w.write_all(index.records().fingerprint_bytes())?;
+        for &id in index.records().ids() {
+            w.write_all(&id.to_le_bytes())?;
+        }
+        for &tc in index.records().tcs() {
+            w.write_all(&tc.to_le_bytes())?;
+        }
+        w.flush()
+    }
+
+    /// Opens a pseudo-disk index: reads the header and the index table only
+    /// (a few hundred kilobytes); record columns stay on disk.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<DiskIndex> {
+        let path = path.as_ref().to_path_buf();
+        let mut f = File::open(&path)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        f.read_exact(&mut header)?;
+        if &header[0..8] != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let dims = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+        let order = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
+        let n = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        let table_depth = u32::from_le_bytes(header[24..28].try_into().unwrap());
+        let curve = HilbertCurve::new(dims, order)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if table_depth > curve.key_bits() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad table depth",
+            ));
+        }
+        let slots = 1usize << table_depth;
+        let mut raw = vec![0u8; (slots + 1) * 8];
+        f.read_exact(&mut raw)?;
+        let table: Vec<u64> = raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(DiskIndex {
+            path,
+            curve,
+            n,
+            table_depth,
+            table,
+        })
+    }
+
+    /// The curve of the stored index.
+    pub fn curve(&self) -> &HilbertCurve {
+        &self.curve
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True if the stored index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Bytes each record occupies across all columns.
+    fn record_bytes(&self) -> u64 {
+        KEY_LEN + self.curve.dims() as u64 + 4 + 4
+    }
+
+    /// Total data bytes (excluding header and table) — the paper's "DB size".
+    pub fn data_bytes(&self) -> u64 {
+        self.n * self.record_bytes()
+    }
+
+    /// Chooses the section split `r`: the smallest `r ≤ table_depth` whose
+    /// most filled section fits `mem_budget` bytes. Returns `None` if even
+    /// the finest table-resolution split exceeds the budget.
+    pub fn pick_sections(&self, mem_budget: u64) -> Option<u32> {
+        let rb = self.record_bytes();
+        'outer: for r in 0..=self.table_depth {
+            let per = 1usize << (self.table_depth - r);
+            for s in 0..(1usize << r) {
+                let a = self.table[s * per];
+                let b = self.table[(s + 1) * per];
+                if (b - a) * rb > mem_budget {
+                    continue 'outer;
+                }
+            }
+            return Some(r);
+        }
+        None
+    }
+
+    /// Suggests the batch size `N_sig` (§IV-B): the paper sets it
+    /// "automatically … to obtain an average loading time that is sublinear
+    /// with the database size". Given a disk bandwidth estimate and a
+    /// per-query loading budget, the whole database (the worst case: every
+    /// section touched once per batch) amortises to
+    /// `T_load / N_sig <= budget`, so `N_sig >= data_bytes / bandwidth / budget`.
+    pub fn suggest_nsig(
+        &self,
+        load_bandwidth_bytes_per_sec: f64,
+        per_query_load_budget: Duration,
+    ) -> usize {
+        assert!(load_bandwidth_bytes_per_sec > 0.0);
+        assert!(!per_query_load_budget.is_zero());
+        let t_load = self.data_bytes() as f64 / load_bandwidth_bytes_per_sec;
+        (t_load / per_query_load_budget.as_secs_f64())
+            .ceil()
+            .max(1.0) as usize
+    }
+
+    /// Record range `[a, b)` of section `s` under a `2^r` split.
+    fn section_entries(&self, r: u32, s: usize) -> (u64, u64) {
+        let per = 1usize << (self.table_depth - r);
+        (self.table[s * per], self.table[(s + 1) * per])
+    }
+
+    /// Table slot of a key (top `table_depth` bits).
+    fn slot_of(&self, key: &Key256) -> usize {
+        let shift = self.curve.key_bits() - self.table_depth;
+        key.shr(shift).low_u128() as usize
+    }
+
+    /// Runs a batch of statistical queries through the pseudo-disk engine.
+    ///
+    /// `mem_budget` bounds the bytes of record data resident at once (one
+    /// section). Queries use the best-first filter with `opts`.
+    pub fn stat_query_batch(
+        &self,
+        queries: &[&[u8]],
+        model: &dyn DistortionModel,
+        opts: &StatQueryOpts,
+        mem_budget: u64,
+    ) -> io::Result<BatchResult> {
+        self.query_batch_inner(queries, mem_budget, opts.refine, Some(model), |q| {
+            let outcome = select_blocks_best_first(
+                &self.curve,
+                model,
+                q,
+                opts.depth,
+                opts.alpha,
+                opts.max_blocks,
+            );
+            let stats = QueryStats {
+                nodes_expanded: outcome.nodes_expanded,
+                blocks_selected: outcome.blocks.len(),
+                mass: outcome.mass,
+                tmax: outcome.tmax,
+                truncated: outcome.truncated,
+                ..QueryStats::default()
+            };
+            let ranges = merge_block_ranges(&self.curve, &outcome);
+            (ranges, stats)
+        })
+    }
+
+    /// Runs a batch of ε-range queries through the pseudo-disk engine.
+    pub fn range_query_batch(
+        &self,
+        queries: &[&[u8]],
+        eps: f64,
+        depth: u32,
+        mem_budget: u64,
+    ) -> io::Result<BatchResult> {
+        self.query_batch_inner(queries, mem_budget, Refine::Range(eps), None, |q| {
+            let outcome = select_blocks_range(&self.curve, q, depth, eps, usize::MAX);
+            let stats = QueryStats {
+                nodes_expanded: outcome.nodes_expanded,
+                blocks_selected: outcome.blocks.len(),
+                mass: f64::NAN,
+                ..QueryStats::default()
+            };
+            let ranges = merge_block_ranges(&self.curve, &outcome);
+            (ranges, stats)
+        })
+    }
+
+    fn query_batch_inner(
+        &self,
+        queries: &[&[u8]],
+        mem_budget: u64,
+        refine: Refine,
+        model: Option<&dyn DistortionModel>,
+        filter: impl Fn(&[u8]) -> (Vec<KeyRange>, QueryStats),
+    ) -> io::Result<BatchResult> {
+        let r = self.pick_sections(mem_budget).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::OutOfMemory,
+                "memory budget below finest section size",
+            )
+        })?;
+        let n_sections = 1usize << r;
+
+        // Stage 1: database-independent filtering for every query.
+        let t0 = Instant::now();
+        let mut per_query_ranges: Vec<Vec<KeyRange>> = Vec::with_capacity(queries.len());
+        let mut stats: Vec<QueryStats> = Vec::with_capacity(queries.len());
+        for q in queries {
+            assert_eq!(q.len(), self.curve.dims(), "query dimension mismatch");
+            let (ranges, st) = filter(q);
+            per_query_ranges.push(ranges);
+            stats.push(st);
+        }
+        let filter_time = t0.elapsed();
+
+        // Assign each (query, range) to the sections it intersects.
+        let mut section_work: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_sections];
+        let sec_shift = self.table_depth - r;
+        for (qi, ranges) in per_query_ranges.iter().enumerate() {
+            for (ri, range) in ranges.iter().enumerate() {
+                let s_lo = self.slot_of(&range.lo) >> sec_shift;
+                let s_hi = match range.hi {
+                    KeyBound::Excl(hi) => {
+                        // hi is exclusive: using its slot over-includes by at
+                        // most one (possibly empty) trailing section.
+                        self.slot_of(&hi).min((1 << self.table_depth) - 1) >> sec_shift
+                    }
+                    KeyBound::End => n_sections - 1,
+                };
+                for work in &mut section_work[s_lo..=s_hi] {
+                    work.push((qi as u32, ri as u32));
+                }
+            }
+        }
+
+        // Stage 2: stream sections.
+        let mut matches: Vec<Vec<Match>> = vec![Vec::new(); queries.len()];
+        let mut timing = BatchTiming {
+            filter: filter_time,
+            ..BatchTiming::default()
+        };
+        let mut file = File::open(&self.path)?;
+        let mut section = SectionBuf::default();
+        for (s, work) in section_work.iter().enumerate() {
+            if work.is_empty() {
+                continue;
+            }
+            let (a, b) = self.section_entries(r, s);
+            if a == b {
+                continue;
+            }
+            let t_load = Instant::now();
+            self.load_section(&mut file, a, b, &mut section)?;
+            timing.load += t_load.elapsed();
+            timing.sections_loaded += 1;
+            timing.bytes_loaded += (b - a) * self.record_bytes();
+
+            let t_ref = Instant::now();
+            for &(qi, ri) in work {
+                let q = queries[qi as usize];
+                let range = &per_query_ranges[qi as usize][ri as usize];
+                let (lo, hi) = section.locate(range);
+                stats[qi as usize].ranges_scanned += 1;
+                stats[qi as usize].entries_scanned += hi - lo;
+                for i in lo..hi {
+                    let fp = section.fingerprint(self.curve.dims(), i);
+                    let keep = match refine {
+                        Refine::All => Some(None),
+                        Refine::Range(eps) => {
+                            let d2 = dist_sq(q, fp) as f64;
+                            (d2 <= eps * eps).then_some(Some(d2))
+                        }
+                        Refine::LogLikelihood(bound) => {
+                            let model = model.expect("likelihood refinement needs a model");
+                            let delta: Vec<f64> = q
+                                .iter()
+                                .zip(fp)
+                                .map(|(&a, &b)| f64::from(b) - f64::from(a))
+                                .collect();
+                            (model.log_pdf(&delta) >= bound).then(|| Some(dist_sq(q, fp) as f64))
+                        }
+                    };
+                    if let Some(dist_sq) = keep {
+                        matches[qi as usize].push(Match {
+                            index: (a as usize) + i,
+                            id: section.ids[i],
+                            tc: section.tcs[i],
+                            dist_sq,
+                        });
+                    }
+                }
+            }
+            timing.refine += t_ref.elapsed();
+        }
+
+        Ok(BatchResult {
+            matches,
+            stats,
+            timing,
+            sections: n_sections,
+        })
+    }
+
+    fn load_section(
+        &self,
+        file: &mut File,
+        a: u64,
+        b: u64,
+        buf: &mut SectionBuf,
+    ) -> io::Result<()> {
+        let n = (b - a) as usize;
+        let dims = self.curve.dims() as u64;
+        let table_bytes = ((1u64 << self.table_depth) + 1) * 8;
+        let keys_off = HEADER_LEN + table_bytes;
+        let fps_off = keys_off + self.n * KEY_LEN;
+        let ids_off = fps_off + self.n * dims;
+        let tcs_off = ids_off + self.n * 4;
+
+        let mut raw = vec![0u8; n * KEY_LEN as usize];
+        file.seek(SeekFrom::Start(keys_off + a * KEY_LEN))?;
+        file.read_exact(&mut raw)?;
+        buf.keys.clear();
+        buf.keys
+            .extend(raw.chunks_exact(KEY_LEN as usize).map(read_key));
+
+        buf.fps.resize(n * dims as usize, 0);
+        file.seek(SeekFrom::Start(fps_off + a * dims))?;
+        file.read_exact(&mut buf.fps)?;
+
+        let mut raw32 = vec![0u8; n * 4];
+        file.seek(SeekFrom::Start(ids_off + a * 4))?;
+        file.read_exact(&mut raw32)?;
+        buf.ids.clear();
+        buf.ids.extend(
+            raw32
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+        file.seek(SeekFrom::Start(tcs_off + a * 4))?;
+        file.read_exact(&mut raw32)?;
+        buf.tcs.clear();
+        buf.tcs.extend(
+            raw32
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+        Ok(())
+    }
+}
+
+/// One memory-resident section of the database.
+#[derive(Default)]
+struct SectionBuf {
+    keys: Vec<Key256>,
+    fps: Vec<u8>,
+    ids: Vec<u32>,
+    tcs: Vec<u32>,
+}
+
+impl SectionBuf {
+    fn locate(&self, range: &KeyRange) -> (usize, usize) {
+        let lo = self.keys.partition_point(|k| *k < range.lo);
+        let hi = match range.hi {
+            KeyBound::Excl(h) => self.keys.partition_point(|k| *k < h),
+            KeyBound::End => self.keys.len(),
+        };
+        (lo, hi.max(lo))
+    }
+
+    fn fingerprint(&self, dims: usize, i: usize) -> &[u8] {
+        &self.fps[i * dims..(i + 1) * dims]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distortion::IsotropicNormal;
+    use crate::fingerprint::RecordBatch;
+
+    fn synthetic_batch(dims: usize, n: usize, seed: u64) -> RecordBatch {
+        let mut batch = RecordBatch::with_capacity(dims, n);
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut fp = vec![0u8; dims];
+        for i in 0..n {
+            for c in fp.iter_mut() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                *c = (s >> 32) as u8;
+            }
+            batch.push(&fp, (i / 50) as u32, (i % 50) as u32);
+        }
+        batch
+    }
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("s3_pseudo_disk_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    fn build_pair(n: usize) -> (S3Index, PathBuf) {
+        let curve = HilbertCurve::new(4, 8).unwrap();
+        let idx = S3Index::build(curve, synthetic_batch(4, n, 99));
+        let path = tmpfile(&format!("n{n}"));
+        DiskIndex::write(&idx, &path).unwrap();
+        (idx, path)
+    }
+
+    #[test]
+    fn roundtrip_header_and_counts() {
+        let (idx, path) = build_pair(500);
+        let disk = DiskIndex::open(&path).unwrap();
+        assert_eq!(disk.len(), 500);
+        assert_eq!(disk.curve(), idx.curve());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmpfile("badmagic");
+        std::fs::write(&path, b"NOTANIDX0000000000000000000000000").unwrap();
+        assert!(DiskIndex::open(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn disk_stat_query_matches_in_memory() {
+        let (idx, path) = build_pair(2000);
+        let disk = DiskIndex::open(&path).unwrap();
+        let model = IsotropicNormal::new(4, 12.0);
+        let opts = StatQueryOpts::new(0.85, 10);
+        let queries: Vec<Vec<u8>> = vec![
+            vec![10, 20, 30, 40],
+            vec![200, 100, 50, 25],
+            vec![128, 128, 128, 128],
+        ];
+        let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        let batch = disk
+            .stat_query_batch(&qrefs, &model, &opts, u64::MAX)
+            .unwrap();
+        for (qi, q) in queries.iter().enumerate() {
+            let mem = idx.stat_query(q, &model, &opts);
+            let mut a: Vec<(u32, u32)> = mem.matches.iter().map(|m| (m.id, m.tc)).collect();
+            let mut b: Vec<(u32, u32)> = batch.matches[qi].iter().map(|m| (m.id, m.tc)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "query {qi}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn tight_memory_budget_still_exact() {
+        let (idx, path) = build_pair(3000);
+        let disk = DiskIndex::open(&path).unwrap();
+        // Budget forcing many sections: a few hundred records' worth.
+        let budget = 400 * 44; // record_bytes for dims=4 is 32+4+4+4 = 44
+        let r = disk.pick_sections(budget).unwrap();
+        assert!(r > 0, "tight budget must split the curve");
+        let model = IsotropicNormal::new(4, 15.0);
+        let opts = StatQueryOpts::new(0.9, 8);
+        let q: &[u8] = &[66, 77, 88, 99];
+        let batch = disk.stat_query_batch(&[q], &model, &opts, budget).unwrap();
+        let mem = idx.stat_query(q, &model, &opts);
+        let mut a: Vec<(u32, u32)> = mem.matches.iter().map(|m| (m.id, m.tc)).collect();
+        let mut b: Vec<(u32, u32)> = batch.matches[0].iter().map(|m| (m.id, m.tc)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(batch.timing.sections_loaded >= 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn range_query_batch_matches_in_memory() {
+        let (idx, path) = build_pair(1500);
+        let disk = DiskIndex::open(&path).unwrap();
+        let q: &[u8] = &[100, 100, 100, 100];
+        let eps = 80.0;
+        let batch = disk.range_query_batch(&[q], eps, 8, 256 * 44).unwrap();
+        let mem = idx.range_query(q, eps, 8);
+        let mut a: Vec<(u32, u32)> = mem.matches.iter().map(|m| (m.id, m.tc)).collect();
+        let mut b: Vec<(u32, u32)> = batch.matches[0].iter().map(|m| (m.id, m.tc)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        for m in &batch.matches[0] {
+            assert!(m.dist_sq.unwrap() <= eps * eps);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn budget_too_small_errors() {
+        let (_idx, path) = build_pair(4000);
+        let disk = DiskIndex::open(&path).unwrap();
+        let model = IsotropicNormal::new(4, 10.0);
+        let opts = StatQueryOpts::new(0.8, 8);
+        let q: &[u8] = &[1, 2, 3, 4];
+        // One record's worth of budget cannot hold the densest slot.
+        let err = disk.stat_query_batch(&[q], &model, &opts, 8).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::OutOfMemory);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_query_batch() {
+        let (_idx, path) = build_pair(100);
+        let disk = DiskIndex::open(&path).unwrap();
+        let model = IsotropicNormal::new(4, 10.0);
+        let opts = StatQueryOpts::new(0.8, 8);
+        let batch = disk.stat_query_batch(&[], &model, &opts, u64::MAX).unwrap();
+        assert!(batch.matches.is_empty());
+        assert_eq!(batch.timing.sections_loaded, 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn per_query_amortisation() {
+        let t = BatchTiming {
+            filter: Duration::from_millis(10),
+            load: Duration::from_millis(100),
+            refine: Duration::from_millis(40),
+            sections_loaded: 2,
+            bytes_loaded: 0,
+        };
+        assert_eq!(t.per_query(10), Duration::from_millis(15));
+        assert_eq!(t.per_query(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn suggest_nsig_scales_linearly_with_db() {
+        let (_idx, path) = build_pair(1000);
+        let disk = DiskIndex::open(&path).unwrap();
+        // 44 bytes/record * 1000 records at 44 MB/s = 1 ms of loading;
+        // a 0.1 ms budget needs at least 10 queries per batch.
+        let n = disk.suggest_nsig(44.0 * 1e6, Duration::from_micros(100));
+        assert_eq!(n, 10);
+        // Ten times the bandwidth: one query suffices.
+        let n = disk.suggest_nsig(44.0 * 1e7, Duration::from_millis(1));
+        assert_eq!(n, 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn data_bytes_reported() {
+        let (_idx, path) = build_pair(100);
+        let disk = DiskIndex::open(&path).unwrap();
+        assert_eq!(disk.data_bytes(), 100 * 44);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,512 @@
+//! The p-block partition of the grid induced by the Hilbert curve.
+//!
+//! Cutting the curve into `2^p` equal intervals partitions the grid into `2^p`
+//! axis-aligned hyper-rectangles of equal volume — the paper's *p-blocks*
+//! (§IV, Fig. 2). This holds at any depth `p ∈ [1, D*K]`, not only at
+//! multiples of `D`, because an aligned run of `2^m` consecutive sub-cells of
+//! one level in curve order covers an axis-aligned sub-box of the cell (a
+//! consequence of the reflected-Gray-code prefix property; see
+//! `gray::tests::gray_prefix_property_runs_are_subcubes`).
+//!
+//! [`Block`] represents one node of the binary tree of such intervals: the
+//! root is the whole grid and each [`Block::split`] halves the curve interval
+//! — and, geometrically, halves the box along one axis whose identity and
+//! orientation follow from the curve automaton state. This bit-by-bit descent
+//! is what makes the structure usable at `D = 20`, where branching a full
+//! level at once would mean `2^20` children.
+
+use crate::curve::{HilbertCurve, LevelState, MAX_DIMS};
+use crate::gray::gray;
+use crate::key::Key256;
+
+/// One node of the binary p-block tree: a curve interval of length
+/// `2^(D*K - depth)` and, equivalently, an axis-aligned box of the grid.
+///
+/// Blocks are cheap to copy (no heap) and carry everything needed to keep
+/// splitting: the curve automaton state and the partial digit of the level
+/// being consumed.
+#[derive(Clone, Copy, Debug)]
+pub struct Block {
+    /// Bit-plane of the level currently being consumed (root: `order - 1`).
+    level: u32,
+    /// Bits of the current level's digit already consumed (`0..dims`).
+    j: u32,
+    /// The `j` consumed bits of the current level's curve digit.
+    w_pref: u32,
+    /// Curve automaton state for the current level.
+    state: LevelState,
+    /// All consumed bits: the block's index among `2^depth` siblings in curve order.
+    key_prefix: Key256,
+    /// Total bits consumed (`p`).
+    depth: u32,
+    /// Bitmask of dimensions already halved within the current level.
+    fixed_mask: u32,
+    /// Lower corner of the box in grid coordinates.
+    lo: [u32; MAX_DIMS],
+}
+
+impl Block {
+    /// The root block: the whole grid, i.e. the whole curve (`depth = 0`).
+    pub fn root(curve: &HilbertCurve) -> Block {
+        Block {
+            level: curve.order() as u32 - 1,
+            j: 0,
+            w_pref: 0,
+            state: LevelState::ROOT,
+            key_prefix: Key256::ZERO,
+            depth: 0,
+            fixed_mask: 0,
+            lo: [0; MAX_DIMS],
+        }
+    }
+
+    /// Partition depth `p` of this block.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// True if the block is a single grid cell (`depth == D * K`).
+    #[inline]
+    pub fn is_cell(&self, curve: &HilbertCurve) -> bool {
+        self.depth == curve.key_bits()
+    }
+
+    /// The block's index among the `2^depth` blocks, in curve order.
+    #[inline]
+    pub fn curve_rank(&self) -> Key256 {
+        self.key_prefix
+    }
+
+    /// First Hilbert key contained in the block (inclusive).
+    #[inline]
+    pub fn key_lo(&self, curve: &HilbertCurve) -> Key256 {
+        self.key_prefix.shl(curve.key_bits() - self.depth)
+    }
+
+    /// Half-open key interval `[lo, hi)` covered by the block. The final
+    /// block of the partition reaches the end of the curve, which is encoded
+    /// as [`KeyBound::End`] rather than a numeric bound.
+    pub fn key_range(&self, curve: &HilbertCurve) -> KeyRange {
+        let lo = self.key_lo(curve);
+        // (prefix + 1) << (bits - depth), reduced modulo 2^bits: zero means
+        // the interval ends exactly at the end of the curve.
+        let hi = self
+            .key_prefix
+            .wrapping_add_u64(1)
+            .shl(curve.key_bits() - self.depth)
+            .and(&Key256::low_mask(curve.key_bits()));
+        let hi = if hi.is_zero() {
+            KeyBound::End
+        } else {
+            KeyBound::Excl(hi)
+        };
+        KeyRange { lo, hi }
+    }
+
+    /// Lower corner of the box, one coordinate per dimension.
+    #[inline]
+    pub fn lo(&self) -> &[u32; MAX_DIMS] {
+        &self.lo
+    }
+
+    /// `log2` of the box extent along dimension `dim`.
+    #[inline]
+    pub fn extent_log2(&self, dim: usize) -> u32 {
+        debug_assert!(dim < MAX_DIMS);
+        if self.fixed_mask >> dim & 1 == 1 {
+            self.level
+        } else {
+            self.level + 1
+        }
+    }
+
+    /// Half-open coordinate bounds `[lo, hi)` of the box along `dim`.
+    #[inline]
+    pub fn dim_bounds(&self, dim: usize) -> (u32, u32) {
+        let lo = self.lo[dim];
+        (lo, lo + (1u32 << self.extent_log2(dim)))
+    }
+
+    /// True if `point` lies inside the box.
+    pub fn contains(&self, point: &[u32]) -> bool {
+        point.iter().enumerate().all(|(dim, &c)| {
+            let (lo, hi) = self.dim_bounds(dim);
+            lo <= c && c < hi
+        })
+    }
+
+    /// Squared Euclidean distance from `q` (in grid coordinates) to the box;
+    /// zero if `q` is inside. Used by the ε-range baseline's geometric filter.
+    pub fn min_dist_sq(&self, q: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (dim, &qc) in q.iter().enumerate() {
+            let (lo, hi) = self.dim_bounds(dim);
+            // The box covers cell centres lo..hi-1; measure to the solid box
+            // [lo, hi-1] in coordinate units.
+            let d = if qc < f64::from(lo) {
+                f64::from(lo) - qc
+            } else if qc > f64::from(hi - 1) {
+                qc - f64::from(hi - 1)
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// The axis that the next [`Block::split`] halves. Lets callers update
+    /// per-block probability masses incrementally (only one dimension's
+    /// factor changes per split).
+    ///
+    /// # Panics
+    /// If the block is already a single cell.
+    pub fn next_split_axis(&self, curve: &HilbertCurve) -> usize {
+        assert!(!self.is_cell(curve), "a unit cell has no further split");
+        let dims = curve.dims() as u32;
+        let q = dims - (self.j + 1);
+        ((q + self.state.d + 1) % dims) as usize
+    }
+
+    /// Splits the block into its two half-intervals, in curve order.
+    ///
+    /// # Panics
+    /// If the block is already a single cell.
+    pub fn split(&self, curve: &HilbertCurve) -> [Block; 2] {
+        assert!(!self.is_cell(curve), "cannot split a unit cell");
+        let dims = curve.dims() as u32;
+        [self.child(curve, dims, 0), self.child(curve, dims, 1)]
+    }
+
+    fn child(&self, curve: &HilbertCurve, dims: u32, c: u32) -> Block {
+        let j1 = self.j + 1;
+        let w_pref = (self.w_pref << 1) | c;
+        // Newly fixed bit position in transformed (t) space: the runs of the
+        // level's Gray path of length 2^(dims - j1) fix t-bit (dims - j1),
+        // whose value is the low bit of gray(w_pref).
+        let q = dims - j1;
+        let t_bit = gray(w_pref) & 1;
+        // Map t-bit position q to a coordinate axis through T⁻¹: l = rol(t, d+1) ^ e.
+        let axis = (q + self.state.d + 1) % dims;
+        let bit = t_bit ^ (self.state.e >> axis & 1);
+        debug_assert_eq!(
+            self.fixed_mask >> axis & 1,
+            0,
+            "axis fixed twice in one level"
+        );
+
+        let mut lo = self.lo;
+        lo[axis as usize] |= bit << self.level;
+        let mut blk = Block {
+            level: self.level,
+            j: j1,
+            w_pref,
+            state: self.state,
+            key_prefix: {
+                let mut k = self.key_prefix.shl(1);
+                if c == 1 {
+                    k = k.or(&Key256::from_u64(1));
+                }
+                k
+            },
+            depth: self.depth + 1,
+            fixed_mask: self.fixed_mask | (1 << axis),
+            lo,
+        };
+        // A fully consumed digit: descend into the sub-cell for the next level.
+        if blk.j == dims && blk.level > 0 {
+            blk.state = curve.child_state(blk.state, blk.w_pref);
+            blk.level -= 1;
+            blk.j = 0;
+            blk.w_pref = 0;
+            blk.fixed_mask = 0;
+        }
+        blk
+    }
+}
+
+/// Upper bound of a [`KeyRange`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyBound {
+    /// Exclusive numeric bound.
+    Excl(Key256),
+    /// End of the curve (include every key `>= lo`).
+    End,
+}
+
+/// Half-open interval of Hilbert keys covered by a block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Inclusive lower bound.
+    pub lo: Key256,
+    /// Upper bound.
+    pub hi: KeyBound,
+}
+
+impl KeyRange {
+    /// True if `key` lies in the range.
+    pub fn contains(&self, key: &Key256) -> bool {
+        if *key < self.lo {
+            return false;
+        }
+        match self.hi {
+            KeyBound::Excl(hi) => *key < hi,
+            KeyBound::End => true,
+        }
+    }
+
+    /// True if `other` starts exactly where `self` ends (for merging
+    /// consecutive blocks into one contiguous scan).
+    pub fn abuts(&self, other: &KeyRange) -> bool {
+        match self.hi {
+            KeyBound::Excl(hi) => hi == other.lo,
+            KeyBound::End => false,
+        }
+    }
+
+    /// Merges two abutting ranges (caller must check [`KeyRange::abuts`]).
+    pub fn merged(&self, other: &KeyRange) -> KeyRange {
+        debug_assert!(self.abuts(other));
+        KeyRange {
+            lo: self.lo,
+            hi: other.hi,
+        }
+    }
+}
+
+/// Enumerates all `2^p` blocks at depth `p`, in curve order. Intended for
+/// tests, visualisation (Fig. 2) and small grids — cost is `O(2^p)`.
+pub fn blocks_at_depth(curve: &HilbertCurve, p: u32) -> Vec<Block> {
+    assert!(p <= curve.key_bits());
+    let mut frontier = vec![Block::root(curve)];
+    for _ in 0..p {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for b in &frontier {
+            let [a, c] = b.split(curve);
+            next.push(a);
+            next.push(c);
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_points(curve: &HilbertCurve) -> Vec<Vec<u32>> {
+        let side = 1u64 << curve.order();
+        let total = side.pow(curve.dims() as u32);
+        let mut out = Vec::with_capacity(total as usize);
+        for idx in 0..total {
+            let mut rem = idx;
+            let mut p = vec![0u32; curve.dims()];
+            for c in p.iter_mut() {
+                *c = (rem % side) as u32;
+                rem /= side;
+            }
+            out.push(p);
+        }
+        out
+    }
+
+    /// The fundamental consistency property: at every depth, a point is inside
+    /// a block's box if and only if its Hilbert key is inside the block's key
+    /// range.
+    fn check_box_key_consistency(dims: usize, order: usize) {
+        let curve = HilbertCurve::new(dims, order).unwrap();
+        let points = all_points(&curve);
+        let keys: Vec<Key256> = points.iter().map(|p| curve.encode(p)).collect();
+        for p in 0..=curve.key_bits() {
+            let blocks = blocks_at_depth(&curve, p);
+            for b in &blocks {
+                let range = b.key_range(&curve);
+                for (pt, key) in points.iter().zip(&keys) {
+                    assert_eq!(
+                        b.contains(pt),
+                        range.contains(key),
+                        "dims={dims} order={order} p={p} pt={pt:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn box_key_consistency_2d() {
+        check_box_key_consistency(2, 3);
+    }
+
+    #[test]
+    fn box_key_consistency_3d() {
+        check_box_key_consistency(3, 2);
+    }
+
+    #[test]
+    fn box_key_consistency_4d() {
+        check_box_key_consistency(4, 2);
+    }
+
+    #[test]
+    fn box_key_consistency_5d_order1() {
+        check_box_key_consistency(5, 1);
+    }
+
+    #[test]
+    fn blocks_partition_the_grid() {
+        let curve = HilbertCurve::new(3, 3).unwrap();
+        let points = all_points(&curve);
+        for p in [1u32, 2, 3, 4, 5, 7, 9] {
+            let blocks = blocks_at_depth(&curve, p);
+            assert_eq!(blocks.len(), 1 << p);
+            for pt in &points {
+                let n = blocks.iter().filter(|b| b.contains(pt)).count();
+                assert_eq!(n, 1, "p={p} pt={pt:?} covered {n} times");
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_have_equal_volume_and_box_shape() {
+        let curve = HilbertCurve::new(3, 3).unwrap();
+        for p in 0..=9u32 {
+            let blocks = blocks_at_depth(&curve, p);
+            let expect_vol = 1u64 << (curve.key_bits() - p);
+            for b in &blocks {
+                let vol: u64 = (0..3).map(|d| 1u64 << b.extent_log2(d)).product();
+                assert_eq!(vol, expect_vol, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn key_ranges_tile_the_curve_in_order() {
+        let curve = HilbertCurve::new(4, 2).unwrap();
+        for p in 1..=8u32 {
+            let blocks = blocks_at_depth(&curve, p);
+            let mut prev: Option<KeyRange> = None;
+            for b in &blocks {
+                let r = b.key_range(&curve);
+                if let Some(pr) = prev {
+                    assert!(pr.abuts(&r), "p={p}");
+                }
+                prev = Some(r);
+            }
+            assert_eq!(prev.unwrap().hi, KeyBound::End);
+            assert_eq!(blocks[0].key_range(&curve).lo, Key256::ZERO);
+        }
+    }
+
+    #[test]
+    fn full_depth_blocks_are_cells_matching_decode() {
+        let curve = HilbertCurve::new(2, 3).unwrap();
+        let blocks = blocks_at_depth(&curve, curve.key_bits());
+        for (i, b) in blocks.iter().enumerate() {
+            assert!(b.is_cell(&curve));
+            let expect = curve.decode_vec(&Key256::from_u64(i as u64));
+            assert_eq!(&b.lo()[..2], expect.as_slice(), "cell {i}");
+            assert_eq!(b.extent_log2(0), 0);
+            assert_eq!(b.extent_log2(1), 0);
+        }
+    }
+
+    #[test]
+    fn min_dist_sq_inside_and_outside() {
+        let curve = HilbertCurve::new(2, 3).unwrap();
+        let root = Block::root(&curve);
+        assert_eq!(root.min_dist_sq(&[3.0, 4.0]), 0.0);
+        let blocks = blocks_at_depth(&curve, 2);
+        // Find the block containing (0,0): distance from a far point is positive.
+        let b = blocks.iter().find(|b| b.contains(&[0, 0])).unwrap();
+        assert_eq!(b.min_dist_sq(&[0.0, 0.0]), 0.0);
+        let d = b.min_dist_sq(&[7.0, 7.0]);
+        assert!(d > 0.0);
+        // And the block containing (7,7) has zero distance to it.
+        let b2 = blocks.iter().find(|b| b.contains(&[7, 7])).unwrap();
+        assert_eq!(b2.min_dist_sq(&[7.0, 7.0]), 0.0);
+    }
+
+    #[test]
+    fn split_preserves_containment() {
+        let curve = HilbertCurve::new(5, 3).unwrap();
+        let pt = [3u32, 7, 1, 4, 6];
+        let key = curve.encode(&pt);
+        let mut blk = Block::root(&curve);
+        while !blk.is_cell(&curve) {
+            let [a, b] = blk.split(&curve);
+            let in_a = a.contains(&pt);
+            let in_b = b.contains(&pt);
+            assert!(in_a ^ in_b, "point must be in exactly one child");
+            assert_eq!(in_a, a.key_range(&curve).contains(&key));
+            assert_eq!(in_b, b.key_range(&curve).contains(&key));
+            blk = if in_a { a } else { b };
+        }
+        assert_eq!(&blk.lo()[..5], &pt);
+    }
+
+    #[test]
+    fn paper_space_descent_is_feasible() {
+        // Descend 60 levels in the 160-bit paper space following a fixed path;
+        // exercises partial-level splits across level boundaries at D = 20.
+        let curve = HilbertCurve::paper();
+        let mut blk = Block::root(&curve);
+        for i in 0..60 {
+            let [a, b] = blk.split(&curve);
+            blk = if i % 3 == 0 { b } else { a };
+            assert_eq!(blk.depth(), i + 1);
+        }
+        // Volume bookkeeping: sum of extents' log2 == key_bits - depth.
+        let vol_log2: u32 = (0..20).map(|d| blk.extent_log2(d)).sum();
+        assert_eq!(vol_log2, curve.key_bits() - 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split a unit cell")]
+    fn split_unit_cell_panics() {
+        let curve = HilbertCurve::new(2, 1).unwrap();
+        let blocks = blocks_at_depth(&curve, 2);
+        let _ = blocks[0].split(&curve);
+    }
+
+    #[test]
+    fn next_split_axis_matches_actual_split() {
+        let curve = HilbertCurve::new(5, 4).unwrap();
+        let mut blk = Block::root(&curve);
+        for i in 0..(curve.key_bits() - 1) {
+            let axis = blk.next_split_axis(&curve);
+            let [a, b] = blk.split(&curve);
+            // The children differ from the parent only along `axis`.
+            for d in 0..5 {
+                let pb = blk.dim_bounds(d);
+                let ab = a.dim_bounds(d);
+                let bb = b.dim_bounds(d);
+                if d == axis {
+                    assert_ne!(ab, bb, "step {i}");
+                    assert!(ab.0 >= pb.0 && ab.1 <= pb.1);
+                    assert!(bb.0 >= pb.0 && bb.1 <= pb.1);
+                } else {
+                    assert_eq!(ab, pb, "step {i} dim {d}");
+                    assert_eq!(bb, pb, "step {i} dim {d}");
+                }
+            }
+            blk = if i % 2 == 0 { a } else { b };
+        }
+    }
+
+    #[test]
+    fn key_range_merge() {
+        let curve = HilbertCurve::new(2, 2).unwrap();
+        let blocks = blocks_at_depth(&curve, 3);
+        let r0 = blocks[0].key_range(&curve);
+        let r1 = blocks[1].key_range(&curve);
+        assert!(r0.abuts(&r1));
+        let m = r0.merged(&r1);
+        assert_eq!(m.lo, r0.lo);
+        assert_eq!(m.hi, r1.hi);
+        assert!(m.contains(&Key256::from_u64(0)));
+        assert!(m.contains(&Key256::from_u64(3)));
+        assert!(!m.contains(&Key256::from_u64(4)));
+    }
+}

@@ -1,0 +1,426 @@
+//! The Hilbert curve mapping between grid points and derived keys.
+//!
+//! [`HilbertCurve`] implements the Butz algorithm in Hamilton's formulation:
+//! the point's coordinate bits are consumed one *level* (bit-plane) at a time,
+//! from most to least significant. At each level the `D` bits form a word `l`
+//! that is mapped through the level transform `T_{e,d}` and the inverse Gray
+//! code into a curve digit `w ∈ [0, 2^D)`; the per-level state `(e, d)` is
+//! then advanced. Only O(D) working memory is required, which is what lets
+//! this structure run at `D = 20` where Lawder's state-diagram approach is
+//! limited to about 10 dimensions (cf. §IV of the paper).
+
+use crate::gray::{
+    direction, entry, gray, gray_inverse, low_mask, rol, transform, transform_inverse,
+};
+use crate::key::{Key256, MAX_BITS};
+
+/// Maximum number of dimensions supported (level words are `u32`s).
+pub const MAX_DIMS: usize = 32;
+
+/// Maximum grid order (bits per coordinate).
+pub const MAX_ORDER: usize = 32;
+
+/// Per-level traversal state of the Hilbert curve automaton.
+///
+/// `e` is the entry vertex of the current cell (a `D`-bit corner word) and
+/// `d` the intra-cell direction; together they define the orientation of the
+/// curve within the cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LevelState {
+    /// Entry corner of the current cell.
+    pub e: u32,
+    /// Direction axis of the curve inside the current cell.
+    pub d: u32,
+}
+
+impl LevelState {
+    /// State at the root cell (the whole grid).
+    pub const ROOT: LevelState = LevelState { e: 0, d: 0 };
+}
+
+/// A `D`-dimensional Hilbert curve of order `K` over the grid `[0, 2^K)^D`.
+///
+/// The mapping is a bijection between grid points and keys in
+/// `[0, 2^(D*K))`; keys are represented as [`Key256`], so `D * K <= 256`.
+///
+/// # Examples
+///
+/// ```
+/// use s3_hilbert::HilbertCurve;
+///
+/// let curve = HilbertCurve::new(20, 8).unwrap(); // the paper's space [0,255]^20
+/// let point = [17u32; 20];
+/// let key = curve.encode(&point);
+/// let mut back = [0u32; 20];
+/// curve.decode(&key, &mut back);
+/// assert_eq!(point, back);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HilbertCurve {
+    dims: u32,
+    order: u32,
+}
+
+/// Errors from curve construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CurveError {
+    /// `dims` outside `[1, 32]`.
+    BadDims(usize),
+    /// `order` outside `[1, 32]`.
+    BadOrder(usize),
+    /// `dims * order` exceeds the 256-bit key capacity.
+    KeyOverflow {
+        /// Requested dimension count.
+        dims: usize,
+        /// Requested grid order.
+        order: usize,
+    },
+}
+
+impl std::fmt::Display for CurveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CurveError::BadDims(d) => write!(f, "dimension count {d} outside [1, {MAX_DIMS}]"),
+            CurveError::BadOrder(k) => write!(f, "grid order {k} outside [1, {MAX_ORDER}]"),
+            CurveError::KeyOverflow { dims, order } => write!(
+                f,
+                "dims * order = {} exceeds the {MAX_BITS}-bit key capacity",
+                dims * order
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CurveError {}
+
+impl HilbertCurve {
+    /// Creates a curve over `[0, 2^order)^dims`.
+    ///
+    /// Fails if `dims` or `order` are out of range or `dims * order > 256`.
+    pub fn new(dims: usize, order: usize) -> Result<Self, CurveError> {
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(CurveError::BadDims(dims));
+        }
+        if order == 0 || order > MAX_ORDER {
+            return Err(CurveError::BadOrder(order));
+        }
+        if dims * order > MAX_BITS as usize {
+            return Err(CurveError::KeyOverflow { dims, order });
+        }
+        Ok(HilbertCurve {
+            dims: dims as u32,
+            order: order as u32,
+        })
+    }
+
+    /// The curve for the paper's fingerprint space `[0, 255]^20`.
+    pub fn paper() -> Self {
+        HilbertCurve::new(20, 8).expect("20 * 8 = 160 <= 256")
+    }
+
+    /// Number of dimensions `D`.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims as usize
+    }
+
+    /// Grid order `K` (bits per coordinate).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.order as usize
+    }
+
+    /// Total key width in bits (`D * K`), i.e. the maximum partition depth.
+    #[inline]
+    pub fn key_bits(&self) -> u32 {
+        self.dims * self.order
+    }
+
+    /// Exclusive upper bound of each grid coordinate (`2^K`).
+    #[inline]
+    pub fn grid_side(&self) -> u32 {
+        if self.order == 32 {
+            u32::MAX // callers treat side as exclusive bound; 2^32 saturates
+        } else {
+            1 << self.order
+        }
+    }
+
+    /// Assembles the level word `l` from bit-plane `plane` of `point`:
+    /// bit `j` of the result is bit `plane` of `point[j]`.
+    #[inline]
+    fn level_word(&self, point: &[u32], plane: u32) -> u32 {
+        let mut l = 0u32;
+        for (j, &c) in point.iter().enumerate() {
+            l |= ((c >> plane) & 1) << j;
+        }
+        l
+    }
+
+    /// Advances the per-level state after descending into curve digit `w`.
+    #[inline]
+    pub fn child_state(&self, state: LevelState, w: u32) -> LevelState {
+        let n = self.dims;
+        LevelState {
+            e: state.e ^ rol(entry(w), state.d + 1, n),
+            d: (state.d + direction(w, n) + 1) % n,
+        }
+    }
+
+    /// Curve digit for the sub-cell whose corner word is `l`, given the state.
+    #[inline]
+    pub fn digit_of_corner(&self, state: LevelState, l: u32) -> u32 {
+        gray_inverse(transform(l, state.e, state.d, self.dims))
+    }
+
+    /// Corner word of the sub-cell at curve digit `w`, given the state.
+    #[inline]
+    pub fn corner_of_digit(&self, state: LevelState, w: u32) -> u32 {
+        transform_inverse(gray(w), state.e, state.d, self.dims)
+    }
+
+    /// Maps a grid point to its Hilbert key.
+    ///
+    /// # Panics
+    /// If `point.len() != dims` or a coordinate is `>= 2^order`.
+    pub fn encode(&self, point: &[u32]) -> Key256 {
+        assert_eq!(point.len(), self.dims as usize, "point dimension mismatch");
+        if self.order < 32 {
+            for (j, &c) in point.iter().enumerate() {
+                assert!(
+                    c < self.grid_side(),
+                    "coordinate {j} = {c} out of grid [0, {})",
+                    self.grid_side()
+                );
+            }
+        }
+        let mut key = Key256::ZERO;
+        let mut state = LevelState::ROOT;
+        for plane in (0..self.order).rev() {
+            let l = self.level_word(point, plane);
+            let w = self.digit_of_corner(state, l);
+            key.push_digit(u64::from(w), self.dims);
+            state = self.child_state(state, w);
+        }
+        key
+    }
+
+    /// Maps a Hilbert key back to its grid point, written into `point`.
+    ///
+    /// # Panics
+    /// If `point.len() != dims` or the key has bits above `D * K`.
+    pub fn decode(&self, key: &Key256, point: &mut [u32]) {
+        assert_eq!(point.len(), self.dims as usize, "point dimension mismatch");
+        debug_assert!(
+            key.shr(self.key_bits()).is_zero() || self.key_bits() == MAX_BITS,
+            "key out of range for this curve"
+        );
+        point.fill(0);
+        let mut state = LevelState::ROOT;
+        for plane in (0..self.order).rev() {
+            let w = key.digit(plane * self.dims, self.dims) as u32;
+            let l = self.corner_of_digit(state, w);
+            for (j, c) in point.iter_mut().enumerate() {
+                *c |= ((l >> j) & 1) << plane;
+            }
+            state = self.child_state(state, w);
+        }
+    }
+
+    /// Convenience wrapper around [`HilbertCurve::decode`] that allocates.
+    pub fn decode_vec(&self, key: &Key256) -> Vec<u32> {
+        let mut p = vec![0u32; self.dims as usize];
+        self.decode(key, &mut p);
+        p
+    }
+
+    /// Encodes a byte-valued fingerprint (the paper's `[0,255]^D` space).
+    ///
+    /// # Panics
+    /// If `order() != 8` or the slice length differs from `dims`.
+    pub fn encode_bytes(&self, fingerprint: &[u8]) -> Key256 {
+        assert_eq!(self.order, 8, "encode_bytes requires an order-8 curve");
+        assert_eq!(fingerprint.len(), self.dims as usize);
+        // Inline the loop rather than materialising a u32 buffer: this is the
+        // hot path of index construction.
+        let mut key = Key256::ZERO;
+        let mut state = LevelState::ROOT;
+        for plane in (0..8u32).rev() {
+            let mut l = 0u32;
+            for (j, &c) in fingerprint.iter().enumerate() {
+                l |= (u32::from(c >> plane) & 1) << j;
+            }
+            let w = self.digit_of_corner(state, l);
+            key.push_digit(u64::from(w), self.dims);
+            state = self.child_state(state, w);
+        }
+        key
+    }
+
+    /// Mask of valid digit bits (`2^D - 1`).
+    #[inline]
+    pub fn digit_mask(&self) -> u32 {
+        low_mask(self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(dims: usize, order: usize) {
+        let curve = HilbertCurve::new(dims, order).unwrap();
+        let side = 1u64 << order;
+        let total = side.pow(dims as u32);
+        assert!(total <= 1 << 20, "test grid too large");
+        let mut point = vec![0u32; dims];
+        let mut seen = vec![false; total as usize];
+        for idx in 0..total {
+            // enumerate all points
+            let mut rem = idx;
+            for c in point.iter_mut() {
+                *c = (rem % side) as u32;
+                rem /= side;
+            }
+            let key = curve.encode(&point);
+            let k = key.low_u128() as u64;
+            assert!(k < total, "key {k} out of range");
+            assert!(!seen[k as usize], "key collision at {k}");
+            seen[k as usize] = true;
+            let back = curve.decode_vec(&key);
+            assert_eq!(back, point);
+        }
+    }
+
+    #[test]
+    fn bijection_2d() {
+        roundtrip(2, 1);
+        roundtrip(2, 2);
+        roundtrip(2, 5);
+    }
+
+    #[test]
+    fn bijection_3d() {
+        roundtrip(3, 1);
+        roundtrip(3, 2);
+        roundtrip(3, 4);
+    }
+
+    #[test]
+    fn bijection_4d_and_5d() {
+        roundtrip(4, 3);
+        roundtrip(5, 2);
+    }
+
+    #[test]
+    fn bijection_high_dim_1bit() {
+        roundtrip(10, 2);
+        roundtrip(16, 1);
+    }
+
+    #[test]
+    fn curve_is_connected_consecutive_cells_adjacent() {
+        // The defining locality property of a Hilbert curve: consecutive keys
+        // map to grid cells at L1 distance exactly 1.
+        for (dims, order) in [(2usize, 6usize), (3, 4), (4, 3), (5, 2)] {
+            let curve = HilbertCurve::new(dims, order).unwrap();
+            let total = 1u64 << (dims * order);
+            let mut prev = curve.decode_vec(&Key256::ZERO);
+            for k in 1..total {
+                let cur = curve.decode_vec(&Key256::from_u64(k));
+                let l1: u64 = prev
+                    .iter()
+                    .zip(&cur)
+                    .map(|(&a, &b)| u64::from(a.abs_diff(b)))
+                    .sum();
+                assert_eq!(l1, 1, "dims={dims} order={order} k={k}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn paper_curve_dimensions() {
+        let c = HilbertCurve::paper();
+        assert_eq!(c.dims(), 20);
+        assert_eq!(c.order(), 8);
+        assert_eq!(c.key_bits(), 160);
+    }
+
+    #[test]
+    fn paper_curve_roundtrip_spot_checks() {
+        let c = HilbertCurve::paper();
+        let points: [[u32; 20]; 4] = [
+            [0; 20],
+            [255; 20],
+            [
+                1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20,
+            ],
+            [
+                200, 13, 0, 255, 128, 64, 32, 16, 8, 4, 2, 1, 3, 7, 15, 31, 63, 127, 254, 99,
+            ],
+        ];
+        for p in &points {
+            let key = c.encode(p);
+            assert_eq!(c.decode_vec(&key), p.to_vec());
+        }
+    }
+
+    #[test]
+    fn encode_bytes_matches_encode() {
+        let c = HilbertCurve::paper();
+        let bytes: [u8; 20] = [
+            3, 141, 59, 26, 53, 58, 97, 93, 238, 46, 26, 43, 38, 32, 79, 50, 255, 0, 128, 7,
+        ];
+        let words: Vec<u32> = bytes.iter().map(|&b| u32::from(b)).collect();
+        assert_eq!(c.encode_bytes(&bytes), c.encode(&words));
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(HilbertCurve::new(0, 8).unwrap_err(), CurveError::BadDims(0));
+        assert_eq!(
+            HilbertCurve::new(33, 8).unwrap_err(),
+            CurveError::BadDims(33)
+        );
+        assert_eq!(
+            HilbertCurve::new(4, 0).unwrap_err(),
+            CurveError::BadOrder(0)
+        );
+        assert_eq!(
+            HilbertCurve::new(20, 16).unwrap_err(),
+            CurveError::KeyOverflow {
+                dims: 20,
+                order: 16
+            }
+        );
+        assert!(HilbertCurve::new(32, 8).is_ok());
+        assert!(HilbertCurve::new(16, 16).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of grid")]
+    fn encode_rejects_out_of_grid() {
+        let c = HilbertCurve::new(2, 4).unwrap();
+        c.encode(&[16, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn encode_rejects_wrong_dims() {
+        let c = HilbertCurve::new(3, 4).unwrap();
+        c.encode(&[1, 2]);
+    }
+
+    #[test]
+    fn keys_zero_and_last() {
+        // Key 0 decodes to the curve's start; the last key to its end; both
+        // must re-encode to themselves.
+        let c = HilbertCurve::new(3, 3).unwrap();
+        let last = Key256::from_u64((1 << 9) - 1);
+        let p0 = c.decode_vec(&Key256::ZERO);
+        let p1 = c.decode_vec(&last);
+        assert_eq!(c.encode(&p0), Key256::ZERO);
+        assert_eq!(c.encode(&p1), last);
+    }
+}

@@ -1,0 +1,221 @@
+//! Gray-code and bit-rotation primitives for the Butz/Hamilton Hilbert
+//! algorithm.
+//!
+//! All words here are `n`-bit values stored in a `u32` (the crate supports up
+//! to 32 dimensions). Bit `j` of a word corresponds to coordinate axis `j`.
+//! The per-level transform of the Hilbert algorithm is
+//! `T_{e,d}(b) = ror(b ^ e, d + 1)`, whose inverse is
+//! `T⁻¹_{e,d}(b) = rol(b, d + 1) ^ e`.
+
+/// Binary-reflected Gray code of `i`.
+#[inline]
+pub fn gray(i: u32) -> u32 {
+    i ^ (i >> 1)
+}
+
+/// Inverse Gray code: returns `w` such that `gray(w) == g`.
+///
+/// Works for any width up to 32 bits.
+#[inline]
+pub fn gray_inverse(g: u32) -> u32 {
+    let mut w = g;
+    let mut shift = 1;
+    while shift < 32 {
+        w ^= w >> shift;
+        shift <<= 1;
+    }
+    w
+}
+
+/// Number of trailing set bits of `i` (Hamilton's `g(i)`): the axis along
+/// which sub-cells `i` and `i + 1` of the Gray-code path differ, since
+/// `gray(i) ^ gray(i + 1) == 1 << trailing_set_bits(i)`.
+#[inline]
+pub fn trailing_set_bits(i: u32) -> u32 {
+    (!i).trailing_zeros()
+}
+
+/// Entry point `e(w)` of sub-cell `w` on the Gray-code path (Hamilton).
+#[inline]
+pub fn entry(w: u32) -> u32 {
+    if w == 0 {
+        0
+    } else {
+        gray(2 * ((w - 1) / 2))
+    }
+}
+
+/// Intra-sub-cell direction `d(w)` of sub-cell `w` (Hamilton), modulo `n`.
+#[inline]
+pub fn direction(w: u32, n: u32) -> u32 {
+    debug_assert!(n > 0);
+    if w == 0 {
+        0
+    } else if w.is_multiple_of(2) {
+        trailing_set_bits(w - 1) % n
+    } else {
+        trailing_set_bits(w) % n
+    }
+}
+
+/// Rotate the `n`-bit word `b` left by `r` positions (`r` taken modulo `n`).
+#[inline]
+pub fn rol(b: u32, r: u32, n: u32) -> u32 {
+    debug_assert!((1..=32).contains(&n));
+    debug_assert!(u64::from(b) < (1u64 << n));
+    let r = r % n;
+    if r == 0 {
+        return b;
+    }
+    let b = u64::from(b);
+    (((b << r) | (b >> (n - r))) as u32) & low_mask(n)
+}
+
+/// Rotate the `n`-bit word `b` right by `r` positions (`r` taken modulo `n`).
+#[inline]
+pub fn ror(b: u32, r: u32, n: u32) -> u32 {
+    let r = r % n;
+    rol(b, n - r, n)
+}
+
+/// Mask with the low `n` bits set (`1 <= n <= 32`).
+#[inline]
+pub fn low_mask(n: u32) -> u32 {
+    debug_assert!((1..=32).contains(&n));
+    u32::MAX >> (32 - n)
+}
+
+/// The per-level Hilbert transform `T_{e,d}(b) = ror(b ^ e, d + 1)`.
+#[inline]
+pub fn transform(b: u32, e: u32, d: u32, n: u32) -> u32 {
+    ror(b ^ e, d + 1, n)
+}
+
+/// Inverse per-level transform `T⁻¹_{e,d}(b) = rol(b, d + 1) ^ e`.
+#[inline]
+pub fn transform_inverse(b: u32, e: u32, d: u32, n: u32) -> u32 {
+    rol(b, d + 1, n) ^ e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_code_first_values() {
+        let expect = [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100];
+        for (i, &g) in expect.iter().enumerate() {
+            assert_eq!(gray(i as u32), g);
+        }
+    }
+
+    #[test]
+    fn gray_inverse_roundtrip_exhaustive_16bit() {
+        for i in 0u32..=0xFFFF {
+            assert_eq!(gray_inverse(gray(i)), i);
+        }
+    }
+
+    #[test]
+    fn gray_consecutive_differ_by_one_bit() {
+        for i in 0u32..1000 {
+            let diff = gray(i) ^ gray(i + 1);
+            assert_eq!(diff.count_ones(), 1, "i={i}");
+            assert_eq!(diff, 1 << trailing_set_bits(i), "i={i}");
+        }
+    }
+
+    #[test]
+    fn gray_prefix_property_runs_are_subcubes() {
+        // Any aligned run of length 2^m in Gray order covers a value set whose
+        // high bits are fixed and whose low m bits take every value — the
+        // property that makes Hilbert p-blocks hyper-rectangles.
+        let n = 5u32;
+        for m in 0..=n {
+            let run = 1u32 << m;
+            for k in 0..(1u32 << (n - m)) {
+                let base = k * run;
+                let high: Vec<u32> = (0..run).map(|r| gray(base + r) >> m).collect();
+                assert!(high.windows(2).all(|w| w[0] == w[1]), "m={m} k={k}");
+                let mut lows: Vec<u32> = (0..run).map(|r| gray(base + r) & (run - 1)).collect();
+                lows.sort_unstable();
+                let expect: Vec<u32> = (0..run).collect();
+                assert_eq!(lows, expect, "m={m} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_set_bits_values() {
+        assert_eq!(trailing_set_bits(0), 0);
+        assert_eq!(trailing_set_bits(1), 1);
+        assert_eq!(trailing_set_bits(2), 0);
+        assert_eq!(trailing_set_bits(3), 2);
+        assert_eq!(trailing_set_bits(7), 3);
+        assert_eq!(trailing_set_bits(0b1011), 2);
+    }
+
+    #[test]
+    fn entry_points_lie_on_gray_path() {
+        // e(w) must equal the Gray code of an even index, for every w.
+        for w in 0u32..64 {
+            let e = entry(w);
+            let idx = gray_inverse(e);
+            assert_eq!(idx % 2, 0, "w={w}");
+        }
+    }
+
+    #[test]
+    fn rol_ror_inverse_all_widths() {
+        for n in 1..=32u32 {
+            let mask = low_mask(n);
+            for &b in &[0u32, 1, 0b1010_1010, 0xFFFF_FFFF, 0x1234_5678] {
+                let b = b & mask;
+                for r in 0..n {
+                    assert_eq!(ror(rol(b, r, n), r, n), b, "n={n} r={r} b={b:#x}");
+                    assert_eq!(rol(ror(b, r, n), r, n), b, "n={n} r={r} b={b:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rol_known_values() {
+        assert_eq!(rol(0b001, 1, 3), 0b010);
+        assert_eq!(rol(0b100, 1, 3), 0b001);
+        assert_eq!(rol(0b110, 2, 3), 0b011);
+        assert_eq!(rol(0b1, 0, 1), 0b1);
+        assert_eq!(rol(0b1, 5, 1), 0b1);
+    }
+
+    #[test]
+    fn rol_full_width_32() {
+        assert_eq!(rol(0x8000_0000, 1, 32), 1);
+        assert_eq!(ror(1, 1, 32), 0x8000_0000);
+    }
+
+    #[test]
+    fn transform_roundtrip() {
+        for n in 2..=8u32 {
+            let mask = low_mask(n);
+            for e in 0..=mask {
+                for d in 0..n {
+                    for b in 0..=mask {
+                        let t = transform(b, e, d, n);
+                        assert!(t <= mask);
+                        assert_eq!(transform_inverse(t, e, d, n), b, "n={n} e={e} d={d} b={b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direction_in_range() {
+        for n in 1..=20u32 {
+            for w in 0..1u32 << n.min(10) {
+                assert!(direction(w, n) < n);
+            }
+        }
+    }
+}

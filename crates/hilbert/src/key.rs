@@ -1,0 +1,440 @@
+//! 256-bit unsigned integers used as Hilbert-curve derived keys.
+//!
+//! A Hilbert index for a `D`-dimensional grid of order `K` occupies `D * K`
+//! bits. With the paper's fingerprints (`D = 20`, one byte per component so
+//! `K = 8`) that is 160 bits, which exceeds `u128`. [`Key256`] provides the
+//! small fixed-width big-integer arithmetic the index needs: shifts,
+//! comparison, increment and digit (bit-group) access. It is deliberately not
+//! a general big-int: only the operations used by the curve and the index are
+//! implemented, all branch-free where it matters.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Number of 64-bit limbs in a [`Key256`].
+pub const LIMBS: usize = 4;
+
+/// Maximum number of bits a key can hold (`D * K` must not exceed this).
+pub const MAX_BITS: u32 = 256;
+
+/// A 256-bit unsigned integer stored as four little-endian 64-bit limbs.
+///
+/// Ordering and equality are numerical. The all-zero key is the default.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Key256 {
+    /// Little-endian limbs: `limbs[0]` holds bits 0..64.
+    limbs: [u64; LIMBS],
+}
+
+impl Key256 {
+    /// The zero key.
+    pub const ZERO: Key256 = Key256 { limbs: [0; LIMBS] };
+
+    /// The all-ones key (numerical maximum).
+    pub const MAX: Key256 = Key256 {
+        limbs: [u64::MAX; LIMBS],
+    };
+
+    /// Builds a key from a `u64` value.
+    #[inline]
+    pub const fn from_u64(v: u64) -> Self {
+        Key256 {
+            limbs: [v, 0, 0, 0],
+        }
+    }
+
+    /// Builds a key from a `u128` value.
+    #[inline]
+    pub const fn from_u128(v: u128) -> Self {
+        Key256 {
+            limbs: [v as u64, (v >> 64) as u64, 0, 0],
+        }
+    }
+
+    /// Returns the low 128 bits (for tests and display of small keys).
+    #[inline]
+    pub const fn low_u128(&self) -> u128 {
+        (self.limbs[0] as u128) | ((self.limbs[1] as u128) << 64)
+    }
+
+    /// Raw limb access (little-endian).
+    #[inline]
+    pub const fn limbs(&self) -> &[u64; LIMBS] {
+        &self.limbs
+    }
+
+    /// Builds a key from raw little-endian limbs.
+    #[inline]
+    pub const fn from_limbs(limbs: [u64; LIMBS]) -> Self {
+        Key256 { limbs }
+    }
+
+    /// True if the key is numerically zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs == [0; LIMBS]
+    }
+
+    /// Returns the bit at position `bit` (0 = least significant).
+    #[inline]
+    pub fn bit(&self, bit: u32) -> bool {
+        debug_assert!(bit < MAX_BITS);
+        (self.limbs[(bit / 64) as usize] >> (bit % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at position `bit` to `value`.
+    #[inline]
+    pub fn set_bit(&mut self, bit: u32, value: bool) {
+        debug_assert!(bit < MAX_BITS);
+        let limb = (bit / 64) as usize;
+        let mask = 1u64 << (bit % 64);
+        if value {
+            self.limbs[limb] |= mask;
+        } else {
+            self.limbs[limb] &= !mask;
+        }
+    }
+
+    /// Logical left shift by `n` bits (`n` may be 0..=256; shifts of 256+ give zero).
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // index arithmetic across two arrays
+    pub fn shl(&self, n: u32) -> Self {
+        if n == 0 {
+            return *self;
+        }
+        if n >= MAX_BITS {
+            return Key256::ZERO;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; LIMBS];
+        for i in (limb_shift..LIMBS).rev() {
+            let src = i - limb_shift;
+            let mut v = self.limbs[src] << bit_shift;
+            if bit_shift != 0 && src > 0 {
+                v |= self.limbs[src - 1] >> (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        Key256 { limbs: out }
+    }
+
+    /// Logical right shift by `n` bits (`n` may be 0..=256; shifts of 256+ give zero).
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // index arithmetic across two arrays
+    pub fn shr(&self, n: u32) -> Self {
+        if n == 0 {
+            return *self;
+        }
+        if n >= MAX_BITS {
+            return Key256::ZERO;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; LIMBS];
+        for i in 0..LIMBS - limb_shift {
+            let src = i + limb_shift;
+            let mut v = self.limbs[src] >> bit_shift;
+            if bit_shift != 0 && src + 1 < LIMBS {
+                v |= self.limbs[src + 1] << (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        Key256 { limbs: out }
+    }
+
+    /// Bitwise OR.
+    #[inline]
+    #[allow(clippy::needless_range_loop)]
+    pub fn or(&self, other: &Key256) -> Self {
+        let mut out = [0u64; LIMBS];
+        for i in 0..LIMBS {
+            out[i] = self.limbs[i] | other.limbs[i];
+        }
+        Key256 { limbs: out }
+    }
+
+    /// Bitwise AND.
+    #[inline]
+    #[allow(clippy::needless_range_loop)]
+    pub fn and(&self, other: &Key256) -> Self {
+        let mut out = [0u64; LIMBS];
+        for i in 0..LIMBS {
+            out[i] = self.limbs[i] & other.limbs[i];
+        }
+        Key256 { limbs: out }
+    }
+
+    /// Wrapping addition of a small value.
+    #[inline]
+    pub fn wrapping_add_u64(&self, v: u64) -> Self {
+        let mut out = self.limbs;
+        let (r, mut carry) = out[0].overflowing_add(v);
+        out[0] = r;
+        for limb in out.iter_mut().skip(1) {
+            if !carry {
+                break;
+            }
+            let (r, c) = limb.overflowing_add(1);
+            *limb = r;
+            carry = c;
+        }
+        Key256 { limbs: out }
+    }
+
+    /// Saturating subtraction of a small value.
+    #[inline]
+    pub fn saturating_sub_u64(&self, v: u64) -> Self {
+        let mut out = self.limbs;
+        let (r, mut borrow) = out[0].overflowing_sub(v);
+        out[0] = r;
+        for limb in out.iter_mut().skip(1) {
+            if !borrow {
+                break;
+            }
+            let (r, b) = limb.overflowing_sub(1);
+            *limb = r;
+            borrow = b;
+        }
+        if borrow {
+            Key256::ZERO
+        } else {
+            Key256 { limbs: out }
+        }
+    }
+
+    /// Appends an `n`-bit digit at the low end: `self = (self << n) | digit`.
+    ///
+    /// The Hilbert encoder pushes one such digit per grid level.
+    #[inline]
+    pub fn push_digit(&mut self, digit: u64, n: u32) {
+        debug_assert!(n <= 64);
+        debug_assert!(n == 64 || digit < (1u64 << n));
+        *self = self.shl(n).or(&Key256::from_u64(digit));
+    }
+
+    /// Extracts the `n`-bit digit whose least-significant bit is at `lsb`.
+    #[inline]
+    pub fn digit(&self, lsb: u32, n: u32) -> u64 {
+        debug_assert!(n <= 64 && n > 0);
+        let shifted = self.shr(lsb);
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        shifted.limbs[0] & mask
+    }
+
+    /// A mask with the low `n` bits set.
+    #[inline]
+    pub fn low_mask(n: u32) -> Self {
+        if n >= MAX_BITS {
+            Key256::MAX
+        } else {
+            Key256::MAX.shr(MAX_BITS - n)
+        }
+    }
+
+    /// Number of leading zero bits.
+    pub fn leading_zeros(&self) -> u32 {
+        let mut total = 0;
+        for i in (0..LIMBS).rev() {
+            if self.limbs[i] == 0 {
+                total += 64;
+            } else {
+                return total + self.limbs[i].leading_zeros();
+            }
+        }
+        total
+    }
+
+    /// Interprets the key as a fraction of the full `bits`-bit key range,
+    /// returning a value in `[0, 1]`. Used for progress/statistics reporting.
+    pub fn as_fraction(&self, bits: u32) -> f64 {
+        debug_assert!(bits <= MAX_BITS && bits > 0);
+        // Take the top 53 significant bits of the `bits`-wide value.
+        let mut acc = 0.0f64;
+        for i in (0..LIMBS).rev() {
+            acc = acc * (u64::MAX as f64 + 1.0) + self.limbs[i] as f64;
+        }
+        acc / 2f64.powi(bits as i32)
+    }
+}
+
+impl Ord for Key256 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..LIMBS).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for Key256 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Key256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Key256(0x{:016x}_{:016x}_{:016x}_{:016x})",
+            self.limbs[3], self.limbs[2], self.limbs[1], self.limbs[0]
+        )
+    }
+}
+
+impl fmt::Display for Key256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for Key256 {
+    fn from(v: u64) -> Self {
+        Key256::from_u64(v)
+    }
+}
+
+impl From<u128> for Key256 {
+    fn from(v: u128) -> Self {
+        Key256::from_u128(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_max() {
+        assert!(Key256::ZERO.is_zero());
+        assert!(!Key256::MAX.is_zero());
+        assert!(Key256::ZERO < Key256::MAX);
+        assert_eq!(Key256::ZERO.leading_zeros(), 256);
+        assert_eq!(Key256::MAX.leading_zeros(), 0);
+    }
+
+    #[test]
+    fn from_and_low_u128_roundtrip() {
+        let v = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210u128;
+        assert_eq!(Key256::from_u128(v).low_u128(), v);
+    }
+
+    #[test]
+    fn shl_matches_u128_within_range() {
+        let v = 0xdead_beef_cafe_babeu64 as u128;
+        for n in 0..=127u32 {
+            let k = Key256::from_u128(v).shl(n);
+            assert_eq!(k.low_u128(), v.wrapping_shl(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn shr_matches_u128_within_range() {
+        let v = u128::MAX - 12345;
+        for n in 0..=128u32 {
+            let k = Key256::from_u128(v).shr(n);
+            let expect = if n >= 128 { 0 } else { v >> n };
+            assert_eq!(k.low_u128(), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn shl_then_shr_identity_for_small_values() {
+        let v = Key256::from_u64(0xabcdef);
+        for n in 0..=232u32 {
+            assert_eq!(v.shl(n).shr(n), v, "n={n}");
+        }
+    }
+
+    #[test]
+    fn shift_by_256_gives_zero() {
+        assert_eq!(Key256::MAX.shl(256), Key256::ZERO);
+        assert_eq!(Key256::MAX.shr(256), Key256::ZERO);
+    }
+
+    #[test]
+    fn shl_across_limb_boundary() {
+        let k = Key256::from_u64(1).shl(64);
+        assert_eq!(k.limbs()[0], 0);
+        assert_eq!(k.limbs()[1], 1);
+        let k = Key256::from_u64(1).shl(255);
+        assert_eq!(k.limbs()[3], 1 << 63);
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let mut k = Key256::ZERO;
+        for bit in [0u32, 1, 63, 64, 127, 128, 200, 255] {
+            assert!(!k.bit(bit));
+            k.set_bit(bit, true);
+            assert!(k.bit(bit));
+        }
+        k.set_bit(127, false);
+        assert!(!k.bit(127));
+        assert!(k.bit(128));
+    }
+
+    #[test]
+    fn wrapping_add_carries_across_limbs() {
+        let k = Key256::from_limbs([u64::MAX, u64::MAX, 0, 0]).wrapping_add_u64(1);
+        assert_eq!(k.limbs(), &[0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn wrapping_add_wraps_at_max() {
+        assert_eq!(Key256::MAX.wrapping_add_u64(1), Key256::ZERO);
+    }
+
+    #[test]
+    fn saturating_sub_borrows_and_saturates() {
+        let k = Key256::from_limbs([0, 1, 0, 0]).saturating_sub_u64(1);
+        assert_eq!(k.limbs(), &[u64::MAX, 0, 0, 0]);
+        assert_eq!(Key256::ZERO.saturating_sub_u64(5), Key256::ZERO);
+    }
+
+    #[test]
+    fn push_and_extract_digits() {
+        let mut k = Key256::ZERO;
+        let digits = [0b10110u64, 0b00111, 0b11111, 0b00000, 0b01010];
+        for &d in &digits {
+            k.push_digit(d, 5);
+        }
+        for (i, &d) in digits.iter().enumerate() {
+            let lsb = 5 * (digits.len() - 1 - i) as u32;
+            assert_eq!(k.digit(lsb, 5), d);
+        }
+    }
+
+    #[test]
+    fn low_mask_widths() {
+        assert_eq!(Key256::low_mask(0), Key256::ZERO);
+        assert_eq!(Key256::low_mask(1), Key256::from_u64(1));
+        assert_eq!(
+            Key256::low_mask(64),
+            Key256::from_limbs([u64::MAX, 0, 0, 0])
+        );
+        assert_eq!(Key256::low_mask(256), Key256::MAX);
+    }
+
+    #[test]
+    fn ordering_is_numerical() {
+        let a = Key256::from_limbs([5, 0, 0, 1]);
+        let b = Key256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0]);
+        assert!(a > b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn as_fraction_endpoints() {
+        assert_eq!(Key256::ZERO.as_fraction(160), 0.0);
+        let top = Key256::low_mask(160);
+        let f = top.as_fraction(160);
+        assert!(f > 0.999_999 && f <= 1.0, "{f}");
+    }
+}

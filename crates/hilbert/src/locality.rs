@@ -1,0 +1,163 @@
+//! Locality measurement of space-filling orders.
+//!
+//! The reason the index is built on a Hilbert curve at all (§IV): "the
+//! quality of a space filling curve can be evaluated by its ability to
+//! preserve a certain locality on the curve". This module quantifies that —
+//! for a set of grid-neighbour pairs, how far apart do their keys land? —
+//! and provides the row-major (lexicographic) order as the baseline the
+//! Hilbert curve is supposed to beat.
+
+use crate::curve::HilbertCurve;
+use crate::key::Key256;
+
+/// Summary of key-distance statistics over sampled neighbour pairs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LocalityStats {
+    /// Pairs sampled.
+    pub pairs: usize,
+    /// Fraction of grid-neighbour pairs whose keys are also adjacent (|Δ|=1).
+    pub adjacent_fraction: f64,
+    /// Mean of `log2(1 + |Δkey|)` — a scale-free dispersion measure (the raw
+    /// mean is dominated by the few boundary jumps).
+    pub mean_log2_gap: f64,
+    /// Largest key gap observed.
+    pub max_gap_log2: f64,
+}
+
+/// Key of a grid point under row-major (lexicographic) order — the trivial
+/// baseline: `key = Σ p[i] * side^i`.
+pub fn row_major_key(point: &[u32], order: usize) -> Key256 {
+    let mut key = Key256::ZERO;
+    for &c in point.iter().rev() {
+        key = key.shl(order as u32).or(&Key256::from_u64(u64::from(c)));
+    }
+    key
+}
+
+fn abs_gap_log2(a: &Key256, b: &Key256) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    // |a - b| via limb-wise subtraction (saturating path unused: hi >= lo).
+    let mut diff = [0u64; 4];
+    let mut borrow = 0u128;
+    for (i, d) in diff.iter_mut().enumerate() {
+        let l = u128::from(hi.limbs()[i]);
+        let r = u128::from(lo.limbs()[i]) + borrow;
+        if l >= r {
+            *d = (l - r) as u64;
+            borrow = 0;
+        } else {
+            *d = ((1u128 << 64) + l - r) as u64;
+            borrow = 1;
+        }
+    }
+    let d = Key256::from_limbs(diff);
+    if d.is_zero() {
+        return 0.0;
+    }
+    let bits = 256 - d.leading_zeros();
+    // log2(1 + |Δ|) ≈ bit length (within 1); enough for comparison purposes.
+    f64::from(bits)
+}
+
+/// Measures locality of a key function over deterministically sampled
+/// grid-neighbour pairs: for `samples` points spread over the grid, each is
+/// paired with its +1 neighbour along every axis.
+pub fn measure_locality<F: Fn(&[u32]) -> Key256>(
+    curve: &HilbertCurve,
+    key_of: F,
+    samples: usize,
+) -> LocalityStats {
+    assert!(samples > 0);
+    let dims = curve.dims();
+    let side = 1u64 << curve.order();
+    let mut point = vec![0u32; dims];
+    let mut s = 0x5EEDu64;
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+
+    let mut pairs = 0usize;
+    let mut adjacent = 0usize;
+    let mut log_sum = 0.0f64;
+    let mut max_log = 0.0f64;
+    for _ in 0..samples {
+        for c in point.iter_mut() {
+            *c = (rnd() % side) as u32;
+        }
+        let base_key = key_of(&point);
+        for d in 0..dims {
+            if u64::from(point[d]) + 1 >= side {
+                continue;
+            }
+            point[d] += 1;
+            let neigh_key = key_of(&point);
+            point[d] -= 1;
+            let gap = abs_gap_log2(&base_key, &neigh_key);
+            pairs += 1;
+            if gap <= 1.0 {
+                adjacent += 1;
+            }
+            log_sum += gap;
+            max_log = max_log.max(gap);
+        }
+    }
+    LocalityStats {
+        pairs,
+        adjacent_fraction: adjacent as f64 / pairs.max(1) as f64,
+        mean_log2_gap: log_sum / pairs.max(1) as f64,
+        max_gap_log2: max_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_key_is_lexicographic() {
+        let k = row_major_key(&[3, 2], 4); // 3 + 2*16 = 35
+        assert_eq!(k.low_u128(), 35);
+        let k = row_major_key(&[0, 0, 1], 8); // 65536
+        assert_eq!(k.low_u128(), 65536);
+    }
+
+    #[test]
+    fn hilbert_beats_row_major_on_the_paper_space() {
+        let curve = HilbertCurve::paper();
+        let hilbert = measure_locality(&curve, |p| curve.encode(p), 300);
+        let row = measure_locality(&curve, |p| row_major_key(p, curve.order()), 300);
+        assert!(hilbert.pairs > 1000);
+        // The Hilbert order keeps neighbour keys dramatically closer on
+        // average — the property the whole index design rests on.
+        assert!(
+            hilbert.mean_log2_gap < row.mean_log2_gap - 10.0,
+            "hilbert {:.1} vs row-major {:.1} mean log2 gap",
+            hilbert.mean_log2_gap,
+            row.mean_log2_gap
+        );
+        assert!(hilbert.adjacent_fraction > row.adjacent_fraction);
+    }
+
+    #[test]
+    fn small_grid_adjacency_fraction_matches_theory() {
+        // On a 2-D curve, exactly half of the 4 sub-cell transitions per
+        // level are curve-adjacent overall; empirically the fraction of
+        // grid-neighbour pairs with |Δkey| = 1 is well above 1/side.
+        let curve = HilbertCurve::new(2, 6).unwrap();
+        let stats = measure_locality(&curve, |p| curve.encode(p), 500);
+        assert!(stats.adjacent_fraction > 0.2, "{stats:?}");
+        assert!(stats.max_gap_log2 <= 12.0 + 1.0);
+    }
+
+    #[test]
+    fn gap_log2_zero_for_equal_keys() {
+        let a = Key256::from_u64(42);
+        assert_eq!(abs_gap_log2(&a, &a), 0.0);
+        let b = Key256::from_u64(43);
+        assert_eq!(abs_gap_log2(&a, &b), 1.0);
+        assert_eq!(abs_gap_log2(&b, &a), 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the Hilbert curve invariants across random
+//! dimensions, orders, points and descent paths.
+
+use proptest::prelude::*;
+use s3_hilbert::{Block, HilbertCurve};
+
+/// Strategy producing a feasible (dims, order) pair and a point in its grid.
+fn curve_and_point() -> impl Strategy<Value = (usize, usize, Vec<u32>)> {
+    (1usize..=32, 1usize..=16)
+        .prop_filter("key capacity", |(d, k)| d * k <= 256)
+        .prop_flat_map(|(d, k)| {
+            let side = if k == 32 { u32::MAX } else { (1u32 << k) - 1 };
+            (Just(d), Just(k), proptest::collection::vec(0..=side, d))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode/decode are mutually inverse for arbitrary feasible spaces.
+    #[test]
+    fn encode_decode_roundtrip((dims, order, point) in curve_and_point()) {
+        let curve = HilbertCurve::new(dims, order).unwrap();
+        let key = curve.encode(&point);
+        prop_assert_eq!(curve.decode_vec(&key), point);
+    }
+
+    /// Keys never exceed the D*K bit budget.
+    #[test]
+    fn keys_fit_in_key_bits((dims, order, point) in curve_and_point()) {
+        let curve = HilbertCurve::new(dims, order).unwrap();
+        let key = curve.encode(&point);
+        if curve.key_bits() < 256 {
+            prop_assert!(key.shr(curve.key_bits()).is_zero());
+        }
+    }
+
+    /// Consecutive curve positions are grid neighbours (L1 distance 1),
+    /// sampled at random positions of large spaces where exhaustion is
+    /// impossible.
+    #[test]
+    fn random_consecutive_keys_are_adjacent(
+        (dims, order) in (2usize..=20, 2usize..=8)
+            .prop_filter("key capacity", |(d, k)| d * k <= 160),
+        seed in any::<u64>(),
+    ) {
+        let curve = HilbertCurve::new(dims, order).unwrap();
+        // Derive a valid key from an arbitrary point, then step to the next
+        // key unless it is the curve end.
+        let mut point = vec![0u32; dims];
+        let mut s = seed;
+        for c in point.iter_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *c = (s >> 40) as u32 % (1u32 << order);
+        }
+        let key = curve.encode(&point);
+        let next = key.wrapping_add_u64(1);
+        let bits = curve.key_bits();
+        prop_assume!(bits == 256 || next.shr(bits).is_zero());
+        prop_assume!(!next.is_zero());
+        if bits < 256 && !next.shr(bits).is_zero() {
+            return Ok(()); // key was the last on the curve
+        }
+        let a = curve.decode_vec(&key);
+        let b = curve.decode_vec(&next);
+        let l1: u64 = a.iter().zip(&b).map(|(&x, &y)| u64::from(x.abs_diff(y))).sum();
+        prop_assert_eq!(l1, 1);
+    }
+
+    /// A random root-to-leaf descent always keeps the tracked point in
+    /// exactly the child whose key range contains the point's key, and ends
+    /// at the point's own cell.
+    #[test]
+    fn random_descent_follows_point(
+        (dims, order, point) in (2usize..=20, 2usize..=8)
+            .prop_filter("key capacity", |(d, k)| d * k <= 160)
+            .prop_flat_map(|(d, k)| {
+                let side = (1u32 << k) - 1;
+                (Just(d), Just(k), proptest::collection::vec(0..=side, d))
+            }),
+    ) {
+        let curve = HilbertCurve::new(dims, order).unwrap();
+        let key = curve.encode(&point);
+        let mut blk = Block::root(&curve);
+        while !blk.is_cell(&curve) {
+            let [a, b] = blk.split(&curve);
+            let in_a = a.contains(&point);
+            let in_b = b.contains(&point);
+            prop_assert!(in_a ^ in_b);
+            prop_assert_eq!(in_a, a.key_range(&curve).contains(&key));
+            blk = if in_a { a } else { b };
+        }
+        prop_assert_eq!(&blk.lo()[..dims], point.as_slice());
+    }
+
+    /// Box volume equals the curve-interval length at every depth of a
+    /// random partial descent.
+    #[test]
+    fn descent_volume_matches_interval(
+        path in proptest::collection::vec(any::<bool>(), 1..80),
+    ) {
+        let curve = HilbertCurve::paper();
+        let mut blk = Block::root(&curve);
+        for &right in &path {
+            let [a, b] = blk.split(&curve);
+            blk = if right { b } else { a };
+            let vol_log2: u32 = (0..curve.dims()).map(|d| blk.extent_log2(d)).sum();
+            prop_assert_eq!(vol_log2, curve.key_bits() - blk.depth());
+        }
+    }
+}

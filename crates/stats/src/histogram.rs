@@ -1,0 +1,210 @@
+//! Fixed-bin histograms and empirical summaries.
+//!
+//! Used to reproduce Fig. 1 (the empirical distance distribution between
+//! original and distorted fingerprints, against the model densities) and to
+//! report empirical retrieval statistics.
+
+/// A histogram over `[lo, hi)` with equal-width bins.
+///
+/// Samples outside the range are counted in saturating edge bins so that no
+/// observation is silently dropped.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// If `bins == 0` or the range is empty/non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Number of regular bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.bin_width()) as usize;
+        let idx = idx.min(self.counts.len() - 1); // guard FP edge at x == hi - ulp
+        self.counts[idx] += 1;
+    }
+
+    /// Records a batch of observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Total number of observations recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below `lo` / at-or-above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Raw count of bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Centre of bin `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Empirical density estimate for bin `i` (count / total / width), so the
+    /// histogram integrates to the in-range fraction of observations.
+    pub fn density(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts[i] as f64 / self.total as f64 / self.bin_width()
+    }
+
+    /// Iterator of `(bin centre, density)` pairs — the series plotted in Fig. 1.
+    pub fn density_series(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        (0..self.bins()).map(move |i| (self.center(i), self.density(i)))
+    }
+
+    /// Empirical quantile `q ∈ [0, 1]` from the binned data (bin-centre
+    /// resolution; ignores out-of-range observations).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return self.lo;
+        }
+        let target = (q * in_range as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.center(i);
+            }
+        }
+        self.center(self.bins() - 1)
+    }
+
+    /// Mean of the binned data at bin-centre resolution.
+    pub fn mean(&self) -> f64 {
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return f64::NAN;
+        }
+        let sum: f64 = (0..self.bins())
+            .map(|i| self.center(i) * self.counts[i] as f64)
+            .sum();
+        sum / in_range as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([0.0, 0.5, 1.0, 9.999, 5.5]);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_tracked_not_dropped() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend([-1.0, 2.0, 0.5]);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn density_integrates_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 4.0, 8);
+        for i in 0..1000 {
+            h.add((i % 40) as f64 / 10.0);
+        }
+        let integral: f64 = (0..h.bins()).map(|i| h.density(i) * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_median_of_uniform() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..10_000 {
+            h.add((i % 100) as f64 + 0.5);
+        }
+        let med = h.quantile(0.5);
+        assert!((med - 50.0).abs() <= 1.0, "median {med}");
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn mean_of_symmetric_data() {
+        let mut h = Histogram::new(0.0, 10.0, 100);
+        h.extend([2.0, 8.0, 4.0, 6.0, 5.0]);
+        assert!((h.mean() - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.center(0), 1.0);
+        assert_eq!(h.center(4), 9.0);
+    }
+
+    #[test]
+    fn density_series_length() {
+        let h = Histogram::new(0.0, 1.0, 7);
+        assert_eq!(h.density_series().count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+}

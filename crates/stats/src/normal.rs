@@ -1,0 +1,174 @@
+//! Univariate normal distribution.
+//!
+//! The distortion model of the paper (§IV-C) assumes each fingerprint
+//! component is perturbed by an independent zero-mean normal with a common
+//! standard deviation σ; this type provides the pdf, CDF, interval mass and
+//! quantiles that the statistical filter multiplies per dimension.
+
+use crate::special::{erf, erfc, invert_monotone};
+
+/// A normal distribution `N(mean, sigma²)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, sigma²)`.
+    ///
+    /// # Panics
+    /// If `sigma` is not strictly positive and finite.
+    pub fn new(mean: f64, sigma: f64) -> Self {
+        assert!(
+            sigma > 0.0 && sigma.is_finite() && mean.is_finite(),
+            "invalid normal parameters: mean={mean} sigma={sigma}"
+        );
+        Normal { mean, sigma }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal::new(0.0, 1.0)
+    }
+
+    /// Mean of the distribution.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * erfc(-z)
+    }
+
+    /// Probability mass of the interval `[a, b]` (`a <= b`).
+    ///
+    /// Computed as a CDF difference; for intervals deep in a tail this loses
+    /// absolute (not relative) precision, which is harmless for block
+    /// filtering where tiny masses are pruned anyway.
+    pub fn interval(&self, a: f64, b: f64) -> f64 {
+        debug_assert!(a <= b, "interval bounds reversed: [{a}, {b}]");
+        // erf form keeps symmetry exact: P = (erf(zb) - erf(za)) / 2.
+        let za = (a - self.mean) / (self.sigma * std::f64::consts::SQRT_2);
+        let zb = (b - self.mean) / (self.sigma * std::f64::consts::SQRT_2);
+        (0.5 * (erf(zb) - erf(za))).max(0.0)
+    }
+
+    /// Quantile function: the `x` with `cdf(x) = q`, for `q` in `(0, 1)`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile level out of range: {q}");
+        if q == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if q == 1.0 {
+            return f64::INFINITY;
+        }
+        // Bracket at ±10σ (CDF there is < 1e-23 from the endpoints) and
+        // bisect; ~60 iterations, used only during experiment set-up.
+        let lo = self.mean - 10.0 * self.sigma;
+        let hi = self.mean + 10.0 * self.sigma;
+        invert_monotone(|x| self.cdf(x), q, lo, hi, 1e-9 * self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn standard_pdf_peak() {
+        let n = Normal::standard();
+        close(n.pdf(0.0), 0.3989422804014327, 1e-12);
+        close(n.pdf(1.0), 0.24197072451914337, 1e-12);
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        let n = Normal::standard();
+        close(n.cdf(0.0), 0.5, 2e-7);
+        close(n.cdf(1.0), 0.8413447460685429, 2e-7);
+        close(n.cdf(-1.0), 0.15865525393145705, 2e-7);
+        close(n.cdf(1.959963984540054), 0.975, 2e-7);
+    }
+
+    #[test]
+    fn cdf_scales_and_shifts() {
+        let n = Normal::new(100.0, 20.0);
+        close(n.cdf(100.0), 0.5, 2e-7);
+        close(n.cdf(120.0), Normal::standard().cdf(1.0), 1e-9); // same formula, same z
+    }
+
+    #[test]
+    fn interval_is_cdf_difference() {
+        let n = Normal::new(-3.0, 2.5);
+        for (a, b) in [(-5.0, -1.0), (-3.0, 0.0), (1.0, 9.0)] {
+            close(n.interval(a, b), n.cdf(b) - n.cdf(a), 2e-7);
+        }
+    }
+
+    #[test]
+    fn interval_whole_line_is_one() {
+        let n = Normal::new(7.0, 3.0);
+        close(n.interval(-1e6, 1e6), 1.0, 2e-7);
+    }
+
+    #[test]
+    fn interval_symmetric_around_mean() {
+        let n = Normal::new(5.0, 2.0);
+        close(n.interval(3.0, 5.0), n.interval(5.0, 7.0), 2e-7);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let n = Normal::new(12.0, 4.0);
+        for q in [0.01, 0.1, 0.25, 0.5, 0.8, 0.95, 0.999] {
+            let x = n.quantile(q);
+            close(n.cdf(x), q, 1e-7);
+        }
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let n = Normal::standard();
+        assert_eq!(n.quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(n.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid normal parameters")]
+    fn zero_sigma_rejected() {
+        Normal::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_numerically() {
+        let n = Normal::new(2.0, 1.5);
+        let mut acc = 0.0;
+        let h = 0.001;
+        let mut x = 2.0 - 12.0;
+        while x < 2.0 + 12.0 {
+            acc += n.pdf(x) * h;
+            x += h;
+        }
+        close(acc, 1.0, 1e-4);
+    }
+}

@@ -1,0 +1,231 @@
+//! Robust estimation: Tukey's biweight M-estimator.
+//!
+//! The voting stage of the CBCD system (§III, eq. 2) estimates the temporal
+//! offset `b` between a candidate sequence and a referenced one by minimising
+//! a sum of Tukey-biweight costs over time-code residuals, which caps the
+//! influence of outliers (wrong matches returned by the approximate search).
+
+/// Tukey's biweight ρ function with tuning constant `c`:
+///
+/// ```text
+/// ρ(u) = (c²/6) · (1 - (1 - (u/c)²)³)   for |u| <= c
+///      = c²/6                           for |u| >  c
+/// ```
+pub fn tukey_rho(u: f64, c: f64) -> f64 {
+    debug_assert!(c > 0.0);
+    let a = u / c;
+    if a.abs() <= 1.0 {
+        let t = 1.0 - a * a;
+        (c * c / 6.0) * (1.0 - t * t * t)
+    } else {
+        c * c / 6.0
+    }
+}
+
+/// Tukey's ψ = ρ′ influence function: `u (1 - (u/c)²)²` inside `[-c, c]`,
+/// zero outside.
+pub fn tukey_psi(u: f64, c: f64) -> f64 {
+    debug_assert!(c > 0.0);
+    let a = u / c;
+    if a.abs() <= 1.0 {
+        let t = 1.0 - a * a;
+        u * t * t
+    } else {
+        0.0
+    }
+}
+
+/// IRLS weight `w(u) = ψ(u)/u = (1 - (u/c)²)²` inside `[-c, c]`, zero outside.
+pub fn tukey_weight(u: f64, c: f64) -> f64 {
+    debug_assert!(c > 0.0);
+    let a = u / c;
+    if a.abs() <= 1.0 {
+        let t = 1.0 - a * a;
+        t * t
+    } else {
+        0.0
+    }
+}
+
+/// Median of a slice (average of central pair for even length).
+///
+/// Returns `None` for an empty slice. `O(n log n)`; the voting buffers this
+/// is applied to are small.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    })
+}
+
+/// Median absolute deviation scaled to be consistent with the normal σ
+/// (factor 1.4826). Returns `None` for an empty slice.
+pub fn mad(xs: &[f64]) -> Option<f64> {
+    let m = median(xs)?;
+    let dev: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&dev).map(|d| 1.4826 * d)
+}
+
+/// Result of an M-estimation run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MEstimate {
+    /// Estimated location.
+    pub location: f64,
+    /// Number of IRLS iterations performed.
+    pub iterations: usize,
+    /// Sum of Tukey weights at the solution (effective inlier count).
+    pub weight_sum: f64,
+}
+
+/// Tukey-biweight location M-estimate of `samples`, starting from `init`
+/// (typically the median), with tuning constant `c` in the same units as the
+/// samples.
+///
+/// Iterates weighted means until movement falls below `tol` or `max_iter`
+/// is reached. If every weight vanishes (all residuals beyond `c`), the
+/// current location is returned with `weight_sum == 0`.
+pub fn tukey_location(samples: &[f64], c: f64, init: f64, tol: f64, max_iter: usize) -> MEstimate {
+    assert!(c > 0.0 && tol > 0.0);
+    let mut loc = init;
+    for it in 0..max_iter {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &x in samples {
+            let w = tukey_weight(x - loc, c);
+            num += w * x;
+            den += w;
+        }
+        if den == 0.0 {
+            return MEstimate {
+                location: loc,
+                iterations: it,
+                weight_sum: 0.0,
+            };
+        }
+        let next = num / den;
+        let moved = (next - loc).abs();
+        loc = next;
+        if moved < tol {
+            return MEstimate {
+                location: loc,
+                iterations: it + 1,
+                weight_sum: den,
+            };
+        }
+    }
+    let weight_sum: f64 = samples.iter().map(|&x| tukey_weight(x - loc, c)).sum();
+    MEstimate {
+        location: loc,
+        iterations: max_iter,
+        weight_sum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_properties() {
+        let c = 4.0;
+        assert_eq!(tukey_rho(0.0, c), 0.0);
+        // Saturation at |u| >= c.
+        assert_eq!(tukey_rho(c, c), c * c / 6.0);
+        assert_eq!(tukey_rho(100.0, c), c * c / 6.0);
+        assert_eq!(tukey_rho(-100.0, c), c * c / 6.0);
+        // Even function, non-decreasing in |u|.
+        for u in [0.5, 1.0, 2.0, 3.9] {
+            assert_eq!(tukey_rho(u, c), tukey_rho(-u, c));
+            assert!(tukey_rho(u, c) < tukey_rho(u + 0.05, c) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn psi_is_derivative_of_rho() {
+        let c = 3.0;
+        let h = 1e-6;
+        for u in [-2.9f64, -1.0, 0.0, 0.3, 1.7, 2.5] {
+            let numeric = (tukey_rho(u + h, c) - tukey_rho(u - h, c)) / (2.0 * h);
+            assert!((numeric - tukey_psi(u, c)).abs() < 1e-6, "u={u}");
+        }
+    }
+
+    #[test]
+    fn weight_times_u_is_psi() {
+        let c = 2.0;
+        for u in [-1.5f64, -0.1, 0.4, 1.9, 5.0] {
+            assert!((tukey_weight(u, c) * u - tukey_psi(u, c)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weight_vanishes_outside_c() {
+        assert_eq!(tukey_weight(2.1, 2.0), 0.0);
+        assert_eq!(tukey_weight(-2.1, 2.0), 0.0);
+        assert_eq!(tukey_weight(0.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn mad_of_constant_is_zero() {
+        assert_eq!(mad(&[5.0, 5.0, 5.0]), Some(0.0));
+    }
+
+    #[test]
+    fn mad_normal_consistency() {
+        // For symmetric data ±1 around 0, MAD = 1.4826.
+        let xs = [-1.0, 1.0, -1.0, 1.0, 0.0];
+        let m = mad(&xs).unwrap();
+        assert!((m - 1.4826).abs() < 1e-9);
+    }
+
+    #[test]
+    fn location_recovers_center_with_outliers() {
+        // 20 inliers at ~7.0, 6 gross outliers: the biweight must stay at 7.
+        let mut xs: Vec<f64> = (0..20)
+            .map(|i| 7.0 + 0.1 * ((i % 5) as f64 - 2.0))
+            .collect();
+        xs.extend([100.0, -50.0, 220.0, 99.0, -70.0, 500.0]);
+        let init = median(&xs).unwrap();
+        let est = tukey_location(&xs, 4.0, init, 1e-9, 100);
+        assert!((est.location - 7.0).abs() < 0.1, "got {}", est.location);
+        // Outliers contribute no weight.
+        assert!(est.weight_sum > 15.0 && est.weight_sum <= 20.0);
+    }
+
+    #[test]
+    fn location_on_clean_data_is_mean_like() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let est = tukey_location(&xs, 100.0, 3.0, 1e-12, 100);
+        assert!((est.location - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_weights_zero_reports_zero_weight_sum() {
+        // Initial location far from all samples with a tiny c: no weights.
+        let xs = [0.0, 0.1, -0.1];
+        let est = tukey_location(&xs, 0.5, 100.0, 1e-9, 50);
+        assert_eq!(est.weight_sum, 0.0);
+        assert_eq!(est.location, 100.0);
+    }
+
+    #[test]
+    fn empty_samples_keep_init() {
+        let est = tukey_location(&[], 1.0, 2.5, 1e-9, 10);
+        assert_eq!(est.location, 2.5);
+        assert_eq!(est.weight_sum, 0.0);
+    }
+}

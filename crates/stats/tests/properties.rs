@@ -1,0 +1,159 @@
+//! Property-based tests of the statistical toolbox invariants.
+
+use proptest::prelude::*;
+use s3_stats::special::{erf, erfc, gamma_p, gamma_q, invert_monotone, ln_gamma};
+use s3_stats::{
+    mad, median, tukey_location, tukey_rho, tukey_weight, Moments, NormDistribution, Normal,
+    VectorMoments,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// erf is odd, bounded, and erf + erfc ≡ 1.
+    #[test]
+    fn erf_identities(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        prop_assert!((erf(-x) + erf(x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0);
+    }
+
+    /// erf is non-decreasing.
+    #[test]
+    fn erf_monotone(a in -5.0f64..5.0, d in 0.0f64..3.0) {
+        prop_assert!(erf(a + d) >= erf(a) - 1e-12);
+    }
+
+    /// Γ(x+1) = x·Γ(x) in log form.
+    #[test]
+    fn gamma_recurrence(x in 0.2f64..30.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
+    }
+
+    /// P(a,x) + Q(a,x) = 1, both within [0,1], P non-decreasing in x.
+    #[test]
+    fn incomplete_gamma_identities(a in 0.1f64..40.0, x in 0.0f64..80.0, d in 0.0f64..5.0) {
+        let p = gamma_p(a, x);
+        let q = gamma_q(a, x);
+        prop_assert!((p + q - 1.0).abs() < 1e-8);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        prop_assert!(gamma_p(a, x + d) >= p - 1e-9);
+    }
+
+    /// Normal CDF and quantile are mutually inverse.
+    #[test]
+    fn normal_quantile_roundtrip(mean in -100.0f64..100.0, sigma in 0.1f64..50.0, q in 0.01f64..0.99) {
+        let n = Normal::new(mean, sigma);
+        let x = n.quantile(q);
+        prop_assert!((n.cdf(x) - q).abs() < 1e-6);
+    }
+
+    /// Interval mass is additive: P[a,c] = P[a,b] + P[b,c].
+    #[test]
+    fn normal_interval_additive(
+        mean in -10.0f64..10.0,
+        sigma in 0.5f64..20.0,
+        a in -100.0f64..100.0,
+        d1 in 0.0f64..50.0,
+        d2 in 0.0f64..50.0,
+    ) {
+        let n = Normal::new(mean, sigma);
+        let b = a + d1;
+        let c = b + d2;
+        let whole = n.interval(a, c);
+        let parts = n.interval(a, b) + n.interval(b, c);
+        prop_assert!((whole - parts).abs() < 1e-12);
+    }
+
+    /// The norm distribution's CDF and quantile are mutually inverse, and the
+    /// CDF is a proper distribution function.
+    #[test]
+    fn norm_distribution_roundtrip(dims in 1u32..32, sigma in 0.5f64..40.0, q in 0.01f64..0.99) {
+        let d = NormDistribution::new(dims, sigma);
+        let r = d.quantile(q);
+        prop_assert!(r >= 0.0);
+        prop_assert!((d.cdf(r) - q).abs() < 1e-6);
+    }
+
+    /// Tukey ρ is even, bounded by c²/6, and ψ = w·u everywhere.
+    #[test]
+    fn tukey_identities(u in -50.0f64..50.0, c in 0.1f64..20.0) {
+        prop_assert!((tukey_rho(u, c) - tukey_rho(-u, c)).abs() < 1e-12);
+        prop_assert!(tukey_rho(u, c) <= c * c / 6.0 + 1e-12);
+        prop_assert!(tukey_weight(u, c) >= 0.0 && tukey_weight(u, c) <= 1.0);
+    }
+
+    /// The M-estimator is shift-equivariant: estimating shifted data shifts
+    /// the location by the same amount.
+    #[test]
+    fn tukey_location_shift_equivariant(
+        xs in proptest::collection::vec(-10.0f64..10.0, 3..40),
+        shift in -100.0f64..100.0,
+    ) {
+        let init = median(&xs).unwrap();
+        let a = tukey_location(&xs, 5.0, init, 1e-10, 200);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let b = tukey_location(&shifted, 5.0, init + shift, 1e-10, 200);
+        prop_assert!((b.location - a.location - shift).abs() < 1e-6);
+    }
+
+    /// Median lies within the data range; MAD is non-negative.
+    #[test]
+    fn median_mad_sanity(xs in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
+        let m = median(&xs).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo && m <= hi);
+        prop_assert!(mad(&xs).unwrap() >= 0.0);
+    }
+
+    /// Welford merge is associative with sequential accumulation.
+    #[test]
+    fn moments_merge_matches_sequential(
+        xs in proptest::collection::vec(-1e4f64..1e4, 2..100),
+        split in 1usize..99,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let mut whole = Moments::new();
+        for &x in &xs { whole.add(x); }
+        let mut a = Moments::new();
+        let mut b = Moments::new();
+        for &x in &xs[..split] { a.add(x); }
+        for &x in &xs[split..] { b.add(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance_population() - whole.variance_population()).abs()
+            < 1e-6 * whole.variance_population().max(1.0));
+    }
+
+    /// Per-component vector moments equal scalar moments per column.
+    #[test]
+    fn vector_moments_columnwise(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 3), 2..50),
+    ) {
+        let mut vm = VectorMoments::new(3);
+        let mut cols = [Moments::new(), Moments::new(), Moments::new()];
+        for r in &rows {
+            vm.add(r);
+            for (c, &x) in cols.iter_mut().zip(r) {
+                c.add(x);
+            }
+        }
+        let sds = vm.std_devs();
+        for (i, c) in cols.iter().enumerate() {
+            prop_assert!((sds[i] - c.std_dev()).abs() < 1e-9);
+        }
+    }
+
+    /// invert_monotone inverts arbitrary increasing affine maps.
+    #[test]
+    fn invert_monotone_affine(a in 0.1f64..10.0, b in -50.0f64..50.0, t in -40.0f64..40.0) {
+        let f = |x: f64| a * x + b;
+        let x = invert_monotone(f, t, -1000.0, 1000.0, 1e-10);
+        prop_assert!((f(x) - t).abs() < 1e-6);
+    }
+}

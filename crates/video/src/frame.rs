@@ -1,0 +1,234 @@
+//! Grayscale video frames.
+//!
+//! All processing in the CBCD pipeline runs on the luminance channel, kept as
+//! `f32` in `[0, 255]` so that filtering and photometric transforms compose
+//! without repeated quantisation. The paper's source material is 352×288
+//! MPEG-1; the synthetic pipeline defaults to the same aspect ratio.
+
+/// A grayscale frame: `width * height` luminance samples in `[0, 255]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl Frame {
+    /// Creates a black frame.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "empty frame");
+        Frame {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Creates a frame from raw samples (row-major).
+    ///
+    /// # Panics
+    /// If `data.len() != width * height`.
+    pub fn from_data(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), width * height, "data size mismatch");
+        Frame {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Frame width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw row-major samples.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw samples.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Sample at `(x, y)`.
+    ///
+    /// # Panics
+    /// If out of bounds (debug) — release builds index-check via slice.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the sample at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Sample with clamp-to-edge semantics for out-of-range coordinates.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> f32 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.get(x, y)
+    }
+
+    /// Bilinear sample at fractional coordinates, clamped to the frame.
+    pub fn sample_bilinear(&self, x: f32, y: f32) -> f32 {
+        let x = x.clamp(0.0, (self.width - 1) as f32);
+        let y = y.clamp(0.0, (self.height - 1) as f32);
+        let x0 = x.floor() as usize;
+        let y0 = y.floor() as usize;
+        let x1 = (x0 + 1).min(self.width - 1);
+        let y1 = (y0 + 1).min(self.height - 1);
+        let fx = x - x0 as f32;
+        let fy = y - y0 as f32;
+        let a = self.get(x0, y0);
+        let b = self.get(x1, y0);
+        let c = self.get(x0, y1);
+        let d = self.get(x1, y1);
+        a * (1.0 - fx) * (1.0 - fy) + b * fx * (1.0 - fy) + c * (1.0 - fx) * fy + d * fx * fy
+    }
+
+    /// Mean luminance.
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Mean absolute difference with another frame of the same size — the
+    /// paper's *intensity of motion* between consecutive frames (§III).
+    pub fn mean_abs_diff(&self, other: &Frame) -> f32 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "frame size mismatch"
+        );
+        let sum: f32 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        sum / self.data.len() as f32
+    }
+
+    /// Clamps all samples into `[0, 255]` (after photometric transforms).
+    pub fn clamp_range(&mut self) {
+        for v in &mut self.data {
+            *v = v.clamp(0.0, 255.0);
+        }
+    }
+
+    /// Quantises to bytes (for export, e.g. PGM galleries).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.data
+            .iter()
+            .map(|&v| v.clamp(0.0, 255.0).round() as u8)
+            .collect()
+    }
+
+    /// Writes the frame as a binary PGM image (for the Fig. 4 gallery).
+    pub fn write_pgm(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(w, "P5\n{} {}\n255", self.width, self.height)?;
+        w.write_all(&self.to_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_frame_is_black() {
+        let f = Frame::new(4, 3);
+        assert_eq!(f.width(), 4);
+        assert_eq!(f.height(), 3);
+        assert!(f.data().iter().all(|&v| v == 0.0));
+        assert_eq!(f.mean(), 0.0);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut f = Frame::new(5, 5);
+        f.set(2, 3, 42.0);
+        assert_eq!(f.get(2, 3), 42.0);
+        assert_eq!(f.get(3, 2), 0.0);
+    }
+
+    #[test]
+    fn clamped_access_at_edges() {
+        let mut f = Frame::new(3, 3);
+        f.set(0, 0, 10.0);
+        f.set(2, 2, 20.0);
+        assert_eq!(f.get_clamped(-5, -5), 10.0);
+        assert_eq!(f.get_clamped(10, 10), 20.0);
+    }
+
+    #[test]
+    fn bilinear_interpolates_midpoints() {
+        let mut f = Frame::new(2, 2);
+        f.set(0, 0, 0.0);
+        f.set(1, 0, 100.0);
+        f.set(0, 1, 100.0);
+        f.set(1, 1, 200.0);
+        assert!((f.sample_bilinear(0.5, 0.5) - 100.0).abs() < 1e-4);
+        assert!((f.sample_bilinear(0.5, 0.0) - 50.0).abs() < 1e-4);
+        assert_eq!(f.sample_bilinear(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn bilinear_clamps_outside() {
+        let mut f = Frame::new(2, 2);
+        f.set(1, 1, 80.0);
+        assert_eq!(f.sample_bilinear(100.0, 100.0), 80.0);
+        assert_eq!(f.sample_bilinear(-3.0, -3.0), f.get(0, 0));
+    }
+
+    #[test]
+    fn mean_abs_diff_motion_measure() {
+        let mut a = Frame::new(2, 2);
+        let b = Frame::new(2, 2);
+        assert_eq!(a.mean_abs_diff(&b), 0.0);
+        a.set(0, 0, 8.0);
+        assert_eq!(a.mean_abs_diff(&b), 2.0);
+    }
+
+    #[test]
+    fn clamp_range_bounds_values() {
+        let mut f = Frame::from_data(2, 1, vec![-10.0, 300.0]);
+        f.clamp_range();
+        assert_eq!(f.data(), &[0.0, 255.0]);
+    }
+
+    #[test]
+    fn to_bytes_rounds() {
+        let f = Frame::from_data(3, 1, vec![0.4, 0.6, 255.9]);
+        assert_eq!(f.to_bytes(), vec![0, 1, 255]);
+    }
+
+    #[test]
+    fn pgm_header() {
+        let f = Frame::new(4, 2);
+        let mut out = Vec::new();
+        f.write_pgm(&mut out).unwrap();
+        assert!(out.starts_with(b"P5\n4 2\n255\n"));
+        assert_eq!(out.len(), b"P5\n4 2\n255\n".len() + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame size mismatch")]
+    fn mean_abs_diff_size_mismatch() {
+        Frame::new(2, 2).mean_abs_diff(&Frame::new(3, 2));
+    }
+}

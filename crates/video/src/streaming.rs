@@ -1,0 +1,291 @@
+//! Streaming fingerprint extraction.
+//!
+//! [`crate::pipeline::extract_fingerprints`] needs the whole clip up front;
+//! a live monitor (§V-D) receives frames one at a time. [`StreamingExtractor`]
+//! is the incremental form: frames are pushed as they arrive, and
+//! fingerprints come out with a bounded delay.
+//!
+//! The delay is inherent to the method: a key-frame is an extremum of the
+//! *Gaussian-smoothed* intensity-of-motion signal, so deciding whether frame
+//! `t` is a key-frame needs the motion signal up to `t + 3σ` (the kernel
+//! support), and describing it needs the frame at `t + temporal_offset`. The
+//! extractor keeps exactly that many frames buffered and emits as soon as the
+//! decision is safe.
+
+use crate::features::fingerprint_at;
+use crate::filtering::Kernel;
+use crate::frame::Frame;
+use crate::harris::detect_interest_points;
+use crate::pipeline::{ExtractorParams, LocalFingerprint};
+use std::collections::VecDeque;
+
+/// Incremental fingerprint extractor over a pushed frame stream.
+pub struct StreamingExtractor {
+    params: ExtractorParams,
+    g: Kernel,
+    d1: Kernel,
+    d2: Kernel,
+    smooth: Kernel,
+    /// Raw motion samples `m[t] = meanAbsDiff(f[t], f[t+1])`.
+    motion: Vec<f64>,
+    /// Recent frames, `frames[0]` is frame `frames_base`.
+    frames: VecDeque<Frame>,
+    frames_base: usize,
+    /// Next stream index to assign (= frames pushed so far).
+    next_t: usize,
+    /// Last emitted key-frame (enforces `min_gap`).
+    last_keyframe: Option<usize>,
+    /// Next smoothed-motion index to examine for an extremum.
+    next_probe: usize,
+    prev_frame: Option<Frame>,
+    finished: bool,
+}
+
+impl StreamingExtractor {
+    /// Creates an extractor.
+    pub fn new(params: ExtractorParams) -> Self {
+        let smooth = Kernel::gaussian(params.keyframes.smooth_sigma);
+        StreamingExtractor {
+            g: Kernel::gaussian(params.fingerprint.sigma),
+            d1: Kernel::gaussian_d1(params.fingerprint.sigma),
+            d2: Kernel::gaussian_d2(params.fingerprint.sigma),
+            smooth,
+            params,
+            motion: Vec::new(),
+            frames: VecDeque::new(),
+            frames_base: 0,
+            next_t: 0,
+            last_keyframe: None,
+            next_probe: 1,
+            prev_frame: None,
+            finished: false,
+        }
+    }
+
+    /// Number of frames pushed so far.
+    pub fn frames_pushed(&self) -> usize {
+        self.next_t
+    }
+
+    /// Pushes the next frame; returns any fingerprints that became decidable.
+    ///
+    /// # Panics
+    /// If called after [`StreamingExtractor::finish`].
+    pub fn push(&mut self, frame: Frame) -> Vec<LocalFingerprint> {
+        assert!(!self.finished, "extractor already finished");
+        if let Some(prev) = &self.prev_frame {
+            self.motion.push(f64::from(prev.mean_abs_diff(&frame)));
+        }
+        self.prev_frame = Some(frame.clone());
+        self.frames.push_back(frame);
+        self.next_t += 1;
+        self.drain(false)
+    }
+
+    /// Signals end-of-stream and returns the remaining fingerprints.
+    pub fn finish(&mut self) -> Vec<LocalFingerprint> {
+        self.finished = true;
+        self.drain(true)
+    }
+
+    /// Smoothed motion at index `i`, clamping the kernel at stream edges
+    /// (identical to `Kernel::convolve_signal`'s clamp-to-edge semantics when
+    /// the whole signal is available).
+    fn smoothed(&self, i: usize) -> f64 {
+        let n = self.motion.len() as isize;
+        let r = self.smooth.radius() as isize;
+        let mut acc = 0.0;
+        for (k, &t) in self.smooth.taps().iter().enumerate() {
+            let j = (i as isize + k as isize - r).clamp(0, n - 1) as usize;
+            acc += f64::from(t) * self.motion[j];
+        }
+        acc
+    }
+
+    /// Emits fingerprints for every key-frame that is now decidable.
+    fn drain(&mut self, at_end: bool) -> Vec<LocalFingerprint> {
+        let mut out = Vec::new();
+        let r = self.smooth.radius();
+        let dt = self.params.fingerprint.temporal_offset.unsigned_abs();
+        loop {
+            let i = self.next_probe;
+            // Deciding extremum at motion index i needs motion up to i+1
+            // (neighbour) with the smoothing window fully inside known data,
+            // and frames up to i + dt for the description.
+            let need_motion = i + 1 + r;
+            let need_frame = i + dt;
+            if !at_end && (self.motion.len() <= need_motion || self.next_t <= need_frame) {
+                break;
+            }
+            if self.motion.len() < 3 || i + 1 >= self.motion.len() {
+                break; // end of stream: no more extrema decidable
+            }
+            let (a, b, c) = (self.smoothed(i - 1), self.smoothed(i), self.smoothed(i + 1));
+            let is_max = b > a && b >= c;
+            let is_min = b < a && b <= c;
+            let gap_ok = self
+                .last_keyframe
+                .is_none_or(|last| i >= last + self.params.keyframes.min_gap.max(1));
+            if (is_max || is_min) && gap_ok {
+                self.last_keyframe = Some(i);
+                out.extend(self.describe(i));
+            }
+            self.next_probe = i + 1;
+        }
+        // Frames below (next_probe - 1 - dt) can never be needed again.
+        let keep_from = self.next_probe.saturating_sub(1 + dt);
+        while self.frames_base < keep_from && self.frames.len() > 1 {
+            self.frames.pop_front();
+            self.frames_base += 1;
+        }
+        out
+    }
+
+    /// Describes key-frame `t` from the buffered frames.
+    fn describe(&self, t: usize) -> Vec<LocalFingerprint> {
+        let get = |idx: isize| -> &Frame {
+            let lo = self.frames_base as isize;
+            let hi = lo + self.frames.len() as isize - 1;
+            let idx = idx.clamp(lo, hi) as usize - self.frames_base;
+            &self.frames[idx]
+        };
+        let key = get(t as isize);
+        let points = detect_interest_points(key, &self.params.harris);
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let offs = self.params.fingerprint.offsets();
+        let frames = [
+            get(t as isize + offs[0].2),
+            get(t as isize + offs[1].2),
+            get(t as isize + offs[2].2),
+            get(t as isize + offs[3].2),
+        ];
+        points
+            .into_iter()
+            .map(|p| LocalFingerprint {
+                fingerprint: fingerprint_at(
+                    frames,
+                    p.sx,
+                    p.sy,
+                    &self.params.fingerprint,
+                    &self.g,
+                    &self.d1,
+                    &self.d2,
+                ),
+                tc: t as u32,
+                x: p.x,
+                y: p.y,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::extract_fingerprints;
+    use crate::synth::{ProceduralVideo, VideoSource};
+
+    fn fast_params() -> ExtractorParams {
+        let mut p = ExtractorParams::default();
+        p.harris.max_points = 8;
+        p
+    }
+
+    #[test]
+    fn streaming_matches_batch_extraction_away_from_edges() {
+        let video = ProceduralVideo::new(96, 72, 120, 0x57AE);
+        let params = fast_params();
+        let batch = extract_fingerprints(&video, &params);
+
+        let mut ext = StreamingExtractor::new(params);
+        let mut streamed = Vec::new();
+        for t in 0..video.len() {
+            streamed.extend(ext.push(video.frame(t)));
+        }
+        streamed.extend(ext.finish());
+
+        // Compare interior key-frames (the batch extractor's edge behaviour
+        // differs slightly at the stream tail by construction).
+        let interior = |f: &LocalFingerprint| f.tc >= 10 && (f.tc as usize) < video.len() - 10;
+        let batch_interior: Vec<_> = batch.iter().filter(|f| interior(f)).collect();
+        let matched = batch_interior
+            .iter()
+            .filter(|bf| {
+                streamed.iter().any(|sf| {
+                    sf.tc == bf.tc
+                        && sf.x == bf.x
+                        && sf.y == bf.y
+                        && sf.fingerprint == bf.fingerprint
+                })
+            })
+            .count();
+        assert!(
+            matched * 10 >= batch_interior.len() * 9,
+            "streaming diverges from batch: {matched}/{}",
+            batch_interior.len()
+        );
+    }
+
+    #[test]
+    fn emission_delay_is_bounded() {
+        // A fingerprint for key-frame t must be emitted within the structural
+        // lookahead: smoothing radius + 2 + temporal offset frames.
+        let video = ProceduralVideo::new(96, 72, 100, 0xDE1A);
+        let params = fast_params();
+        let r = Kernel::gaussian(params.keyframes.smooth_sigma).radius();
+        let dt = params.fingerprint.temporal_offset.unsigned_abs();
+        let bound = r + dt + 3;
+        let mut ext = StreamingExtractor::new(params);
+        for t in 0..video.len() {
+            for f in ext.push(video.frame(t)) {
+                assert!(
+                    t - (f.tc as usize) <= bound,
+                    "key-frame {} emitted only at stream position {t}",
+                    f.tc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let video = ProceduralVideo::new(96, 72, 200, 0x3E3);
+        let mut ext = StreamingExtractor::new(fast_params());
+        for t in 0..video.len() {
+            ext.push(video.frame(t));
+            assert!(
+                ext.frames.len() <= 40,
+                "frame buffer grew to {} at t={t}",
+                ext.frames.len()
+            );
+        }
+    }
+
+    #[test]
+    fn short_and_empty_streams() {
+        let mut ext = StreamingExtractor::new(fast_params());
+        assert!(ext.finish().is_empty());
+
+        let video = ProceduralVideo::new(96, 72, 3, 0x111);
+        let mut ext = StreamingExtractor::new(fast_params());
+        let mut all = Vec::new();
+        for t in 0..3 {
+            all.extend(ext.push(video.frame(t)));
+        }
+        all.extend(ext.finish());
+        // Three frames rarely contain an extremum; just must not panic.
+        assert!(all.len() <= 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn push_after_finish_panics() {
+        let video = ProceduralVideo::new(96, 72, 2, 0x222);
+        let mut ext = StreamingExtractor::new(fast_params());
+        ext.push(video.frame(0));
+        ext.finish();
+        ext.push(video.frame(1));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the video substrate: transform algebra,
+//! fingerprint quantisation and synthesis invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use s3_video::features::{normalize5, quantize_component};
+use s3_video::{Frame, ProceduralVideo, Transform, TransformChain, VideoSource};
+
+fn textured_frame(w: usize, h: usize, seed: u64) -> Frame {
+    let v = ProceduralVideo::new(w.max(16), h.max(16), 2, seed);
+    v.frame(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Photometric transforms keep samples in [0, 255].
+    #[test]
+    fn photometric_transforms_stay_in_range(
+        seed in any::<u64>(),
+        gamma in 0.1f32..4.0,
+        contrast in 0.0f32..5.0,
+        noise in 0.0f32..60.0,
+    ) {
+        let f = textured_frame(32, 24, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in [
+            Transform::Gamma { wgamma: gamma },
+            Transform::Contrast { wcontrast: contrast },
+            Transform::Noise { wnoise: noise },
+        ] {
+            let out = t.apply(&f, &mut rng);
+            for &v in out.data() {
+                prop_assert!((0.0..=255.0).contains(&v), "{t:?} produced {v}");
+            }
+        }
+    }
+
+    /// Shift position mapping is exact: content at (x, y) lands at the
+    /// mapped position.
+    #[test]
+    fn shift_mapping_exact(seed in any::<u64>(), wshift in 0.0f32..40.0) {
+        let f = textured_frame(48, 40, seed);
+        let t = Transform::Shift { wshift };
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = t.apply(&f, &mut rng);
+        let (mx, my) = t.map_position(10.0, 5.0, 48, 40);
+        if my < 40.0 {
+            prop_assert_eq!(out.get(mx as usize, my as usize), f.get(10, 5));
+        }
+    }
+
+    /// Resize mapping round-trips: map_position at wscale then at 1/wscale
+    /// returns to the start (pure geometry, no clipping involved).
+    #[test]
+    fn resize_mapping_inverts(
+        x in 0.0f32..352.0,
+        y in 0.0f32..288.0,
+        wscale in 0.3f32..3.0,
+    ) {
+        let fwd = Transform::Resize { wscale };
+        let bwd = Transform::Resize { wscale: 1.0 / wscale };
+        let (mx, my) = fwd.map_position(x, y, 352, 288);
+        let (bx, by) = bwd.map_position(mx, my, 352, 288);
+        prop_assert!((bx - x).abs() < 1e-3 && (by - y).abs() < 1e-3);
+    }
+
+    /// Chains compose mappings exactly like applying each step.
+    #[test]
+    fn chain_mapping_composes(
+        x in 10.0f32..80.0,
+        y in 10.0f32..60.0,
+        wscale in 0.5f32..2.0,
+        wshift in 0.0f32..20.0,
+    ) {
+        let a = Transform::Resize { wscale };
+        let b = Transform::Shift { wshift };
+        let chain = TransformChain::new(vec![a, b]);
+        let (sx, sy) = a.map_position(x, y, 96, 72);
+        let (ex, ey) = b.map_position(sx, sy, 96, 72);
+        let (cx, cy) = chain.map_position(x, y, 96, 72);
+        prop_assert!((cx - ex).abs() < 1e-4 && (cy - ey).abs() < 1e-4);
+    }
+
+    /// Quantisation is monotone and symmetric around the 128 midpoint.
+    #[test]
+    fn quantisation_monotone_symmetric(a in -1.0f32..1.0, d in 0.0f32..2.0) {
+        prop_assert!(quantize_component(a + d) >= quantize_component(a));
+        let q_pos = i32::from(quantize_component(a));
+        let q_neg = i32::from(quantize_component(-a));
+        prop_assert!((q_pos + q_neg - 255).abs() <= 1, "{q_pos} + {q_neg}");
+    }
+
+    /// normalize5 output is unit-norm (or exactly zero) and scale-invariant.
+    #[test]
+    fn normalize5_invariants(
+        v in proptest::array::uniform5(-1e3f32..1e3),
+        scale in 0.5f32..100.0,
+    ) {
+        let n = normalize5(v);
+        let norm: f32 = n.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm < 1e-6 || (norm - 1.0).abs() < 1e-4);
+        let scaled = normalize5([v[0] * scale, v[1] * scale, v[2] * scale, v[3] * scale, v[4] * scale]);
+        for (a, b) in n.iter().zip(&scaled) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    /// Bilinear sampling is exact at integer coordinates and bounded by the
+    /// frame's extremes everywhere.
+    #[test]
+    fn bilinear_bounds(seed in any::<u64>(), x in 0.0f32..47.0, y in 0.0f32..39.0) {
+        let f = textured_frame(48, 40, seed);
+        let v = f.sample_bilinear(x, y);
+        let lo = f.data().iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = f.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(v >= lo - 1e-3 && v <= hi + 1e-3);
+        let vi = f.sample_bilinear(x.floor(), y.floor());
+        prop_assert!((vi - f.get(x.floor() as usize, y.floor() as usize)).abs() < 1e-4);
+    }
+
+    /// Synthetic frames are deterministic and in range for arbitrary seeds.
+    #[test]
+    fn synthesis_deterministic(seed in any::<u64>(), t in 0usize..30) {
+        let v = ProceduralVideo::new(32, 24, 30, seed);
+        let a = v.frame(t);
+        let b = v.frame(t);
+        prop_assert_eq!(a.data(), b.data());
+        for &p in a.data() {
+            prop_assert!((0.0..=255.0).contains(&p));
+        }
+    }
+}

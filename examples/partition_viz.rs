@@ -1,0 +1,54 @@
+//! Visualises the p-block partition of the Hilbert curve (the paper's
+//! Fig. 2): for D = 2 and K = 4, prints the 16×16 grid with each cell
+//! labelled by its block index at depths p = 3, 4, 5 — every label region is
+//! an axis-aligned rectangle of equal area.
+//!
+//! ```sh
+//! cargo run --example partition_viz
+//! ```
+
+use s3::hilbert::{blocks_at_depth, HilbertCurve};
+
+fn main() {
+    let curve = HilbertCurve::new(2, 4).expect("2x4 curve");
+    let side = 16usize;
+
+    for p in [3u32, 4, 5] {
+        let blocks = blocks_at_depth(&curve, p);
+        println!(
+            "depth p = {p}: {} blocks, each of {} cells",
+            blocks.len(),
+            (side * side) >> p
+        );
+        // Label each grid cell with its block's curve rank.
+        for y in (0..side).rev() {
+            let mut row = String::new();
+            for x in 0..side {
+                let rank = blocks
+                    .iter()
+                    .position(|b| b.contains(&[x as u32, y as u32]))
+                    .expect("partition covers the grid");
+                let c = char::from_digit(rank as u32 % 36, 36)
+                    .unwrap()
+                    .to_ascii_uppercase();
+                row.push(c);
+                row.push(' ');
+            }
+            println!("  {row}");
+        }
+        println!();
+    }
+
+    // Also show the curve itself at order 3: consecutive keys are adjacent.
+    let curve8 = HilbertCurve::new(2, 3).expect("2x3 curve");
+    println!("curve order (key mod 100) on the 8x8 grid:");
+    let mut grid = vec![0u64; 64];
+    for k in 0u64..64 {
+        let p = curve8.decode_vec(&s3::hilbert::Key256::from_u64(k));
+        grid[(p[1] as usize) * 8 + p[0] as usize] = k;
+    }
+    for y in (0..8).rev() {
+        let cells: Vec<String> = (0..8).map(|x| format!("{:>2}", grid[y * 8 + x])).collect();
+        println!("  {}", cells.join(" "));
+    }
+}

@@ -1,0 +1,46 @@
+//! Renders the paper's Fig. 4 gallery: one frame of a synthetic video and
+//! its five transformed versions (shift, gamma, resize, contrast, noise),
+//! written as PGM images under `gallery/`.
+//!
+//! ```sh
+//! cargo run --example transforms_gallery && ls gallery/
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use s3::video::{ProceduralVideo, Transform, VideoSource};
+use std::fs::File;
+use std::io::BufWriter;
+
+fn main() -> std::io::Result<()> {
+    let video = ProceduralVideo::new(352, 288, 10, 0xF1604);
+    let frame = video.frame(5);
+    let out_dir = std::path::Path::new("gallery");
+    std::fs::create_dir_all(out_dir)?;
+
+    // The paper's exact parameters (Fig. 4).
+    let transforms: Vec<(&str, Transform)> = vec![
+        ("shift_30pct", Transform::Shift { wshift: 30.0 }),
+        ("gamma_0.40", Transform::Gamma { wgamma: 0.40 }),
+        ("scale_0.75", Transform::Resize { wscale: 0.75 }),
+        ("contrast_2.5", Transform::Contrast { wcontrast: 2.5 }),
+        ("noise_30.0", Transform::Noise { wnoise: 30.0 }),
+    ];
+
+    let write = |name: &str, f: &s3::video::Frame| -> std::io::Result<()> {
+        let path = out_dir.join(format!("{name}.pgm"));
+        let mut w = BufWriter::new(File::create(&path)?);
+        f.write_pgm(&mut w)?;
+        println!("wrote {}", path.display());
+        Ok(())
+    };
+
+    write("original", &frame)?;
+    let mut rng = StdRng::seed_from_u64(7);
+    for (name, t) in &transforms {
+        let transformed = t.apply(&frame, &mut rng);
+        write(name, &transformed)?;
+    }
+    println!("gallery complete: {} images", transforms.len() + 1);
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! # s3 — Statistical Similarity Search for video copy detection
+//!
+//! Umbrella crate of the S³ reproduction (Joly, Buisson & Frélicot,
+//! ICDE 2005): re-exports every workspace crate under one namespace so
+//! examples and downstream users need a single dependency.
+//!
+//! * [`hilbert`] — Hilbert space-filling curve and the p-block partition;
+//! * [`stats`] — distributions, special functions, robust estimators;
+//! * [`core`] — the S³ index: statistical / ε-range / k-NN queries,
+//!   pseudo-disk batching, depth auto-tuning;
+//! * [`video`] — synthetic video, the five attack transformations, and the
+//!   local fingerprint extraction pipeline;
+//! * [`cbcd`] — the complete copy-detection system: registration, robust
+//!   voting, monitoring, threshold calibration.
+//!
+//! See the repository README for a walkthrough and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+
+#![warn(missing_docs)]
+
+pub use s3_cbcd as cbcd;
+pub use s3_core as core;
+pub use s3_hilbert as hilbert;
+pub use s3_stats as stats;
+pub use s3_video as video;
