@@ -1,4 +1,4 @@
-//! Index-construction benchmarks: key computation (serial vs crossbeam
+//! Index-construction benchmarks: key computation (serial vs scoped-thread
 //! parallel) and the full static build (sort + permute + table).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};

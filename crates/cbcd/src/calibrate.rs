@@ -60,8 +60,11 @@ pub fn calibrate_threshold(
         if stream.is_empty() {
             continue;
         }
-        let first = f64::from(stream.first().unwrap().tc);
-        let last = f64::from(stream.last().unwrap().tc);
+        let (Some(head), Some(tail)) = (stream.first(), stream.last()) else {
+            unreachable!("empty streams are skipped above");
+        };
+        let first = f64::from(head.tc);
+        let last = f64::from(tail.tc);
         frames_total += (last - first).max(1.0);
         let buffer = detector.query_buffer(stream);
         for det in vote(&buffer, &permissive) {
@@ -109,8 +112,11 @@ pub fn calibrate_monitor_threshold(
         if stream.is_empty() {
             continue;
         }
-        let first = f64::from(stream.first().unwrap().tc);
-        let last = f64::from(stream.last().unwrap().tc);
+        let (Some(head), Some(tail)) = (stream.first(), stream.last()) else {
+            unreachable!("empty streams are skipped above");
+        };
+        let first = f64::from(head.tc);
+        let last = f64::from(tail.tc);
         frames_total += (last - first).max(1.0);
         // Re-create the monitor's windowing over the search results.
         let buffer = detector.query_buffer(stream);

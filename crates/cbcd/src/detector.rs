@@ -51,6 +51,16 @@ impl Default for DetectorConfig {
     }
 }
 
+/// Degradation summary of one search batch: non-zero only when the backing
+/// index answered some queries without all of their sections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchHealth {
+    /// Queries answered from a partial index.
+    pub degraded_queries: usize,
+    /// Section loads abandoned, summed over those queries.
+    pub sections_skipped: usize,
+}
+
 /// The assembled detector.
 pub struct Detector<'a> {
     db: &'a ReferenceDb,
@@ -121,6 +131,16 @@ impl<'a> Detector<'a> {
     /// [`Detector::query_buffer`] but matches carry the stored
     /// interest-point positions.
     pub fn query_buffer_spatial(&self, fps: &[LocalFingerprint]) -> Vec<SpatialCandidateVotes> {
+        self.query_buffer_spatial_checked(fps).0
+    }
+
+    /// As [`Detector::query_buffer_spatial`], additionally reporting search
+    /// degradation (partial answers from a faulty index) so monitoring loops
+    /// can account for it.
+    pub fn query_buffer_spatial_checked(
+        &self,
+        fps: &[LocalFingerprint],
+    ) -> (Vec<SpatialCandidateVotes>, SearchHealth) {
         let queries: Vec<&[u8]> = fps.iter().map(|f| f.fingerprint.as_slice()).collect();
         let results = parallel::stat_query_batch(
             self.db.index(),
@@ -129,7 +149,12 @@ impl<'a> Detector<'a> {
             &self.config.query,
             self.config.threads,
         );
-        fps.iter()
+        let health = SearchHealth {
+            degraded_queries: results.iter().filter(|r| r.stats.degraded).count(),
+            sections_skipped: results.iter().map(|r| r.stats.sections_skipped).sum(),
+        };
+        let votes = fps
+            .iter()
             .zip(results)
             .map(|(f, res)| SpatialCandidateVotes {
                 tc: f64::from(f.tc),
@@ -144,7 +169,8 @@ impl<'a> Detector<'a> {
                     })
                     .collect(),
             })
-            .collect()
+            .collect();
+        (votes, health)
     }
 
     /// Runs the search stage only, returning the voting buffer. Exposed for
@@ -191,10 +217,10 @@ mod tests {
 
     fn config() -> DetectorConfig {
         let mut c = DetectorConfig::default();
-        // Between the spurious-coherence ceiling (~7 on this content) and
+        // Between the spurious-coherence ceiling (~12 on this content) and
         // the true-copy score (≈ every candidate fingerprint); see the
         // calibrate module for the principled choice.
-        c.vote.min_votes = 12;
+        c.vote.min_votes = 16;
         c
     }
 

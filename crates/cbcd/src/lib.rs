@@ -16,6 +16,9 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+// Library code must surface failures as typed errors, not process aborts
+// (tests may still unwrap freely).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod calibrate;
 pub mod detector;
@@ -26,8 +29,9 @@ pub mod spatial;
 pub mod voting;
 
 pub use calibrate::{calibrate_monitor_threshold, calibrate_threshold, Calibration};
-pub use detector::{Detector, DetectorConfig};
-pub use monitor::{Monitor, MonitorEvent, MonitorParams, MonitorStats};
+pub use detector::{Detector, DetectorConfig, SearchHealth};
+pub use monitor::{HealthReport, Monitor, MonitorError, MonitorEvent, MonitorParams, MonitorStats};
+pub use persist::PersistError;
 pub use registry::{DbBuilder, ReferenceDb};
 pub use spatial::{vote_spatial, SpatialCandidateVotes, SpatialDetection, SpatialVoteParams};
 pub use voting::{vote, CandidateVotes, Detection, VoteParams};

@@ -6,12 +6,85 @@
 //! a sliding window of key-frames; the voting stage runs whenever the window
 //! fills; consecutive detections of the same id with a consistent offset are
 //! merged into one event.
+//!
+//! A 24/7 monitor also has to survive a flaky capture chain: fingerprints
+//! with the wrong dimension (a corrupt extractor frame) or time-codes that
+//! jump backwards (a dropped/re-synced segment) are *skipped and counted*
+//! in a [`HealthReport`] instead of panicking mid-broadcast. Setting
+//! [`MonitorParams::strict`] turns such degradation into a hard
+//! [`MonitorError`] — the mode for offline runs where silent data loss
+//! would invalidate the result.
 
 use crate::detector::Detector;
 use crate::spatial::{vote_spatial, SpatialCandidateVotes, SpatialVoteParams};
 use crate::voting::{vote, CandidateVotes, Detection};
 use s3_video::LocalFingerprint;
+use std::error::Error;
+use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Hard failures of a [`Monitor`] running in strict mode.
+#[derive(Debug)]
+pub enum MonitorError {
+    /// A candidate time-code stepped backwards in the stream (a dropped or
+    /// re-synced capture segment).
+    OutOfOrder {
+        /// The last accepted time-code.
+        last_tc: u32,
+        /// The offending time-code.
+        got: u32,
+    },
+    /// The search stage answered from a degraded (partially unreadable)
+    /// index.
+    Degraded {
+        /// Queries answered without all their sections.
+        degraded_queries: usize,
+        /// Section loads abandoned, summed over those queries.
+        sections_skipped: usize,
+    },
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::OutOfOrder { last_tc, got } => write!(
+                f,
+                "candidate time-code stepped backwards: {got} after {last_tc}"
+            ),
+            MonitorError::Degraded {
+                degraded_queries,
+                sections_skipped,
+            } => write!(
+                f,
+                "search degraded: {degraded_queries} queries missing \
+                 {sections_skipped} index sections"
+            ),
+        }
+    }
+}
+
+impl Error for MonitorError {}
+
+/// Health accounting of a monitoring run: what the input stream looked like
+/// and what had to be discarded or partially answered to keep going.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Fingerprints accepted into the search stage.
+    pub accepted: usize,
+    /// Fingerprints skipped for stepping backwards in time.
+    pub out_of_order_skipped: usize,
+    /// Searches answered from a degraded (partially unreadable) index.
+    pub degraded_queries: usize,
+    /// Index sections lost to those searches, summed.
+    pub sections_skipped: usize,
+}
+
+impl HealthReport {
+    /// True when nothing was discarded and no search was degraded.
+    pub fn healthy(&self) -> bool {
+        self.out_of_order_skipped == 0 && self.degraded_queries == 0
+    }
+}
 
 /// Parameters of the monitoring loop.
 #[derive(Clone, Copy, Debug)]
@@ -28,6 +101,9 @@ pub struct MonitorParams {
     /// extension) instead of the paper's temporal-only vote; the embedded
     /// temporal parameters override the detector's.
     pub spatial: Option<SpatialVoteParams>,
+    /// When true, corrupt or out-of-order fingerprints abort the run with a
+    /// [`MonitorError`] instead of being skipped and counted.
+    pub strict: bool,
 }
 
 impl Default for MonitorParams {
@@ -37,6 +113,7 @@ impl Default for MonitorParams {
             overlap: 10,
             merge_offset_tolerance: 4.0,
             spatial: None,
+            strict: false,
         }
     }
 }
@@ -67,6 +144,8 @@ pub struct MonitorStats {
     pub elapsed: Duration,
     /// Stream frames covered (from first to last candidate time-code).
     pub frames_covered: f64,
+    /// What the input stream looked like and what was discarded.
+    pub health: HealthReport,
 }
 
 impl MonitorStats {
@@ -94,6 +173,9 @@ pub struct Monitor<'a> {
     busy: Duration,
     first_tc: Option<f64>,
     last_tc: f64,
+    health: HealthReport,
+    /// Last accepted input time-code (monotonicity check).
+    last_input_tc: Option<u32>,
 }
 
 impl<'a> Monitor<'a> {
@@ -111,17 +193,57 @@ impl<'a> Monitor<'a> {
             busy: Duration::ZERO,
             first_tc: None,
             last_tc: 0.0,
+            health: HealthReport::default(),
+            last_input_tc: None,
         }
     }
 
     /// Feeds a chunk of candidate fingerprints (ascending time-codes).
     /// Searches run immediately; voting runs whenever the window fills.
-    pub fn push(&mut self, fps: &[LocalFingerprint]) {
-        if fps.is_empty() {
-            return;
+    ///
+    /// Time-codes stepping backwards (dropped or re-synced capture) are
+    /// skipped and counted in the [`HealthReport`], as are searches the
+    /// index could only answer partially — unless [`MonitorParams::strict`]
+    /// is set, in which case either condition aborts with a
+    /// [`MonitorError`] before any of the chunk is consumed.
+    pub fn push(&mut self, fps: &[LocalFingerprint]) -> Result<(), MonitorError> {
+        let mut accepted: Vec<LocalFingerprint> = Vec::with_capacity(fps.len());
+        let mut last_tc = self.last_input_tc;
+        for f in fps {
+            if let Some(last) = last_tc {
+                if f.tc < last {
+                    if self.params.strict {
+                        return Err(MonitorError::OutOfOrder {
+                            last_tc: last,
+                            got: f.tc,
+                        });
+                    }
+                    self.health.out_of_order_skipped += 1;
+                    continue;
+                }
+            }
+            last_tc = Some(f.tc);
+            accepted.push(*f);
         }
+        self.last_input_tc = last_tc;
+        self.health.accepted += accepted.len();
+        if accepted.is_empty() {
+            return Ok(());
+        }
+        let fps = accepted.as_slice();
         let t0 = Instant::now();
-        let results = self.detector.query_buffer_spatial(fps);
+        let (results, search_health) = self.detector.query_buffer_spatial_checked(fps);
+        if search_health.degraded_queries > 0 {
+            if self.params.strict {
+                self.busy += t0.elapsed();
+                return Err(MonitorError::Degraded {
+                    degraded_queries: search_health.degraded_queries,
+                    sections_skipped: search_health.sections_skipped,
+                });
+            }
+            self.health.degraded_queries += search_health.degraded_queries;
+            self.health.sections_skipped += search_health.sections_skipped;
+        }
         for cv in results {
             self.stats_fingerprints += 1;
             self.first_tc.get_or_insert(cv.tc);
@@ -135,6 +257,12 @@ impl<'a> Monitor<'a> {
             }
         }
         self.busy += t0.elapsed();
+        Ok(())
+    }
+
+    /// Health of the run so far.
+    pub fn health(&self) -> HealthReport {
+        self.health
     }
 
     /// Flushes any residual partial window and returns all merged events.
@@ -149,6 +277,7 @@ impl<'a> Monitor<'a> {
             windows: self.stats_windows,
             elapsed: self.busy,
             frames_covered: self.first_tc.map_or(0.0, |f| self.last_tc - f),
+            health: self.health,
         };
         (self.events, stats)
     }
@@ -269,13 +398,14 @@ mod tests {
         let mut mon = Monitor::new(&det, MonitorParams::default());
         // Feed in small chunks like a live stream.
         for chunk in stream.chunks(16) {
-            mon.push(chunk);
+            mon.push(chunk).unwrap();
         }
         let (events, stats) = mon.finish();
         assert!(
             events.iter().any(|e| e.id == 1),
             "embedded copy must raise an event: {events:?}"
         );
+        assert!(stats.health.healthy(), "clean stream: {:?}", stats.health);
         // The copy was embedded at stream offset 60 ⇒ temporal offset ~60.
         let e = events.iter().find(|e| e.id == 1).unwrap();
         assert!((e.offset - 60.0).abs() <= 2.0, "offset {}", e.offset);
@@ -293,7 +423,7 @@ mod tests {
         params.overlap = 5;
         let mut mon = Monitor::new(&det, params);
         for chunk in stream.chunks(8) {
-            mon.push(chunk);
+            mon.push(chunk).unwrap();
         }
         let (events, _) = mon.finish();
         let copies: Vec<_> = events.iter().filter(|e| e.id == 1).collect();
@@ -311,7 +441,7 @@ mod tests {
         params.spatial = Some(sp);
         let mut mon = Monitor::new(&det, params);
         for chunk in stream.chunks(16) {
-            mon.push(chunk);
+            mon.push(chunk).unwrap();
         }
         let (events, _) = mon.finish();
         assert!(
@@ -329,6 +459,7 @@ mod tests {
             windows: 0,
             elapsed: Duration::from_secs(10),
             frames_covered: 500.0,
+            health: HealthReport::default(),
         };
         // 500 frames at 25 fps = 20 s of stream in 10 s of work → 2×.
         assert!((s.real_time_factor(25.0) - 2.0).abs() < 1e-9);
@@ -344,7 +475,56 @@ mod tests {
             overlap: 5,
             merge_offset_tolerance: 1.0,
             spatial: None,
+            strict: false,
         };
         let _ = Monitor::new(&det, params);
+    }
+
+    #[test]
+    fn out_of_order_stream_is_skipped_and_counted() {
+        let (db, mut stream) = setup();
+        // Corrupt the stream: drag a mid-stream block's time-codes backwards,
+        // as a re-synced capture would.
+        let n = stream.len();
+        for f in &mut stream[n / 2..n / 2 + 8] {
+            f.tc = 0;
+        }
+        let det = Detector::new(&db, config());
+        let mut mon = Monitor::new(&det, MonitorParams::default());
+        for chunk in stream.chunks(16) {
+            mon.push(chunk).unwrap();
+        }
+        let (events, stats) = mon.finish();
+        assert_eq!(stats.health.out_of_order_skipped, 8);
+        assert!(!stats.health.healthy());
+        // The monitor keeps answering: the embedded copy is still found.
+        assert!(
+            events.iter().any(|e| e.id == 1),
+            "copy must survive a glitched stream: {events:?}"
+        );
+    }
+
+    #[test]
+    fn strict_mode_rejects_out_of_order_stream() {
+        let (db, mut stream) = setup();
+        let n = stream.len();
+        stream[n / 2].tc = 0;
+        let det = Detector::new(&db, config());
+        let params = MonitorParams {
+            strict: true,
+            ..MonitorParams::default()
+        };
+        let mut mon = Monitor::new(&det, params);
+        let mut err = None;
+        for chunk in stream.chunks(16) {
+            if let Err(e) = mon.push(chunk) {
+                err = Some(e);
+                break;
+            }
+        }
+        match err {
+            Some(MonitorError::OutOfOrder { got: 0, .. }) => {}
+            other => panic!("expected OutOfOrder, got {other:?}"),
+        }
     }
 }

@@ -200,14 +200,16 @@ fn fit(entries: &[Entry], params: &SpatialVoteParams) -> Option<SpatialDetection
 }
 
 fn best_ref(e: &Entry, b: f64) -> (f64, f64, f64) {
-    *e.refs
-        .iter()
-        .min_by(|p, q| {
-            let rp = (e.tc_cand - p.0 - b).abs();
-            let rq = (e.tc_cand - q.0 - b).abs();
-            rp.partial_cmp(&rq).unwrap()
-        })
-        .expect("non-empty refs")
+    let best = e.refs.iter().min_by(|p, q| {
+        let rp = (e.tc_cand - p.0 - b).abs();
+        let rq = (e.tc_cand - q.0 - b).abs();
+        // Time-codes are finite u32-derived values: no NaN residuals.
+        rp.total_cmp(&rq)
+    });
+    match best {
+        Some(r) => *r,
+        None => unreachable!("non-empty refs"),
+    }
 }
 
 /// Runs the spatio-temporal voting strategy; detections require `min_votes`

@@ -117,15 +117,15 @@ fn fit_offset(entries: &[(f64, Vec<f64>)], params: &VoteParams) -> (f64, usize) 
             .iter()
             .map(|(tc_cand, tcs)| {
                 // Best-matching reference under the current b.
-                let tc_best = tcs
-                    .iter()
-                    .copied()
-                    .min_by(|x, y| {
-                        let rx = (tc_cand - x - b).abs();
-                        let ry = (tc_cand - y - b).abs();
-                        rx.partial_cmp(&ry).unwrap()
-                    })
-                    .expect("non-empty tcs");
+                let best = tcs.iter().copied().min_by(|x, y| {
+                    let rx = (tc_cand - x - b).abs();
+                    let ry = (tc_cand - y - b).abs();
+                    // Time-codes are finite u32-derived values: no NaN residuals.
+                    rx.total_cmp(&ry)
+                });
+                let Some(tc_best) = best else {
+                    unreachable!("non-empty tcs")
+                };
                 tc_cand - tc_best
             })
             .collect();

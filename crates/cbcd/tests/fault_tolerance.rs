@@ -1,0 +1,82 @@
+//! Corruption properties of the S3REFDB2 reference-database format.
+//!
+//! Every byte of a saved v2 file is covered by either the magic, the
+//! length field or the payload CRC, so *any* truncation and *any* single
+//! bit flip must come back as a clean [`PersistError`] — never a panic,
+//! never a silently corrupted database.
+
+use proptest::prelude::*;
+use s3_cbcd::{DbBuilder, PersistError, ReferenceDb};
+use s3_video::{ExtractorParams, FINGERPRINT_DIMS};
+use std::sync::OnceLock;
+
+/// A small but non-trivial database (raw fingerprints, no video pipeline),
+/// serialized once.
+fn saved_bytes() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut s = 0x00DB_5EED_u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut builder = DbBuilder::new(ExtractorParams::default());
+        for v in 0..3 {
+            let n = 40 + v * 10;
+            let fps: Vec<u8> = (0..n * FINGERPRINT_DIMS)
+                .map(|_| (next() >> 24) as u8)
+                .collect();
+            let tcs: Vec<u32> = (0..n as u32).map(|t| t * 3).collect();
+            builder.add_raw(&format!("clip-{v}"), &fps, &tcs);
+        }
+        let db = builder.build();
+        let mut bytes = Vec::new();
+        db.write_to(&mut bytes).unwrap();
+        bytes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A file cut at any byte offset is rejected.
+    #[test]
+    fn truncation_at_any_offset_is_rejected(frac in 0.0f64..1.0) {
+        let bytes = saved_bytes();
+        let cut = (frac * bytes.len() as f64) as usize;
+        prop_assert!(cut < bytes.len());
+        match ReferenceDb::read_from(&mut &bytes[..cut]) {
+            Err(_) => {}
+            Ok(_) => prop_assert!(false, "truncation to {cut}/{} bytes must not load", bytes.len()),
+        }
+    }
+
+    /// Any single bit flip is rejected (magic, length field or CRC catches
+    /// it — no byte of a v2 file is unprotected).
+    #[test]
+    fn any_single_bit_flip_is_rejected(frac in 0.0f64..1.0, bit in 0u8..8) {
+        let bytes = saved_bytes();
+        let byte = ((frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let mut corrupt = bytes.clone();
+        corrupt[byte] ^= 1 << bit;
+        match ReferenceDb::read_from(&mut corrupt.as_slice()) {
+            Err(PersistError::Io(e)) => {
+                prop_assert!(false, "flip at byte {byte} bit {bit} surfaced as raw io: {e}")
+            }
+            Err(_) => {}
+            Ok(_) => prop_assert!(false, "flip at byte {byte} bit {bit} loaded cleanly"),
+        }
+    }
+}
+
+/// The clean bytes still round-trip (the baseline the properties lean on).
+#[test]
+fn clean_bytes_round_trip() {
+    let bytes = saved_bytes();
+    let db = ReferenceDb::read_from(&mut bytes.as_slice()).unwrap();
+    assert_eq!(db.video_count(), 3);
+    assert_eq!(db.name(0), Some("clip-0"));
+    assert_eq!(db.fingerprint_count(), 40 + 50 + 60);
+}

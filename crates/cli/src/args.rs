@@ -1,7 +1,7 @@
 //! Minimal argument parsing for the CLI (no external dependencies).
 //!
-//! Supports `--key value` flags and positional arguments. Unknown flags are
-//! an error so typos surface early.
+//! Supports `--key value` flags, valueless `--switch` toggles and positional
+//! arguments. Unknown flags are an error so typos surface early.
 
 use std::collections::HashMap;
 
@@ -10,6 +10,7 @@ use std::collections::HashMap;
 pub struct Args {
     positional: Vec<String>,
     flags: HashMap<String, String>,
+    switches: Vec<String>,
 }
 
 impl Args {
@@ -17,15 +18,30 @@ impl Args {
     ///
     /// `allowed` lists the accepted flag names (without `--`).
     pub fn parse<I: IntoIterator<Item = String>>(raw: I, allowed: &[&str]) -> Result<Args, String> {
+        Args::parse_with_switches(raw, allowed, &[])
+    }
+
+    /// Like [`Args::parse`], but the names in `switches` take no value;
+    /// their mere presence sets them.
+    pub fn parse_with_switches<I: IntoIterator<Item = String>>(
+        raw: I,
+        allowed: &[&str],
+        switches: &[&str],
+    ) -> Result<Args, String> {
         let mut out = Args::default();
         let mut iter = raw.into_iter();
         while let Some(tok) = iter.next() {
             if let Some(name) = tok.strip_prefix("--") {
+                if switches.contains(&name) {
+                    out.switches.push(name.to_string());
+                    continue;
+                }
                 if !allowed.contains(&name) {
                     return Err(format!(
                         "unknown flag --{name} (expected one of: {})",
                         allowed
                             .iter()
+                            .chain(switches)
                             .map(|a| format!("--{a}"))
                             .collect::<Vec<_>>()
                             .join(", ")
@@ -40,6 +56,11 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    /// Whether a valueless switch was present.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
     }
 
     /// Positional argument `i`.
@@ -101,6 +122,26 @@ mod tests {
     fn rejects_missing_value() {
         let err = Args::parse(strs(&["--videos"]), &["videos"]).unwrap_err();
         assert!(err.contains("needs a value"));
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = Args::parse_with_switches(
+            strs(&["--strict", "db.idx", "--seed", "9"]),
+            &["seed"],
+            &["strict"],
+        )
+        .unwrap();
+        assert!(a.has("strict"));
+        assert!(!a.has("seed"));
+        assert_eq!(a.positional(0), Some("db.idx"));
+        assert_eq!(a.get("seed"), Some("9"));
+
+        let b = Args::parse_with_switches(strs(&["db.idx"]), &["seed"], &["strict"]).unwrap();
+        assert!(!b.has("strict"));
+
+        let err = Args::parse_with_switches(strs(&["--oops"]), &["seed"], &["strict"]).unwrap_err();
+        assert!(err.contains("--strict"), "switches listed in error: {err}");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use args::Args;
 use s3_cbcd::{
     calibrate_monitor_threshold, DbBuilder, Detector, DetectorConfig, Monitor, MonitorParams,
 };
-use s3_core::pseudo_disk::DiskIndex;
+use s3_core::pseudo_disk::{DiskIndex, RetryPolicy};
 use s3_core::{IsotropicNormal, RecordBatch, S3Index, StatQueryOpts};
 use s3_hilbert::HilbertCurve;
 use s3_video::{
@@ -66,17 +66,22 @@ USAGE:
   s3cbcd info <index-file>
       Print header information of an index file.
   s3cbcd query <index-file> [--alpha A] [--sigma S] [--queries N] [--mem MB]
+                [--strict]
       Run distorted self-queries through the pseudo-disk engine and report
-      retrieval rate and timing.
+      retrieval rate and timing. By default unreadable index sections are
+      retried then skipped (degraded results); --strict makes that a hard
+      error instead.
   s3cbcd detect [ref.y4m ...] [--candidate FILE] [--videos N] [--frames N]
                 [--seed S] [--attack NAME]
       Build an in-memory reference DB (from .y4m files or a synthetic
       library), then detect a candidate: either --candidate FILE, or an
       attacked copy of one reference.
       Attacks: resize | shift | gamma | contrast | noise | combo
-  s3cbcd monitor [--archive N] [--stream-frames N] [--seed S]
-      Monitor a synthetic broadcast with embedded copies; report events and
-      the real-time factor.";
+  s3cbcd monitor [--archive N] [--stream-frames N] [--seed S] [--strict]
+      Monitor a synthetic broadcast with embedded copies; report events,
+      the real-time factor and a stream-health summary. --strict turns any
+      degradation (out-of-order input, skipped index sections) into a hard
+      error.";
 
 fn cmd_build(rest: Vec<String>) -> Result<(), String> {
     let a = Args::parse(rest, &["videos", "frames", "seed"])?;
@@ -141,7 +146,11 @@ fn cmd_info(rest: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_query(rest: Vec<String>) -> Result<(), String> {
-    let a = Args::parse(rest, &["alpha", "sigma", "depth", "queries", "mem", "seed"])?;
+    let a = Args::parse_with_switches(
+        rest,
+        &["alpha", "sigma", "depth", "queries", "mem", "seed"],
+        &["strict"],
+    )?;
     let path = a.positional(0).ok_or("query needs an index path")?;
     let alpha: f64 = a.get_parsed("alpha", 0.8)?;
     let sigma: f64 = a.get_parsed("sigma", 15.0)?;
@@ -149,7 +158,11 @@ fn cmd_query(rest: Vec<String>) -> Result<(), String> {
     let mem_mb: u64 = a.get_parsed("mem", 256)?;
     let seed: u64 = a.get_parsed("seed", 7)?;
 
-    let disk = DiskIndex::open(path).map_err(|e| e.to_string())?;
+    let mut disk = DiskIndex::open(path).map_err(|e| e.to_string())?;
+    disk.set_retry_policy(RetryPolicy {
+        strict: a.has("strict"),
+        ..RetryPolicy::default()
+    });
     let dims = disk.curve().dims();
     let default_depth = StatQueryOpts::for_db_size(alpha, disk.len() as usize).depth;
     let depth: u32 = a.get_parsed("depth", default_depth)?;
@@ -210,6 +223,18 @@ fn cmd_query(rest: Vec<String>) -> Result<(), String> {
         "per query          : {:?}",
         batch.timing.per_query(queries.len())
     );
+    if batch.timing.retries > 0 || batch.timing.degraded {
+        println!(
+            "health             : {} retries, {} sections skipped{}",
+            batch.timing.retries,
+            batch.timing.sections_skipped,
+            if batch.timing.degraded {
+                " — DEGRADED results"
+            } else {
+                ""
+            }
+        );
+    }
     Ok(())
 }
 
@@ -315,7 +340,7 @@ fn cmd_detect(rest: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_monitor(rest: Vec<String>) -> Result<(), String> {
-    let a = Args::parse(rest, &["archive", "stream-frames", "seed"])?;
+    let a = Args::parse_with_switches(rest, &["archive", "stream-frames", "seed"], &["strict"])?;
     let n_archive: usize = a.get_parsed("archive", 6)?;
     let stream_frames: usize = a.get_parsed("stream-frames", 400)?;
     let seed: u64 = a.get_parsed("seed", 11)?;
@@ -361,7 +386,10 @@ fn cmd_monitor(rest: Vec<String>) -> Result<(), String> {
         })
         .collect();
     let probe = Detector::new(&db, DetectorConfig::default());
-    let params = MonitorParams::default();
+    let params = MonitorParams {
+        strict: a.has("strict"),
+        ..MonitorParams::default()
+    };
     let cal = calibrate_monitor_threshold(&probe, &negatives, &params, 25.0, 1.0);
     eprintln!("calibrated n_sim threshold: {}", cal.min_votes);
 
@@ -370,7 +398,7 @@ fn cmd_monitor(rest: Vec<String>) -> Result<(), String> {
     let detector = Detector::new(&db, config);
     let mut monitor = Monitor::new(&detector, params);
     for chunk in stream.chunks(32) {
-        monitor.push(chunk);
+        monitor.push(chunk).map_err(|e| e.to_string())?;
     }
     let (events, stats) = monitor.finish();
     for e in &events {
@@ -391,6 +419,14 @@ fn cmd_monitor(rest: Vec<String>) -> Result<(), String> {
         stats.elapsed,
         stats.real_time_factor(25.0)
     );
+    if !stats.health.healthy() {
+        println!(
+            "health: {} out-of-order fingerprints skipped, {} degraded queries, {} sections skipped",
+            stats.health.out_of_order_skipped,
+            stats.health.degraded_queries,
+            stats.health.sections_skipped
+        );
+    }
     if events.iter().any(|e| e.id == rerun_id as u32) {
         println!("OK: embedded rerun detected");
         Ok(())

@@ -76,11 +76,11 @@ pub fn tune_depth(
             avg_blocks: blocks as f64 / n,
         });
     }
-    let best_depth = profiles
-        .iter()
-        .min_by_key(|p| p.avg_time)
-        .expect("profiles nonempty")
-        .depth;
+    let best_depth = match profiles.iter().min_by_key(|p| p.avg_time) {
+        Some(p) => p.depth,
+        // depths is a non-empty range, so profiles is never empty.
+        None => unreachable!("profiles nonempty"),
+    };
     TuneResult {
         profiles,
         best_depth,

@@ -197,7 +197,9 @@ impl DynamicIndex {
                         (d2 <= eps * eps).then_some(Some(d2))
                     }
                     Refine::LogLikelihood(bound) => {
-                        let model = model.expect("likelihood refinement needs a model");
+                        let Some(model) = model else {
+                            unreachable!("likelihood refinement needs a model")
+                        };
                         let delta: Vec<f64> = q
                             .iter()
                             .zip(fp)

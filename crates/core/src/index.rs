@@ -120,6 +120,12 @@ pub struct QueryStats {
     pub tmax: Option<f64>,
     /// True if the block budget truncated the filter.
     pub truncated: bool,
+    /// Pseudo-disk only: sections this query needed that stayed unreadable.
+    pub sections_skipped: usize,
+    /// Pseudo-disk only: true if `sections_skipped > 0` — the match list is
+    /// complete over the surviving sections but may miss records from the
+    /// lost ones.
+    pub degraded: bool,
 }
 
 /// Result of a query: matches plus work counters.
@@ -323,7 +329,9 @@ impl S3Index {
                         }
                     }
                     Refine::LogLikelihood(bound) => {
-                        let model = model.expect("LogLikelihood refinement needs a model");
+                        let Some(model) = model else {
+                            unreachable!("LogLikelihood refinement needs a model")
+                        };
                         for (j, (&a, &b)) in q.iter().zip(fp).enumerate() {
                             delta[j] = f64::from(b) - f64::from(a);
                         }
@@ -354,6 +362,7 @@ impl S3Index {
                 mass: outcome.mass,
                 tmax: outcome.tmax,
                 truncated: outcome.truncated,
+                ..QueryStats::default()
             },
         }
     }

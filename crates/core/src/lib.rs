@@ -43,18 +43,27 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+// Library code must surface failures as typed errors, not process aborts
+// (tests may still unwrap freely).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod autotune;
+pub mod crc;
 pub mod distortion;
 pub mod dynamic;
+pub mod error;
 pub mod filter;
 pub mod fingerprint;
 pub mod index;
 pub mod knn;
 pub mod parallel;
 pub mod pseudo_disk;
+pub mod storage;
 
 pub use distortion::{DiagonalNormal, DistortionModel, IsotropicNormal};
 pub use dynamic::DynamicIndex;
+pub use error::IndexError;
 pub use fingerprint::{dist, dist_sq, Record, RecordBatch, PAPER_DIMS};
 pub use index::{FilterAlgo, Match, QueryResult, QueryStats, Refine, S3Index, StatQueryOpts};
+pub use pseudo_disk::{DiskIndex, RetryPolicy, WriteOpts};
+pub use storage::{FaultPlan, FaultStats, FaultyStorage, FileStorage, MemStorage, Storage};

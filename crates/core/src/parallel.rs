@@ -2,7 +2,7 @@
 //!
 //! The S³ index is immutable after construction, so queries parallelise
 //! trivially: [`stat_query_batch`] shards a query batch across scoped
-//! crossbeam threads. [`build_keys_parallel`] parallelises the dominant cost
+//! std threads. [`build_keys_parallel`] parallelises the dominant cost
 //! of construction (Hilbert key computation); the final sort stays
 //! single-threaded and is a small fraction of build time.
 //!
@@ -34,19 +34,22 @@ pub fn stat_query_batch(
     }
     let chunk = queries.len().div_ceil(threads);
     let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (qs, rs) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (q, slot) in qs.iter().zip(rs.iter_mut()) {
                     *slot = Some(index.stat_query(q, model, opts));
                 }
             });
         }
-    })
-    .expect("query worker panicked");
+    });
     results
         .into_iter()
-        .map(|r| r.expect("all slots filled"))
+        .map(|r| match r {
+            Some(r) => r,
+            // The chunking above covers every slot exactly once.
+            None => unreachable!("all slots filled"),
+        })
         .collect()
 }
 
@@ -70,19 +73,18 @@ pub fn build_keys_parallel(
     }
     let rows_per = n.div_ceil(threads);
     let mut keys = vec![Key256::ZERO; n];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (fps, ks) in fingerprints
             .chunks(rows_per * dims)
             .zip(keys.chunks_mut(rows_per))
         {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (fp, k) in fps.chunks_exact(dims).zip(ks.iter_mut()) {
                     *k = curve.encode_bytes(fp);
                 }
             });
         }
-    })
-    .expect("key worker panicked");
+    });
     keys
 }
 

@@ -10,51 +10,145 @@
 //! `T_tot = T + T_load / N_sig` (eq. 5): the loading term is the linear
 //! component visible at the right of Fig. 7.
 //!
-//! File layout (little-endian):
+//! ## Fault tolerance
+//!
+//! The paper's deployment monitors TV around the clock; a search service that
+//! dies on the first bad sector cannot do that. Three mechanisms make the
+//! engine keep answering:
+//!
+//! * **Checksummed format** — the current `S3IDX002` format carries a CRC-32
+//!   over the header + index table, one CRC-32 per fixed-size data block, and
+//!   a CRC over the block-CRC table itself, so corruption is *detected*
+//!   rather than silently returned as wrong matches. Legacy `S3IDX001` files
+//!   still open (with a loud warning) but without verification.
+//! * **Retries** — section loads that fail transiently (interrupted /
+//!   timed-out reads, checksum mismatches that may be bad reads of good
+//!   data) are retried with bounded exponential backoff ([`RetryPolicy`]).
+//! * **Degradation** — a section that stays unreadable is skipped: the batch
+//!   still answers every query from the surviving sections, and the loss is
+//!   accounted in [`BatchTiming`] and per-query [`QueryStats`]
+//!   (`sections_skipped`, `degraded`). Strict mode
+//!   ([`RetryPolicy::strict`]) turns the skip into a hard
+//!   [`IndexError::SectionLost`].
+//!
+//! All record access goes through the [`Storage`] trait, so tests drive
+//! these paths deterministically with
+//! [`FaultyStorage`](crate::storage::FaultyStorage).
+//!
+//! ## File layout (little-endian)
 //!
 //! ```text
-//! magic "S3IDX001" | dims u32 | order u32 | n u64 | table_depth u32 | pad u32
-//! table  : (2^table_depth + 1) × u64   first-record index per key slot
-//! keys   : n × 32 bytes                sorted Hilbert keys
-//! fps    : n × dims bytes              fingerprints
-//! ids    : n × u32
-//! tcs    : n × u32
+//! magic "S3IDX002" | dims u32 | order u32 | n u64 | table_depth u32 | block_size u32
+//! table    : (2^table_depth + 1) × u64   first-record index per key slot
+//! meta CRC : u32                         CRC-32 of header + table
+//! data     : keys  n × 32 bytes          sorted Hilbert keys
+//!            fps   n × dims bytes        fingerprints
+//!            ids   n × u32
+//!            tcs   n × u32
+//! CRC table: ceil(data/block_size) × u32 CRC-32 per data block
+//! tail CRC : u32                         CRC-32 of the CRC table
 //! ```
+//!
+//! The legacy `S3IDX001` layout is the same minus the three CRC regions,
+//! with a zero pad in place of `block_size`.
 
+use crate::crc::{crc32, Crc32};
 use crate::distortion::DistortionModel;
+use crate::error::IndexError;
 use crate::filter::{merge_block_ranges, select_blocks_best_first, select_blocks_range};
 use crate::fingerprint::dist_sq;
 use crate::index::{Match, QueryStats, Refine, S3Index, StatQueryOpts};
+use crate::storage::{FileStorage, Storage};
 use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
 use std::fs::File;
-use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
-const MAGIC: &[u8; 8] = b"S3IDX001";
+const MAGIC_V2: &[u8; 8] = b"S3IDX002";
+const MAGIC_V1: &[u8; 8] = b"S3IDX001";
 /// Depth of the on-disk index table (64k slots; boundaries of any coarser
 /// section partition are exact prefixes of it).
 pub const TABLE_DEPTH: u32 = 16;
+/// Default size of a checksummed data block.
+pub const DEFAULT_BLOCK_SIZE: u32 = 4096;
 const HEADER_LEN: u64 = 8 + 4 + 4 + 8 + 4 + 4;
 const KEY_LEN: u64 = 32;
+/// Upper bound accepted for a stored table depth — an allocation guard
+/// against corrupt headers (real writers never exceed [`TABLE_DEPTH`]).
+const MAX_TABLE_DEPTH: u32 = 24;
+/// Cap of the exponential retry backoff.
+const MAX_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Write-time options of the on-disk format.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteOpts {
+    /// Depth of the index table (clamped to the curve's key bits).
+    pub table_depth: u32,
+    /// Bytes per checksummed data block.
+    pub block_size: u32,
+}
+
+impl Default for WriteOpts {
+    fn default() -> Self {
+        WriteOpts {
+            table_depth: TABLE_DEPTH,
+            block_size: DEFAULT_BLOCK_SIZE,
+        }
+    }
+}
+
+/// Retry/degradation policy of batched queries.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure of a section load.
+    pub max_retries: u32,
+    /// Base backoff; attempt `k` sleeps `backoff × 2^k`, capped at 100 ms.
+    pub backoff: Duration,
+    /// When true, an unreadable section aborts the batch with
+    /// [`IndexError::SectionLost`] instead of degrading.
+    pub strict: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+            strict: false,
+        }
+    }
+}
 
 /// A file-backed S³ index queried through the pseudo-disk strategy.
 #[derive(Debug)]
 pub struct DiskIndex {
-    path: PathBuf,
+    storage: Box<dyn Storage>,
     curve: HilbertCurve,
     n: u64,
     table_depth: u32,
     /// `table[s]` = first record whose key's top `table_depth` bits ≥ `s`.
     table: Vec<u64>,
+    /// Format version (1 = legacy unchecksummed, 2 = current).
+    version: u32,
+    /// Bytes per checksummed block (v2 only).
+    block_size: u32,
+    /// Per-block CRC-32 of the data region (v2 only; empty for v1).
+    block_crcs: Vec<u32>,
+    /// File offset where the data region starts.
+    data_off: u64,
+    /// Length of the data region in bytes.
+    data_len: u64,
+    retry: RetryPolicy,
 }
 
-/// Aggregate timing of one batched search — the terms of eq. 5.
+/// Aggregate timing and health of one batched search — the terms of eq. 5
+/// plus the fault accounting of the robust read path.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BatchTiming {
     /// Total filtering time (database-independent first stage).
     pub filter: Duration,
-    /// Total section loading time (`T_load`).
+    /// Total section loading time (`T_load`), including retries.
     pub load: Duration,
     /// Total refinement time.
     pub refine: Duration,
@@ -62,6 +156,13 @@ pub struct BatchTiming {
     pub sections_loaded: usize,
     /// Bytes read from disk.
     pub bytes_loaded: u64,
+    /// Section-load retries that were needed.
+    pub retries: u32,
+    /// Sections abandoned after exhausting retries (non-strict mode).
+    pub sections_skipped: usize,
+    /// True if any section was skipped: results are complete over the
+    /// surviving sections only.
+    pub degraded: bool,
 }
 
 impl BatchTiming {
@@ -87,101 +188,342 @@ pub struct BatchResult {
     pub sections: usize,
 }
 
-fn write_key(w: &mut impl Write, k: &Key256) -> io::Result<()> {
-    for limb in k.limbs() {
-        w.write_all(&limb.to_le_bytes())?;
+fn key_bytes(k: &Key256) -> [u8; KEY_LEN as usize] {
+    let mut out = [0u8; KEY_LEN as usize];
+    for (i, limb) in k.limbs().iter().enumerate() {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
     }
-    Ok(())
+    out
 }
 
 fn read_key(bytes: &[u8]) -> Key256 {
     let mut limbs = [0u64; 4];
     for (i, limb) in limbs.iter_mut().enumerate() {
-        *limb = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+        *limb = u64::from_le_bytes(raw);
     }
     Key256::from_limbs(limbs)
 }
 
-impl DiskIndex {
-    /// Serializes a built in-memory index into the pseudo-disk format.
-    pub fn write(index: &S3Index, path: impl AsRef<Path>) -> io::Result<()> {
-        let path = path.as_ref();
-        let curve = index.curve();
-        let n = index.len() as u64;
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(MAGIC)?;
-        w.write_all(&(curve.dims() as u32).to_le_bytes())?;
-        w.write_all(&(curve.order() as u32).to_le_bytes())?;
-        w.write_all(&n.to_le_bytes())?;
-        let table_depth = TABLE_DEPTH.min(curve.key_bits());
-        w.write_all(&table_depth.to_le_bytes())?;
-        w.write_all(&0u32.to_le_bytes())?;
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(raw)
+}
 
-        // Index table: first record per key slot, rebuilt from sorted keys.
-        let shift = curve.key_bits() - table_depth;
-        let slots = 1usize << table_depth;
-        let mut slot = 0usize;
-        for (i, key) in index.keys().iter().enumerate() {
-            let s = key.shr(shift).low_u128() as usize;
-            while slot <= s {
-                w.write_all(&(i as u64).to_le_bytes())?;
-                slot += 1;
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(raw)
+}
+
+fn bad_format(detail: impl Into<String>) -> IndexError {
+    IndexError::Format {
+        detail: detail.into(),
+    }
+}
+
+/// Accumulates per-block CRCs of a byte stream while it is written.
+struct BlockCrcs {
+    block_size: u64,
+    filled: u64,
+    cur: Crc32,
+    crcs: Vec<u32>,
+}
+
+impl BlockCrcs {
+    fn new(block_size: u32) -> Self {
+        BlockCrcs {
+            block_size: u64::from(block_size),
+            filled: 0,
+            cur: Crc32::new(),
+            crcs: Vec::new(),
+        }
+    }
+
+    fn feed(&mut self, mut bytes: &[u8]) {
+        while !bytes.is_empty() {
+            let room = (self.block_size - self.filled) as usize;
+            let take = room.min(bytes.len());
+            self.cur.update(&bytes[..take]);
+            self.filled += take as u64;
+            bytes = &bytes[take..];
+            if self.filled == self.block_size {
+                self.crcs.push(self.cur.finalize());
+                self.cur = Crc32::new();
+                self.filled = 0;
             }
         }
-        while slot <= slots {
-            w.write_all(&n.to_le_bytes())?;
+    }
+
+    fn finish(mut self) -> Vec<u32> {
+        if self.filled > 0 {
+            self.crcs.push(self.cur.finalize());
+        }
+        self.crcs
+    }
+}
+
+/// Serialises the header + index table of an index into a buffer.
+fn encode_meta(index: &S3Index, opts: WriteOpts, magic: &[u8; 8]) -> Vec<u8> {
+    let curve = index.curve();
+    let n = index.len() as u64;
+    let table_depth = opts.table_depth.min(curve.key_bits());
+    let mut meta = Vec::with_capacity(HEADER_LEN as usize + ((1usize << table_depth) + 1) * 8);
+    meta.extend_from_slice(magic);
+    meta.extend_from_slice(&(curve.dims() as u32).to_le_bytes());
+    meta.extend_from_slice(&(curve.order() as u32).to_le_bytes());
+    meta.extend_from_slice(&n.to_le_bytes());
+    meta.extend_from_slice(&table_depth.to_le_bytes());
+    let aux = if magic == MAGIC_V2 {
+        opts.block_size
+    } else {
+        0
+    };
+    meta.extend_from_slice(&aux.to_le_bytes());
+
+    // Index table: first record per key slot, rebuilt from sorted keys.
+    let shift = curve.key_bits() - table_depth;
+    let slots = 1usize << table_depth;
+    let mut slot = 0usize;
+    for (i, key) in index.keys().iter().enumerate() {
+        let s = key.shr(shift).low_u128() as usize;
+        while slot <= s {
+            meta.extend_from_slice(&(i as u64).to_le_bytes());
             slot += 1;
         }
+    }
+    while slot <= slots {
+        meta.extend_from_slice(&n.to_le_bytes());
+        slot += 1;
+    }
+    meta
+}
 
-        for key in index.keys() {
-            write_key(&mut w, key)?;
+/// Writes the data region (keys | fps | ids | tcs) through a writer, feeding
+/// an optional block-CRC accumulator.
+fn write_data_region(
+    w: &mut impl Write,
+    index: &S3Index,
+    mut crcs: Option<&mut BlockCrcs>,
+) -> io::Result<()> {
+    let mut put = |w: &mut dyn Write, bytes: &[u8]| -> io::Result<()> {
+        w.write_all(bytes)?;
+        if let Some(c) = crcs.as_deref_mut() {
+            c.feed(bytes);
         }
-        w.write_all(index.records().fingerprint_bytes())?;
-        for &id in index.records().ids() {
-            w.write_all(&id.to_le_bytes())?;
+        Ok(())
+    };
+    for key in index.keys() {
+        put(w, &key_bytes(key))?;
+    }
+    put(w, index.records().fingerprint_bytes())?;
+    for &id in index.records().ids() {
+        put(w, &id.to_le_bytes())?;
+    }
+    for &tc in index.records().tcs() {
+        put(w, &tc.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+impl DiskIndex {
+    /// Serialises a built in-memory index into the current checksummed
+    /// format with default options. The write is atomic: data goes to a
+    /// sibling temp file which is fsynced, then renamed over `path`.
+    pub fn write(index: &S3Index, path: impl AsRef<Path>) -> io::Result<()> {
+        Self::write_with(index, path, WriteOpts::default())
+    }
+
+    /// As [`DiskIndex::write`], with explicit format options.
+    pub fn write_with(index: &S3Index, path: impl AsRef<Path>, opts: WriteOpts) -> io::Result<()> {
+        assert!(opts.block_size > 0, "block size must be positive");
+        let path = path.as_ref();
+        let tmp = {
+            let mut name = path.file_name().unwrap_or_default().to_os_string();
+            name.push(".tmp");
+            path.with_file_name(name)
+        };
+
+        let file = File::create(&tmp)?;
+        let mut w = BufWriter::new(file);
+        let meta = encode_meta(index, opts, MAGIC_V2);
+        w.write_all(&meta)?;
+        w.write_all(&crc32(&meta).to_le_bytes())?;
+
+        let mut blocks = BlockCrcs::new(opts.block_size);
+        write_data_region(&mut w, index, Some(&mut blocks))?;
+
+        let block_crcs = blocks.finish();
+        let mut tail = Crc32::new();
+        for crc in &block_crcs {
+            let raw = crc.to_le_bytes();
+            w.write_all(&raw)?;
+            tail.update(&raw);
         }
-        for &tc in index.records().tcs() {
-            w.write_all(&tc.to_le_bytes())?;
+        w.write_all(&tail.finalize().to_le_bytes())?;
+
+        let file = w.into_inner().map_err(io::IntoInnerError::into_error)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
         }
+        Ok(())
+    }
+
+    /// Writes the legacy unchecksummed `S3IDX001` format. Kept so the
+    /// version-1 read path (and anything archiving old files) stays
+    /// testable; new files should use [`DiskIndex::write`].
+    pub fn write_v1(index: &S3Index, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path.as_ref())?);
+        let opts = WriteOpts {
+            table_depth: TABLE_DEPTH,
+            block_size: 0,
+        };
+        w.write_all(&encode_meta(index, opts, MAGIC_V1))?;
+        write_data_region(&mut w, index, None)?;
         w.flush()
     }
 
-    /// Opens a pseudo-disk index: reads the header and the index table only
-    /// (a few hundred kilobytes); record columns stay on disk.
-    pub fn open(path: impl AsRef<Path>) -> io::Result<DiskIndex> {
-        let path = path.as_ref().to_path_buf();
-        let mut f = File::open(&path)?;
+    /// Opens a pseudo-disk index file: reads the header, the index table and
+    /// the CRC tables (record columns stay on disk), verifying their
+    /// checksums. Legacy v1 files load with a warning on stderr.
+    pub fn open(path: impl AsRef<Path>) -> Result<DiskIndex, IndexError> {
+        Self::open_storage(Box::new(FileStorage::open(path)?))
+    }
+
+    /// As [`DiskIndex::open`], over any [`Storage`] implementation — the
+    /// entry point for fault-injection tests and non-file backends.
+    pub fn open_storage(storage: Box<dyn Storage>) -> Result<DiskIndex, IndexError> {
         let mut header = [0u8; HEADER_LEN as usize];
-        f.read_exact(&mut header)?;
-        if &header[0..8] != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
-        }
-        let dims = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
-        let order = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
-        let n = u64::from_le_bytes(header[16..24].try_into().unwrap());
-        let table_depth = u32::from_le_bytes(header[24..28].try_into().unwrap());
+        storage.read_at(0, &mut header)?;
+        let version = match &header[0..8] {
+            m if m == MAGIC_V2 => 2,
+            m if m == MAGIC_V1 => 1,
+            _ => return Err(bad_format("bad magic")),
+        };
+        let dims = le_u32(&header[8..12]) as usize;
+        let order = le_u32(&header[12..16]) as usize;
+        let n = le_u64(&header[16..24]);
+        let table_depth = le_u32(&header[24..28]);
+        let block_size = le_u32(&header[28..32]);
         let curve = HilbertCurve::new(dims, order)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        if table_depth > curve.key_bits() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "bad table depth",
-            ));
+            .map_err(|e| bad_format(format!("bad curve parameters: {e}")))?;
+        if table_depth > curve.key_bits() || table_depth > MAX_TABLE_DEPTH {
+            return Err(bad_format(format!("bad table depth {table_depth}")));
         }
+        if version == 2 && block_size == 0 {
+            return Err(bad_format("zero block size"));
+        }
+
         let slots = 1usize << table_depth;
-        let mut raw = vec![0u8; (slots + 1) * 8];
-        f.read_exact(&mut raw)?;
-        let table: Vec<u64> = raw
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-            .collect();
-        Ok(DiskIndex {
-            path,
+        let table_bytes = ((slots + 1) * 8) as u64;
+        let mut raw = vec![0u8; table_bytes as usize];
+        storage.read_at(HEADER_LEN, &mut raw)?;
+        let table: Vec<u64> = raw.chunks_exact(8).map(le_u64).collect();
+
+        let record_bytes = KEY_LEN + dims as u64 + 4 + 4;
+        let data_len = n
+            .checked_mul(record_bytes)
+            .ok_or_else(|| bad_format("record count overflows the data region"))?;
+
+        let mut index = DiskIndex {
+            storage,
             curve,
             n,
             table_depth,
             table,
-        })
+            version,
+            block_size,
+            block_crcs: Vec::new(),
+            data_off: 0,
+            data_len,
+            retry: RetryPolicy::default(),
+        };
+
+        if version == 1 {
+            index.data_off = HEADER_LEN + table_bytes;
+            let expected = index.data_off + data_len;
+            if index.storage.len()? != expected {
+                return Err(bad_format(format!(
+                    "v1 file size mismatch: expected {expected} bytes"
+                )));
+            }
+            eprintln!(
+                "warning: opening legacy S3IDX001 index (no checksums); \
+                 rewrite with DiskIndex::write to gain corruption detection"
+            );
+            return Ok(index);
+        }
+
+        // v2: verify header+table CRC, then load and verify the block-CRC
+        // table.
+        let mut stored = [0u8; 4];
+        index
+            .storage
+            .read_at(HEADER_LEN + table_bytes, &mut stored)?;
+        let mut meta_crc = Crc32::new();
+        meta_crc.update(&header);
+        meta_crc.update(&raw);
+        if meta_crc.finalize() != le_u32(&stored) {
+            return Err(IndexError::Checksum {
+                region: "header",
+                offset: 0,
+            });
+        }
+        index.data_off = HEADER_LEN + table_bytes + 4;
+
+        let n_blocks = data_len.div_ceil(u64::from(block_size));
+        let crc_table_off = index.data_off + data_len;
+        let expected = crc_table_off
+            .checked_add(n_blocks * 4 + 4)
+            .ok_or_else(|| bad_format("crc table overflows the file"))?;
+        if index.storage.len()? != expected {
+            return Err(bad_format(format!(
+                "file size mismatch: expected {expected} bytes \
+                 (truncated or trailing data)"
+            )));
+        }
+        let mut crc_raw = vec![0u8; (n_blocks * 4) as usize];
+        index.storage.read_at(crc_table_off, &mut crc_raw)?;
+        index
+            .storage
+            .read_at(crc_table_off + n_blocks * 4, &mut stored)?;
+        if crc32(&crc_raw) != le_u32(&stored) {
+            return Err(IndexError::Checksum {
+                region: "crc table",
+                offset: crc_table_off,
+            });
+        }
+        index.block_crcs = crc_raw.chunks_exact(4).map(le_u32).collect();
+        Ok(index)
+    }
+
+    /// Replaces the retry/degradation policy (builder style).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> DiskIndex {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the retry/degradation policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry/degradation policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// On-disk format version of the opened file (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The curve of the stored index.
@@ -206,7 +548,32 @@ impl DiskIndex {
 
     /// Total data bytes (excluding header and table) — the paper's "DB size".
     pub fn data_bytes(&self) -> u64 {
-        self.n * self.record_bytes()
+        self.data_len
+    }
+
+    /// Verifies every data block against its stored CRC — an offline
+    /// integrity check ("fsck") of the whole file. Returns the first
+    /// corruption found. On a v1 file only the (unchecksummed) size can be
+    /// validated, which `open` already did.
+    pub fn verify(&self) -> Result<(), IndexError> {
+        if self.version == 1 {
+            return Ok(());
+        }
+        let bs = u64::from(self.block_size);
+        let mut buf = vec![0u8; self.block_size as usize];
+        for (i, &stored) in self.block_crcs.iter().enumerate() {
+            let start = i as u64 * bs;
+            let len = bs.min(self.data_len - start) as usize;
+            self.storage
+                .read_at(self.data_off + start, &mut buf[..len])?;
+            if crc32(&buf[..len]) != stored {
+                return Err(IndexError::Checksum {
+                    region: "data",
+                    offset: self.data_off + start,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Chooses the section split `r`: the smallest `r ≤ table_depth` whose
@@ -226,6 +593,17 @@ impl DiskIndex {
             return Some(r);
         }
         None
+    }
+
+    /// Bytes of the densest finest-resolution slot — the smallest memory
+    /// budget any batched query can run under.
+    pub fn min_section_bytes(&self) -> u64 {
+        let rb = self.record_bytes();
+        self.table
+            .windows(2)
+            .map(|w| (w[1] - w[0]) * rb)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Suggests the batch size `N_sig` (§IV-B): the paper sets it
@@ -269,7 +647,7 @@ impl DiskIndex {
         model: &dyn DistortionModel,
         opts: &StatQueryOpts,
         mem_budget: u64,
-    ) -> io::Result<BatchResult> {
+    ) -> Result<BatchResult, IndexError> {
         self.query_batch_inner(queries, mem_budget, opts.refine, Some(model), |q| {
             let outcome = select_blocks_best_first(
                 &self.curve,
@@ -299,7 +677,7 @@ impl DiskIndex {
         eps: f64,
         depth: u32,
         mem_budget: u64,
-    ) -> io::Result<BatchResult> {
+    ) -> Result<BatchResult, IndexError> {
         self.query_batch_inner(queries, mem_budget, Refine::Range(eps), None, |q| {
             let outcome = select_blocks_range(&self.curve, q, depth, eps, usize::MAX);
             let stats = QueryStats {
@@ -320,13 +698,13 @@ impl DiskIndex {
         refine: Refine,
         model: Option<&dyn DistortionModel>,
         filter: impl Fn(&[u8]) -> (Vec<KeyRange>, QueryStats),
-    ) -> io::Result<BatchResult> {
-        let r = self.pick_sections(mem_budget).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::OutOfMemory,
-                "memory budget below finest section size",
-            )
-        })?;
+    ) -> Result<BatchResult, IndexError> {
+        let r = self
+            .pick_sections(mem_budget)
+            .ok_or_else(|| IndexError::BudgetTooSmall {
+                budget: mem_budget,
+                min_section_bytes: self.min_section_bytes(),
+            })?;
         let n_sections = 1usize << r;
 
         // Stage 1: database-independent filtering for every query.
@@ -334,7 +712,12 @@ impl DiskIndex {
         let mut per_query_ranges: Vec<Vec<KeyRange>> = Vec::with_capacity(queries.len());
         let mut stats: Vec<QueryStats> = Vec::with_capacity(queries.len());
         for q in queries {
-            assert_eq!(q.len(), self.curve.dims(), "query dimension mismatch");
+            if q.len() != self.curve.dims() {
+                return Err(IndexError::QueryDims {
+                    expected: self.curve.dims(),
+                    got: q.len(),
+                });
+            }
             let (ranges, st) = filter(q);
             per_query_ranges.push(ranges);
             stats.push(st);
@@ -361,13 +744,12 @@ impl DiskIndex {
             }
         }
 
-        // Stage 2: stream sections.
+        // Stage 2: stream sections, retrying and degrading as configured.
         let mut matches: Vec<Vec<Match>> = vec![Vec::new(); queries.len()];
         let mut timing = BatchTiming {
             filter: filter_time,
             ..BatchTiming::default()
         };
-        let mut file = File::open(&self.path)?;
         let mut section = SectionBuf::default();
         for (s, work) in section_work.iter().enumerate() {
             if work.is_empty() {
@@ -378,10 +760,38 @@ impl DiskIndex {
                 continue;
             }
             let t_load = Instant::now();
-            self.load_section(&mut file, a, b, &mut section)?;
+            let loaded = self.load_section_retrying(a, b, &mut section);
             timing.load += t_load.elapsed();
-            timing.sections_loaded += 1;
-            timing.bytes_loaded += (b - a) * self.record_bytes();
+            match loaded {
+                Ok(retries) => {
+                    timing.retries += retries;
+                    timing.sections_loaded += 1;
+                    timing.bytes_loaded += (b - a) * self.record_bytes();
+                }
+                Err((retries, err)) => {
+                    timing.retries += retries;
+                    if self.retry.strict {
+                        return Err(IndexError::SectionLost {
+                            section: s,
+                            retries,
+                            source: Box::new(err),
+                        });
+                    }
+                    // Degrade: answer the batch from the surviving sections,
+                    // and account the loss per affected query.
+                    timing.sections_skipped += 1;
+                    timing.degraded = true;
+                    let mut prev = u32::MAX;
+                    for &(qi, _) in work {
+                        if qi != prev {
+                            stats[qi as usize].sections_skipped += 1;
+                            stats[qi as usize].degraded = true;
+                            prev = qi;
+                        }
+                    }
+                    continue;
+                }
+            }
 
             let t_ref = Instant::now();
             for &(qi, ri) in work {
@@ -399,7 +809,9 @@ impl DiskIndex {
                             (d2 <= eps * eps).then_some(Some(d2))
                         }
                         Refine::LogLikelihood(bound) => {
-                            let model = model.expect("likelihood refinement needs a model");
+                            let Some(model) = model else {
+                                unreachable!("likelihood refinement needs a model")
+                            };
                             let delta: Vec<f64> = q
                                 .iter()
                                 .zip(fp)
@@ -429,49 +841,109 @@ impl DiskIndex {
         })
     }
 
-    fn load_section(
+    /// Loads a section, retrying transient failures with bounded backoff.
+    /// Returns the number of retries used, or the final error with the
+    /// retry count.
+    fn load_section_retrying(
         &self,
-        file: &mut File,
         a: u64,
         b: u64,
         buf: &mut SectionBuf,
-    ) -> io::Result<()> {
+    ) -> Result<u32, (u32, IndexError)> {
+        let mut attempt = 0u32;
+        loop {
+            match self.load_section(a, b, buf) {
+                Ok(()) => return Ok(attempt),
+                Err(e) if e.is_transient() && attempt < self.retry.max_retries => {
+                    let delay = self
+                        .retry
+                        .backoff
+                        .saturating_mul(1 << attempt.min(10))
+                        .min(MAX_BACKOFF);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err((attempt, e)),
+            }
+        }
+    }
+
+    /// Reads `out.len()` bytes at offset `rel` of the data region, verifying
+    /// the CRC of every covered block (v2) by over-reading to block
+    /// boundaries.
+    fn read_verified(
+        &self,
+        rel: u64,
+        out: &mut [u8],
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), IndexError> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        if self.version == 1 {
+            self.storage.read_at(self.data_off + rel, out)?;
+            return Ok(());
+        }
+        let bs = u64::from(self.block_size);
+        let len = out.len() as u64;
+        let b0 = rel / bs;
+        let b1 = (rel + len - 1) / bs;
+        let aligned_start = b0 * bs;
+        let aligned_end = ((b1 + 1) * bs).min(self.data_len);
+        scratch.resize((aligned_end - aligned_start) as usize, 0);
+        self.storage
+            .read_at(self.data_off + aligned_start, scratch)?;
+        for blk in b0..=b1 {
+            let lo = (blk * bs - aligned_start) as usize;
+            let hi = (((blk + 1) * bs).min(self.data_len) - aligned_start) as usize;
+            let stored = self
+                .block_crcs
+                .get(blk as usize)
+                .copied()
+                .ok_or_else(|| bad_format(format!("block {blk} beyond the crc table")))?;
+            if crc32(&scratch[lo..hi]) != stored {
+                return Err(IndexError::Checksum {
+                    region: "data",
+                    offset: self.data_off + blk * bs,
+                });
+            }
+        }
+        let start = (rel - aligned_start) as usize;
+        out.copy_from_slice(&scratch[start..start + out.len()]);
+        Ok(())
+    }
+
+    fn load_section(&self, a: u64, b: u64, buf: &mut SectionBuf) -> Result<(), IndexError> {
         let n = (b - a) as usize;
         let dims = self.curve.dims() as u64;
-        let table_bytes = ((1u64 << self.table_depth) + 1) * 8;
-        let keys_off = HEADER_LEN + table_bytes;
-        let fps_off = keys_off + self.n * KEY_LEN;
-        let ids_off = fps_off + self.n * dims;
-        let tcs_off = ids_off + self.n * 4;
+        let keys_rel = 0u64;
+        let fps_rel = self.n * KEY_LEN;
+        let ids_rel = fps_rel + self.n * dims;
+        let tcs_rel = ids_rel + self.n * 4;
 
-        let mut raw = vec![0u8; n * KEY_LEN as usize];
-        file.seek(SeekFrom::Start(keys_off + a * KEY_LEN))?;
-        file.read_exact(&mut raw)?;
+        let mut raw = std::mem::take(&mut buf.raw);
+        raw.resize(n * KEY_LEN as usize, 0);
+        self.read_verified(keys_rel + a * KEY_LEN, &mut raw, &mut buf.scratch)?;
         buf.keys.clear();
         buf.keys
             .extend(raw.chunks_exact(KEY_LEN as usize).map(read_key));
 
         buf.fps.resize(n * dims as usize, 0);
-        file.seek(SeekFrom::Start(fps_off + a * dims))?;
-        file.read_exact(&mut buf.fps)?;
+        let mut fps = std::mem::take(&mut buf.fps);
+        self.read_verified(fps_rel + a * dims, &mut fps, &mut buf.scratch)?;
+        buf.fps = fps;
 
-        let mut raw32 = vec![0u8; n * 4];
-        file.seek(SeekFrom::Start(ids_off + a * 4))?;
-        file.read_exact(&mut raw32)?;
+        raw.resize(n * 4, 0);
+        self.read_verified(ids_rel + a * 4, &mut raw, &mut buf.scratch)?;
         buf.ids.clear();
-        buf.ids.extend(
-            raw32
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
-        );
-        file.seek(SeekFrom::Start(tcs_off + a * 4))?;
-        file.read_exact(&mut raw32)?;
+        buf.ids.extend(raw.chunks_exact(4).map(le_u32));
+
+        self.read_verified(tcs_rel + a * 4, &mut raw, &mut buf.scratch)?;
         buf.tcs.clear();
-        buf.tcs.extend(
-            raw32
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
-        );
+        buf.tcs.extend(raw.chunks_exact(4).map(le_u32));
+        buf.raw = raw;
         Ok(())
     }
 }
@@ -483,6 +955,10 @@ struct SectionBuf {
     fps: Vec<u8>,
     ids: Vec<u32>,
     tcs: Vec<u32>,
+    /// Reused staging buffer for raw column bytes.
+    raw: Vec<u8>,
+    /// Reused block-aligned read buffer for CRC verification.
+    scratch: Vec<u8>,
 }
 
 impl SectionBuf {
@@ -505,6 +981,8 @@ mod tests {
     use super::*;
     use crate::distortion::IsotropicNormal;
     use crate::fingerprint::RecordBatch;
+    use crate::storage::{FaultPlan, FaultyStorage, MemStorage};
+    use std::path::PathBuf;
 
     fn synthetic_batch(dims: usize, n: usize, seed: u64) -> RecordBatch {
         let mut batch = RecordBatch::with_capacity(dims, n);
@@ -536,12 +1014,23 @@ mod tests {
         (idx, path)
     }
 
+    /// No-sleep retry policy for fault tests.
+    fn fast_retry(max_retries: u32, strict: bool) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            backoff: Duration::ZERO,
+            strict,
+        }
+    }
+
     #[test]
     fn roundtrip_header_and_counts() {
         let (idx, path) = build_pair(500);
         let disk = DiskIndex::open(&path).unwrap();
         assert_eq!(disk.len(), 500);
         assert_eq!(disk.curve(), idx.curve());
+        assert_eq!(disk.version(), 2);
+        disk.verify().unwrap();
         std::fs::remove_file(path).ok();
     }
 
@@ -549,7 +1038,43 @@ mod tests {
     fn bad_magic_rejected() {
         let path = tmpfile("badmagic");
         std::fs::write(&path, b"NOTANIDX0000000000000000000000000").unwrap();
-        assert!(DiskIndex::open(&path).is_err());
+        assert!(matches!(
+            DiskIndex::open(&path),
+            Err(IndexError::Format { .. })
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file() {
+        let (_idx, path) = build_pair(200);
+        let mut tmp = path.file_name().unwrap().to_os_string();
+        tmp.push(".tmp");
+        assert!(!path.with_file_name(tmp).exists());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v1_files_still_load_and_answer() {
+        let curve = HilbertCurve::new(4, 8).unwrap();
+        let idx = S3Index::build(curve, synthetic_batch(4, 1200, 7));
+        let path = tmpfile("v1compat");
+        DiskIndex::write_v1(&idx, &path).unwrap();
+        let disk = DiskIndex::open(&path).unwrap();
+        assert_eq!(disk.version(), 1);
+        assert_eq!(disk.len(), 1200);
+        let model = IsotropicNormal::new(4, 12.0);
+        let opts = StatQueryOpts::new(0.85, 10);
+        let q: &[u8] = &[50, 60, 70, 80];
+        let batch = disk
+            .stat_query_batch(&[q], &model, &opts, u64::MAX)
+            .unwrap();
+        let mem = idx.stat_query(q, &model, &opts);
+        let mut a: Vec<(u32, u32)> = mem.matches.iter().map(|m| (m.id, m.tc)).collect();
+        let mut b: Vec<(u32, u32)> = batch.matches[0].iter().map(|m| (m.id, m.tc)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
         std::fs::remove_file(path).ok();
     }
 
@@ -568,6 +1093,8 @@ mod tests {
         let batch = disk
             .stat_query_batch(&qrefs, &model, &opts, u64::MAX)
             .unwrap();
+        assert!(!batch.timing.degraded);
+        assert_eq!(batch.timing.sections_skipped, 0);
         for (qi, q) in queries.iter().enumerate() {
             let mem = idx.stat_query(q, &model, &opts);
             let mut a: Vec<(u32, u32)> = mem.matches.iter().map(|m| (m.id, m.tc)).collect();
@@ -629,7 +1156,37 @@ mod tests {
         let q: &[u8] = &[1, 2, 3, 4];
         // One record's worth of budget cannot hold the densest slot.
         let err = disk.stat_query_batch(&[q], &model, &opts, 8).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::OutOfMemory);
+        match err {
+            IndexError::BudgetTooSmall {
+                budget,
+                min_section_bytes,
+            } => {
+                assert_eq!(budget, 8);
+                assert!(min_section_bytes > 8);
+                assert_eq!(min_section_bytes, disk.min_section_bytes());
+            }
+            other => panic!("expected BudgetTooSmall, got {other}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn query_dims_checked() {
+        let (_idx, path) = build_pair(100);
+        let disk = DiskIndex::open(&path).unwrap();
+        let model = IsotropicNormal::new(4, 10.0);
+        let opts = StatQueryOpts::new(0.8, 8);
+        let q: &[u8] = &[1, 2, 3]; // stored index has 4 dims
+        let err = disk
+            .stat_query_batch(&[q], &model, &opts, u64::MAX)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            IndexError::QueryDims {
+                expected: 4,
+                got: 3
+            }
+        ));
         std::fs::remove_file(path).ok();
     }
 
@@ -652,7 +1209,7 @@ mod tests {
             load: Duration::from_millis(100),
             refine: Duration::from_millis(40),
             sections_loaded: 2,
-            bytes_loaded: 0,
+            ..BatchTiming::default()
         };
         assert_eq!(t.per_query(10), Duration::from_millis(15));
         assert_eq!(t.per_query(0), Duration::ZERO);
@@ -678,5 +1235,218 @@ mod tests {
         let disk = DiskIndex::open(&path).unwrap();
         assert_eq!(disk.data_bytes(), 100 * 44);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn small_block_and_table_options_roundtrip() {
+        let curve = HilbertCurve::new(4, 8).unwrap();
+        let idx = S3Index::build(curve, synthetic_batch(4, 800, 3));
+        let path = tmpfile("smallopts");
+        let opts = WriteOpts {
+            table_depth: 6,
+            block_size: 64,
+        };
+        DiskIndex::write_with(&idx, &path, opts).unwrap();
+        let disk = DiskIndex::open(&path).unwrap();
+        disk.verify().unwrap();
+        let model = IsotropicNormal::new(4, 12.0);
+        let qopts = StatQueryOpts::new(0.85, 8);
+        let q: &[u8] = &[120, 30, 99, 200];
+        let batch = disk
+            .stat_query_batch(&[q], &model, &qopts, 200 * 44)
+            .unwrap();
+        let mem = idx.stat_query(q, &model, &qopts);
+        let mut a: Vec<(u32, u32)> = mem.matches.iter().map(|m| (m.id, m.tc)).collect();
+        let mut b: Vec<(u32, u32)> = batch.matches[0].iter().map(|m| (m.id, m.tc)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        std::fs::remove_file(path).ok();
+    }
+
+    fn mem_index(n: usize, opts: WriteOpts) -> (S3Index, Vec<u8>) {
+        let curve = HilbertCurve::new(4, 8).unwrap();
+        let idx = S3Index::build(curve, synthetic_batch(4, n, 17));
+        let path = tmpfile(&format!("mem{n}_{}", opts.block_size));
+        DiskIndex::write_with(&idx, &path, opts).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(path).ok();
+        (idx, bytes)
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        let opts = WriteOpts {
+            table_depth: 6,
+            block_size: 256,
+        };
+        let (idx, bytes) = mem_index(1000, opts);
+        let plan = FaultPlan {
+            seed: 11,
+            transient_error: 0.2,
+            skip_reads: 5, // let open() read header/table/crc cleanly
+            ..FaultPlan::default()
+        };
+        let storage = FaultyStorage::new(MemStorage::new(bytes), plan);
+        let disk = DiskIndex::open_storage(Box::new(storage))
+            .unwrap()
+            .with_retry_policy(fast_retry(8, false));
+        let model = IsotropicNormal::new(4, 12.0);
+        let qopts = StatQueryOpts::new(0.85, 8);
+        let q: &[u8] = &[40, 90, 140, 190];
+        let batch = disk
+            .stat_query_batch(&[q], &model, &qopts, 100 * 44)
+            .unwrap();
+        assert!(!batch.timing.degraded, "retries must absorb transients");
+        assert!(batch.timing.retries > 0, "fault schedule never fired");
+        let mem = idx.stat_query(q, &model, &qopts);
+        let mut a: Vec<(u32, u32)> = mem.matches.iter().map(|m| (m.id, m.tc)).collect();
+        let mut b: Vec<(u32, u32)> = batch.matches[0].iter().map(|m| (m.id, m.tc)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "degradation-free batch must stay exact");
+    }
+
+    #[test]
+    fn bit_flips_detected_and_retried() {
+        let opts = WriteOpts {
+            table_depth: 6,
+            block_size: 256,
+        };
+        let (idx, bytes) = mem_index(1000, opts);
+        let plan = FaultPlan {
+            seed: 23,
+            bit_flip: 0.5,
+            skip_reads: 5, // let open() read header/table/crc cleanly
+            ..FaultPlan::default()
+        };
+        let storage = FaultyStorage::new(MemStorage::new(bytes), plan);
+        let disk = DiskIndex::open_storage(Box::new(storage))
+            .unwrap()
+            .with_retry_policy(fast_retry(10, false));
+        let model = IsotropicNormal::new(4, 12.0);
+        let qopts = StatQueryOpts::new(0.85, 8);
+        let q: &[u8] = &[40, 90, 140, 190];
+        let batch = disk
+            .stat_query_batch(&[q], &model, &qopts, 100 * 44)
+            .unwrap();
+        // The CRC layer must catch every flip: results are either exact or
+        // (if a section exhausted its retries) explicitly degraded — never
+        // silently wrong.
+        if !batch.timing.degraded {
+            let mem = idx.stat_query(q, &model, &qopts);
+            let mut a: Vec<(u32, u32)> = mem.matches.iter().map(|m| (m.id, m.tc)).collect();
+            let mut b: Vec<(u32, u32)> = batch.matches[0].iter().map(|m| (m.id, m.tc)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    /// Dead-range setup shared by the degrade and strict tests: kills the
+    /// key column of records [1400, 1500), so exactly the sections holding
+    /// those records become unreadable, and builds queries that provably
+    /// touch them (stored fingerprints of dead-zone records) next to
+    /// queries of far-away records.
+    fn dead_zone_setup(opts: WriteOpts) -> (S3Index, Vec<u8>, FaultPlan, Vec<Vec<u8>>) {
+        let (idx, bytes) = mem_index(2000, opts);
+        // data_off = header + table + meta CRC for the given table depth.
+        let data_off = HEADER_LEN + (((1u64 << opts.table_depth) + 1) * 8) + 4;
+        let plan = FaultPlan {
+            dead_range: Some(data_off + 1400 * KEY_LEN..data_off + 1500 * KEY_LEN),
+            ..FaultPlan::default()
+        };
+        let mut queries: Vec<Vec<u8>> = Vec::new();
+        for i in (1400..1500).step_by(20) {
+            queries.push(idx.records().fingerprint(i).to_vec());
+        }
+        for i in (100..200).step_by(20) {
+            queries.push(idx.records().fingerprint(i).to_vec());
+        }
+        (idx, bytes, plan, queries)
+    }
+
+    #[test]
+    fn dead_section_degrades_with_accounting() {
+        let opts = WriteOpts {
+            table_depth: 4,
+            block_size: 128,
+        };
+        let (idx, bytes, plan, queries) = dead_zone_setup(opts);
+        let storage = FaultyStorage::new(MemStorage::new(bytes), plan);
+        let disk = DiskIndex::open_storage(Box::new(storage))
+            .unwrap()
+            .with_retry_policy(fast_retry(2, false));
+        let model = IsotropicNormal::new(4, 15.0);
+        let qopts = StatQueryOpts::new(0.95, 6);
+        let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        let batch = disk
+            .stat_query_batch(&qrefs, &model, &qopts, 200 * 44)
+            .unwrap();
+        assert!(batch.timing.degraded, "dead range must degrade the batch");
+        assert!(batch.timing.sections_skipped >= 1);
+        let degraded_queries = batch.stats.iter().filter(|s| s.degraded).count();
+        assert!(degraded_queries >= 1, "some query must be marked degraded");
+        let skipped_total: usize = batch.stats.iter().map(|s| s.sections_skipped).sum();
+        assert!(skipped_total >= batch.timing.sections_skipped);
+
+        // Surviving sections still answer exactly: every returned match must
+        // also be an in-memory match, and non-degraded queries are complete.
+        for (qi, q) in qrefs.iter().enumerate() {
+            let mem = idx.stat_query(q, &model, &qopts);
+            let mut full: Vec<(u32, u32)> = mem.matches.iter().map(|m| (m.id, m.tc)).collect();
+            let mut got: Vec<(u32, u32)> = batch.matches[qi].iter().map(|m| (m.id, m.tc)).collect();
+            full.sort_unstable();
+            got.sort_unstable();
+            if batch.stats[qi].degraded {
+                for pair in &got {
+                    assert!(full.binary_search(pair).is_ok(), "phantom match {pair:?}");
+                }
+            } else {
+                assert_eq!(got, full, "untouched query {qi} must stay complete");
+            }
+        }
+    }
+
+    #[test]
+    fn strict_mode_turns_degradation_into_error() {
+        let opts = WriteOpts {
+            table_depth: 4,
+            block_size: 128,
+        };
+        let (_idx, bytes, plan, queries) = dead_zone_setup(opts);
+        let storage = FaultyStorage::new(MemStorage::new(bytes), plan);
+        let disk = DiskIndex::open_storage(Box::new(storage))
+            .unwrap()
+            .with_retry_policy(fast_retry(2, true));
+        let model = IsotropicNormal::new(4, 15.0);
+        let qopts = StatQueryOpts::new(0.95, 6);
+        let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        let err = disk
+            .stat_query_batch(&qrefs, &model, &qopts, 200 * 44)
+            .unwrap_err();
+        match err {
+            IndexError::SectionLost { retries, .. } => assert_eq!(retries, 2),
+            other => panic!("expected SectionLost, got {other}"),
+        }
+    }
+
+    #[test]
+    fn verify_finds_corrupt_block() {
+        let opts = WriteOpts {
+            table_depth: 6,
+            block_size: 256,
+        };
+        let (_idx, mut bytes) = mem_index(500, opts);
+        let disk = DiskIndex::open_storage(Box::new(MemStorage::new(bytes.clone()))).unwrap();
+        disk.verify().unwrap();
+        // Corrupt one data byte (past header+table+crc, before crc table).
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let disk = DiskIndex::open_storage(Box::new(MemStorage::new(bytes))).unwrap();
+        assert!(matches!(
+            disk.verify(),
+            Err(IndexError::Checksum { region: "data", .. })
+        ));
     }
 }

@@ -1,0 +1,447 @@
+//! Positioned-read storage abstraction for the pseudo-disk engine.
+//!
+//! [`crate::pseudo_disk::DiskIndex`] performs all record access through the
+//! [`Storage`] trait — positioned reads of byte ranges — instead of touching
+//! `File` directly. Production uses [`FileStorage`]; tests substitute
+//! [`FaultyStorage`], which wraps any storage and injects short reads,
+//! transient I/O errors, and bit flips on a deterministic seeded schedule,
+//! so the retry, checksum and degradation paths can be exercised
+//! reproducibly without root privileges or kernel fault-injection machinery.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Random-access byte storage.
+///
+/// Implementations take `&self`: the pseudo-disk engine issues reads from
+/// shared references (batched queries never mutate the index), so stateful
+/// backends use interior mutability.
+pub trait Storage: fmt::Debug + Send + Sync {
+    /// Reads exactly `buf.len()` bytes starting at `offset`.
+    ///
+    /// Fails with `UnexpectedEof` if the storage ends inside the range.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Total size in bytes.
+    fn len(&self) -> io::Result<u64>;
+
+    /// True if the storage holds no bytes.
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// Production storage: a file, read with seek + `read_exact`.
+///
+/// The handle is behind a mutex so reads can be issued from `&self`; the
+/// pseudo-disk engine reads whole sections at a time, so lock traffic is a
+/// few acquisitions per section, not per record.
+pub struct FileStorage {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+impl fmt::Debug for FileStorage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileStorage")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FileStorage {
+    /// Opens a file for positioned reads.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<FileStorage> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        Ok(FileStorage {
+            file: Mutex::new(file),
+            path,
+        })
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Storage for FileStorage {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let mut file = match self.file.lock() {
+            Ok(f) => f,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(buf)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        let file = match self.file.lock() {
+            Ok(f) => f,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Ok(file.metadata()?.len())
+    }
+}
+
+/// In-memory storage — unit tests and format fuzzing.
+#[derive(Debug, Clone)]
+pub struct MemStorage {
+    bytes: Vec<u8>,
+}
+
+impl MemStorage {
+    /// Wraps a byte buffer.
+    pub fn new(bytes: Vec<u8>) -> MemStorage {
+        MemStorage { bytes }
+    }
+}
+
+impl Storage for MemStorage {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let start = usize::try_from(offset)
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "offset beyond storage"))?;
+        let end = start
+            .checked_add(buf.len())
+            .filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                buf.copy_from_slice(&self.bytes[start..end]);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "read past end of storage",
+            )),
+        }
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.bytes.len() as u64)
+    }
+}
+
+/// Deterministic fault schedule of a [`FaultyStorage`].
+///
+/// Rates are per-read probabilities drawn from a seeded generator, so a
+/// given `(plan, sequence of reads)` always injects the same faults — test
+/// failures reproduce from the seed alone.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed of the fault schedule.
+    pub seed: u64,
+    /// Probability that a read fails with a transient error
+    /// (`Interrupted` / `TimedOut`, alternating).
+    pub transient_error: f64,
+    /// Probability that a read is cut short: a prefix is filled, then
+    /// `UnexpectedEof` is returned.
+    pub short_read: f64,
+    /// Probability that a read succeeds but one pseudorandom bit of the
+    /// returned buffer is flipped.
+    pub bit_flip: f64,
+    /// The first `skip_reads` reads pass through untouched. Lets a test
+    /// open an index cleanly (header, table and CRC-table reads) and
+    /// confine faults to the query path.
+    pub skip_reads: u64,
+    /// Stop injecting after this many faults (`None` = unlimited). Lets a
+    /// test inject exactly N transient failures and then heal.
+    pub max_faults: Option<u64>,
+    /// File-offset range where every read fails permanently, regardless of
+    /// `max_faults` — models an unreadable disk region.
+    pub dead_range: Option<Range<u64>>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            transient_error: 0.0,
+            short_read: 0.0,
+            bit_flip: 0.0,
+            skip_reads: 0,
+            max_faults: None,
+            dead_range: None,
+        }
+    }
+}
+
+/// Counters of what a [`FaultyStorage`] actually did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Total `read_at` calls.
+    pub reads: u64,
+    /// Transient errors injected.
+    pub transient_errors: u64,
+    /// Short reads injected.
+    pub short_reads: u64,
+    /// Bit flips injected.
+    pub bit_flips: u64,
+    /// Reads refused inside the dead range.
+    pub dead_reads: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of every kind.
+    pub fn total(&self) -> u64 {
+        self.transient_errors + self.short_reads + self.bit_flips + self.dead_reads
+    }
+}
+
+struct FaultState {
+    rng: u64,
+    stats: FaultStats,
+}
+
+/// Test-only storage wrapper injecting faults per a [`FaultPlan`].
+pub struct FaultyStorage<S> {
+    inner: S,
+    plan: FaultPlan,
+    state: Mutex<FaultState>,
+}
+
+impl<S: fmt::Debug> fmt::Debug for FaultyStorage<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyStorage")
+            .field("inner", &self.inner)
+            .field("plan", &self.plan)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<S> FaultyStorage<S> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: S, plan: FaultPlan) -> FaultyStorage<S> {
+        // xorshift64* must not start at 0.
+        let rng = plan.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        FaultyStorage {
+            inner,
+            plan,
+            state: Mutex::new(FaultState {
+                rng,
+                stats: FaultStats::default(),
+            }),
+        }
+    }
+
+    /// What has been injected so far.
+    pub fn stats(&self) -> FaultStats {
+        match self.state.lock() {
+            Ok(s) => s.stats,
+            Err(poisoned) => poisoned.into_inner().stats,
+        }
+    }
+
+    /// The wrapped storage.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+fn unit(s: &mut u64) -> f64 {
+    (xorshift(s) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl<S: Storage> Storage for FaultyStorage<S> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let mut state = match self.state.lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.stats.reads += 1;
+        if state.stats.reads <= self.plan.skip_reads {
+            return self.inner.read_at(offset, buf);
+        }
+
+        if let Some(dead) = &self.plan.dead_range {
+            let end = offset + buf.len() as u64;
+            if offset < dead.end && end > dead.start {
+                state.stats.dead_reads += 1;
+                return Err(io::Error::other(format!(
+                    "injected permanent fault: read [{offset}, {end}) hits dead range \
+                     [{}, {})",
+                    dead.start, dead.end
+                )));
+            }
+        }
+
+        let budget_left = self
+            .plan
+            .max_faults
+            .is_none_or(|max| state.stats.total() < max);
+        if budget_left {
+            if unit(&mut state.rng) < self.plan.transient_error {
+                state.stats.transient_errors += 1;
+                let kind = if state.stats.transient_errors % 2 == 1 {
+                    io::ErrorKind::Interrupted
+                } else {
+                    io::ErrorKind::TimedOut
+                };
+                return Err(io::Error::new(kind, "injected transient fault"));
+            }
+            if !buf.is_empty() && unit(&mut state.rng) < self.plan.short_read {
+                state.stats.short_reads += 1;
+                let cut = (xorshift(&mut state.rng) as usize) % buf.len();
+                // Deliver a prefix, as a failing device would, then report EOF.
+                let _ = self.inner.read_at(offset, &mut buf[..cut]);
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "injected short read",
+                ));
+            }
+            if !buf.is_empty() && unit(&mut state.rng) < self.plan.bit_flip {
+                self.inner.read_at(offset, buf)?;
+                state.stats.bit_flips += 1;
+                let byte = (xorshift(&mut state.rng) as usize) % buf.len();
+                let bit = (xorshift(&mut state.rng) % 8) as u8;
+                buf[byte] ^= 1 << bit;
+                return Ok(());
+            }
+        }
+        self.inner.read_at(offset, buf)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(n: usize) -> MemStorage {
+        MemStorage::new((0..n).map(|i| (i % 251) as u8).collect())
+    }
+
+    #[test]
+    fn file_storage_reads_ranges() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("s3_storage_test_{}", std::process::id()));
+        std::fs::write(&path, (0u8..=255).collect::<Vec<_>>()).unwrap();
+        let s = FileStorage::open(&path).unwrap();
+        assert_eq!(s.len().unwrap(), 256);
+        let mut buf = [0u8; 4];
+        s.read_at(10, &mut buf).unwrap();
+        assert_eq!(buf, [10, 11, 12, 13]);
+        let mut beyond = [0u8; 8];
+        let err = s.read_at(252, &mut beyond).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mem_storage_bounds() {
+        let s = mem(100);
+        let mut buf = [0u8; 10];
+        s.read_at(90, &mut buf).unwrap();
+        assert!(s.read_at(91, &mut buf).is_err());
+        assert!(s.read_at(u64::MAX, &mut buf).is_err());
+    }
+
+    #[test]
+    fn faulty_schedule_is_deterministic() {
+        let plan = FaultPlan {
+            seed: 42,
+            transient_error: 0.3,
+            bit_flip: 0.2,
+            ..FaultPlan::default()
+        };
+        let run = || {
+            let s = FaultyStorage::new(mem(4096), plan.clone());
+            let mut outcomes = Vec::new();
+            for i in 0..50u64 {
+                let mut buf = [0u8; 32];
+                outcomes.push((s.read_at(i * 64, &mut buf).is_ok(), buf));
+            }
+            (outcomes, s.stats())
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert!(sa.transient_errors > 0, "schedule never fired: {sa:?}");
+        assert!(sa.bit_flips > 0, "schedule never flipped: {sa:?}");
+    }
+
+    #[test]
+    fn max_faults_heals_the_storage() {
+        let plan = FaultPlan {
+            seed: 7,
+            transient_error: 1.0,
+            max_faults: Some(3),
+            ..FaultPlan::default()
+        };
+        let s = FaultyStorage::new(mem(256), plan);
+        let mut buf = [0u8; 8];
+        let failures = (0..10).filter(|_| s.read_at(0, &mut buf).is_err()).count();
+        assert_eq!(failures, 3);
+        assert_eq!(s.stats().transient_errors, 3);
+    }
+
+    #[test]
+    fn dead_range_always_fails() {
+        let plan = FaultPlan {
+            dead_range: Some(100..200),
+            ..FaultPlan::default()
+        };
+        let s = FaultyStorage::new(mem(4096), plan);
+        let mut buf = [0u8; 16];
+        s.read_at(0, &mut buf).unwrap();
+        s.read_at(200, &mut buf).unwrap();
+        for _ in 0..5 {
+            assert!(s.read_at(150, &mut buf).is_err());
+            assert!(s.read_at(96, &mut buf).is_err(), "overlap from below");
+        }
+        assert_eq!(s.stats().dead_reads, 10);
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let plan = FaultPlan {
+            seed: 3,
+            bit_flip: 1.0,
+            max_faults: Some(1),
+            ..FaultPlan::default()
+        };
+        let s = FaultyStorage::new(mem(1024), plan);
+        let mut corrupt = [0u8; 64];
+        s.read_at(0, &mut corrupt).unwrap();
+        let mut clean = [0u8; 64];
+        s.read_at(0, &mut clean).unwrap(); // budget exhausted: clean read
+        let diff_bits: u32 = corrupt
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff_bits, 1);
+    }
+
+    #[test]
+    fn short_read_reports_eof() {
+        let plan = FaultPlan {
+            seed: 5,
+            short_read: 1.0,
+            max_faults: Some(1),
+            ..FaultPlan::default()
+        };
+        let s = FaultyStorage::new(mem(1024), plan);
+        let mut buf = [0u8; 64];
+        let err = s.read_at(0, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert_eq!(s.stats().short_reads, 1);
+        s.read_at(0, &mut buf).unwrap();
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The local characterisation of §III is a differential decomposition of the
 //! graylevel signal up to second order; following Schmid & Mohr (the paper's
-//! ref. [21]) the derivatives are computed by convolution with derivatives of
+//! ref. \[21\]) the derivatives are computed by convolution with derivatives of
 //! a Gaussian, which makes them well-posed on noisy video. Kernels are
 //! truncated at 3σ; image borders use clamp-to-edge.
 

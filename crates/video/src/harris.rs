@@ -151,7 +151,9 @@ pub fn detect_interest_points(frame: &Frame, params: &HarrisParams) -> Vec<Inter
     }
     let floor = max_response * params.relative_threshold;
     candidates.retain(|p| p.response >= floor);
-    candidates.sort_by(|a, b| b.response.partial_cmp(&a.response).unwrap());
+    // Responses are finite (sums/products of finite pixel values), so the
+    // NaN arm of total_cmp is never taken.
+    candidates.sort_by(|a, b| b.response.total_cmp(&a.response));
     candidates.truncate(params.max_points);
     candidates
 }

@@ -15,6 +15,9 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+// Library code must surface failures as typed errors, not process aborts
+// (tests may still unwrap freely).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod features;
 pub mod filtering;
@@ -35,7 +38,7 @@ pub use pipeline::{
     estimate_sigma, extract_fingerprints, measure_distortion, ExtractorParams, LocalFingerprint,
     MatchedPair,
 };
-pub use streaming::StreamingExtractor;
+pub use streaming::{StreamError, StreamingExtractor};
 pub use synth::{ContentKind, ProceduralVideo, VideoLibrary, VideoSource};
 pub use transform::{Transform, TransformChain, TransformedVideo};
 pub use y4m::{Y4mError, Y4mVideo};

@@ -18,6 +18,41 @@ use crate::frame::Frame;
 use crate::harris::detect_interest_points;
 use crate::pipeline::{ExtractorParams, LocalFingerprint};
 use std::collections::VecDeque;
+use std::fmt;
+
+/// A frame the extractor refuses to consume.
+///
+/// Live capture hardware occasionally delivers garbage — a resolution
+/// glitch mid-stream, or frames after the driver reported end-of-stream.
+/// [`StreamingExtractor::try_push`] reports these instead of panicking so a
+/// monitor can skip-and-count (see `s3-cbcd`'s `HealthReport`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamError {
+    /// The extractor was already finished; no more frames are accepted.
+    Finished,
+    /// The frame's dimensions differ from the stream's established ones.
+    FrameDims {
+        /// Dimensions fixed by the first frame, `(width, height)`.
+        expected: (usize, usize),
+        /// Dimensions of the rejected frame.
+        got: (usize, usize),
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Finished => write!(f, "extractor already finished"),
+            StreamError::FrameDims { expected, got } => write!(
+                f,
+                "frame dimensions {}x{} do not match stream {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
 
 /// Incremental fingerprint extractor over a pushed frame stream.
 pub struct StreamingExtractor {
@@ -38,6 +73,8 @@ pub struct StreamingExtractor {
     /// Next smoothed-motion index to examine for an extremum.
     next_probe: usize,
     prev_frame: Option<Frame>,
+    /// Dimensions fixed by the first accepted frame.
+    dims: Option<(usize, usize)>,
     finished: bool,
 }
 
@@ -58,6 +95,7 @@ impl StreamingExtractor {
             last_keyframe: None,
             next_probe: 1,
             prev_frame: None,
+            dims: None,
             finished: false,
         }
     }
@@ -70,16 +108,40 @@ impl StreamingExtractor {
     /// Pushes the next frame; returns any fingerprints that became decidable.
     ///
     /// # Panics
-    /// If called after [`StreamingExtractor::finish`].
+    /// If called after [`StreamingExtractor::finish`] or with a frame whose
+    /// dimensions differ from the stream's. Use
+    /// [`StreamingExtractor::try_push`] to recover from either instead.
     pub fn push(&mut self, frame: Frame) -> Vec<LocalFingerprint> {
-        assert!(!self.finished, "extractor already finished");
+        match self.try_push(frame) {
+            Ok(fps) => fps,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`StreamingExtractor::push`].
+    ///
+    /// Rejects the frame — leaving the extractor state untouched, so the
+    /// caller can simply drop it and continue — if the stream is finished or
+    /// the frame's dimensions do not match the first accepted frame's.
+    pub fn try_push(&mut self, frame: Frame) -> Result<Vec<LocalFingerprint>, StreamError> {
+        if self.finished {
+            return Err(StreamError::Finished);
+        }
+        let got = (frame.width(), frame.height());
+        match self.dims {
+            Some(expected) if expected != got => {
+                return Err(StreamError::FrameDims { expected, got })
+            }
+            None => self.dims = Some(got),
+            _ => {}
+        }
         if let Some(prev) = &self.prev_frame {
             self.motion.push(f64::from(prev.mean_abs_diff(&frame)));
         }
         self.prev_frame = Some(frame.clone());
         self.frames.push_back(frame);
         self.next_t += 1;
-        self.drain(false)
+        Ok(self.drain(false))
     }
 
     /// Signals end-of-stream and returns the remaining fingerprints.
@@ -277,6 +339,42 @@ mod tests {
         all.extend(ext.finish());
         // Three frames rarely contain an extremum; just must not panic.
         assert!(all.len() <= 24);
+    }
+
+    #[test]
+    fn try_push_rejects_bad_frames_without_losing_state() {
+        let video = ProceduralVideo::new(96, 72, 60, 0x444);
+        let mut ext = StreamingExtractor::new(fast_params());
+        let mut clean = Vec::new();
+        for t in 0..video.len() {
+            if t == 20 {
+                // A resolution glitch mid-stream: rejected, state untouched.
+                let junk = Frame::from_data(8, 8, vec![0.0; 64]);
+                assert_eq!(
+                    ext.try_push(junk),
+                    Err(StreamError::FrameDims {
+                        expected: (96, 72),
+                        got: (8, 8)
+                    })
+                );
+            }
+            clean.extend(ext.try_push(video.frame(t)).unwrap());
+        }
+        clean.extend(ext.finish());
+
+        let mut ext2 = StreamingExtractor::new(fast_params());
+        let mut reference = Vec::new();
+        for t in 0..video.len() {
+            reference.extend(ext2.push(video.frame(t)));
+        }
+        reference.extend(ext2.finish());
+        assert_eq!(clean, reference, "a dropped frame must leave no trace");
+
+        assert_eq!(
+            ext.try_push(video.frame(0)),
+            Err(StreamError::Finished),
+            "finished extractor keeps rejecting"
+        );
     }
 
     #[test]

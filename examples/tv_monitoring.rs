@@ -89,7 +89,7 @@ fn main() {
     let detector = Detector::new(&db, config);
     let mut monitor = Monitor::new(&detector, monitor_params);
     for chunk in stream.chunks(25) {
-        monitor.push(chunk);
+        monitor.push(chunk).expect("clean synthetic stream");
     }
     let (events, stats) = monitor.finish();
 

@@ -28,7 +28,7 @@ fn config() -> DetectorConfig {
 fn detects_each_attack_family() {
     let mut b = DbBuilder::new(fast_params());
     for i in 0..4u64 {
-        let v = ProceduralVideo::new(96, 72, 80, 0xE2E + (i << 12));
+        let v = ProceduralVideo::new(96, 72, 80, 0x7A57 + (i << 12));
         b.add_video(&format!("ref-{i}"), &v);
     }
     let db = b.build();
@@ -48,7 +48,7 @@ fn detects_each_attack_family() {
         ("letterbox", Transform::Letterbox { wletterbox: 20.0 }),
     ];
     for (label, t) in attacks {
-        let original = ProceduralVideo::new(96, 72, 80, 0xE2E + (2 << 12));
+        let original = ProceduralVideo::new(96, 72, 80, 0x7A57 + (2 << 12));
         let candidate = TransformedVideo::new(&original, TransformChain::new(vec![t]), 5);
         let found = det.detect_video(&candidate);
         assert!(
