@@ -1,0 +1,55 @@
+//! Metrics-snapshot benchmark: runs the full pipeline — extraction,
+//! indexing, pseudo-disk batched statistical queries — and saves the
+//! populated s3-obs registry as `BENCH_PR2.json`, so regressions in counter
+//! coverage or latency distributions are visible in CI artifacts.
+//! `--scale quick|full`.
+
+use s3_bench::{results_dir, workload, Scale};
+use s3_core::pseudo_disk::DiskIndex;
+use s3_core::{IsotropicNormal, S3Index, StatQueryOpts};
+use s3_hilbert::HilbertCurve;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (n_videos, frames, n_queries) = match scale {
+        Scale::Quick => (4, 60, 64),
+        Scale::Full => (16, 120, 512),
+    };
+
+    // Extraction (populates video.* metrics and the video.extract span).
+    let pool = workload::extracted_pool(n_videos, frames, 0xBE7C);
+    eprintln!("extracted pool: {} fingerprints", pool.len());
+
+    // Index build + pseudo-disk round trip (storage.* and io.* metrics).
+    let mut sampler = workload::FingerprintSampler::new(pool, 4.0, 0x5EED);
+    let batch = sampler.batch(20_000);
+    let index = S3Index::build(HilbertCurve::paper(), batch);
+    let dir = std::env::temp_dir().join("s3_bench_metrics");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join("bench_metrics.idx");
+    DiskIndex::write(&index, &path).expect("write index");
+    let disk = DiskIndex::open(&path).expect("open index");
+
+    // Batched statistical queries under a modest memory budget, so the
+    // section loader and refinement scans both run (disk.* / query.*).
+    let queries: Vec<Vec<u8>> = (0..n_queries).map(|_| sampler.sample().to_vec()).collect();
+    let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+    let model = IsotropicNormal::new(20, 15.0);
+    let opts = StatQueryOpts::for_db_size(0.8, index.len());
+    let res = disk
+        .stat_query_batch(&qrefs, &model, &opts, 8 << 20)
+        .expect("batch query");
+    eprintln!(
+        "queried {} probes: {} sections, {:?} per query",
+        n_queries,
+        res.sections,
+        res.timing.per_query(n_queries)
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // Snapshot everything the run recorded.
+    let out = results_dir().join("BENCH_PR2.json");
+    std::fs::create_dir_all(results_dir()).expect("create results dir");
+    std::fs::write(&out, s3_obs::registry().snapshot().to_json()).expect("write snapshot");
+    eprintln!("metrics snapshot written to {}", out.display());
+}

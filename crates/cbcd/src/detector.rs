@@ -141,6 +141,7 @@ impl<'a> Detector<'a> {
         &self,
         fps: &[LocalFingerprint],
     ) -> (Vec<SpatialCandidateVotes>, SearchHealth) {
+        let mut sp = s3_obs::span!("detect.search", "queries" => fps.len() as f64);
         let queries: Vec<&[u8]> = fps.iter().map(|f| f.fingerprint.as_slice()).collect();
         let results = parallel::stat_query_batch(
             self.db.index(),
@@ -153,6 +154,7 @@ impl<'a> Detector<'a> {
             degraded_queries: results.iter().filter(|r| r.stats.degraded).count(),
             sections_skipped: results.iter().map(|r| r.stats.sections_skipped).sum(),
         };
+        sp.record("degraded_queries", health.degraded_queries as f64);
         let votes = fps
             .iter()
             .zip(results)
@@ -176,6 +178,7 @@ impl<'a> Detector<'a> {
     /// Runs the search stage only, returning the voting buffer. Exposed for
     /// the monitoring loop, which buffers across window boundaries.
     pub fn query_buffer(&self, fps: &[LocalFingerprint]) -> Vec<CandidateVotes> {
+        let _sp = s3_obs::span!("detect.search", "queries" => fps.len() as f64);
         let queries: Vec<&[u8]> = fps.iter().map(|f| f.fingerprint.as_slice()).collect();
         let results = parallel::stat_query_batch(
             self.db.index(),

@@ -17,11 +17,21 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 // Library code must surface failures as typed errors, not process aborts
-// (tests may still unwrap freely).
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+// (tests may still unwrap freely), and all diagnostics must go through the
+// s3-obs event sink, never raw prints.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::print_stdout,
+        clippy::print_stderr
+    )
+)]
 
 pub mod calibrate;
 pub mod detector;
+pub mod metrics;
 pub mod monitor;
 pub mod persist;
 pub mod registry;
@@ -30,6 +40,7 @@ pub mod voting;
 
 pub use calibrate::{calibrate_monitor_threshold, calibrate_threshold, Calibration};
 pub use detector::{Detector, DetectorConfig, SearchHealth};
+pub use metrics::CbcdMetrics;
 pub use monitor::{HealthReport, Monitor, MonitorError, MonitorEvent, MonitorParams, MonitorStats};
 pub use persist::PersistError;
 pub use registry::{DbBuilder, ReferenceDb};

@@ -16,8 +16,10 @@
 //! would invalidate the result.
 
 use crate::detector::Detector;
+use crate::metrics::CbcdMetrics;
 use crate::spatial::{vote_spatial, SpatialCandidateVotes, SpatialVoteParams};
 use crate::voting::{vote, CandidateVotes, Detection};
+use s3_obs::span;
 use s3_video::LocalFingerprint;
 use std::error::Error;
 use std::fmt;
@@ -207,6 +209,7 @@ impl<'a> Monitor<'a> {
     /// is set, in which case either condition aborts with a
     /// [`MonitorError`] before any of the chunk is consumed.
     pub fn push(&mut self, fps: &[LocalFingerprint]) -> Result<(), MonitorError> {
+        let health_before = self.health;
         let mut accepted: Vec<LocalFingerprint> = Vec::with_capacity(fps.len());
         let mut last_tc = self.last_input_tc;
         for f in fps {
@@ -228,6 +231,7 @@ impl<'a> Monitor<'a> {
         self.last_input_tc = last_tc;
         self.health.accepted += accepted.len();
         if accepted.is_empty() {
+            CbcdMetrics::get().record_health_delta(&health_before, &self.health);
             return Ok(());
         }
         let fps = accepted.as_slice();
@@ -257,6 +261,7 @@ impl<'a> Monitor<'a> {
             }
         }
         self.busy += t0.elapsed();
+        CbcdMetrics::get().record_health_delta(&health_before, &self.health);
         Ok(())
     }
 
@@ -298,6 +303,9 @@ impl<'a> Monitor<'a> {
 
     fn vote_current(&mut self) {
         self.stats_windows += 1;
+        CbcdMetrics::get().windows.inc();
+        let mut sp = span!("monitor.window");
+        sp.record("buffered", self.buffer.len() as f64);
         let window_tc = self.buffer.first().map_or(0.0, |cv| cv.tc);
         if let Some(spatial_params) = self.params.spatial {
             for det in vote_spatial(&self.buffer, &spatial_params) {
@@ -335,6 +343,7 @@ impl<'a> Monitor<'a> {
             e.last_tc = e.last_tc.max(window_tc);
             return;
         }
+        CbcdMetrics::get().events.inc();
         self.events.push(MonitorEvent {
             id: det.id,
             offset: det.offset,

@@ -23,7 +23,9 @@
 //! The declared length plus trailing CRC-32 turn truncation and bit rot into
 //! clean [`PersistError`]s instead of silently different databases. The
 //! legacy `S3REFDB1` layout (same payload, no length, no CRC) still loads,
-//! with a warning on stderr. [`ReferenceDb::save`] is atomic: a sibling temp
+//! with a warning routed through the `s3-obs` event sink (stderr by default)
+//! and counted in `storage.v1_fallback`. [`ReferenceDb::save`] is atomic: a
+//! sibling temp
 //! file is written and fsynced, then renamed over the destination, so a
 //! crash mid-save never clobbers the previous good database.
 
@@ -238,9 +240,11 @@ impl ReferenceDb {
         }
         let (magic, rest) = raw.split_at(8);
         if magic == MAGIC_V1 {
-            eprintln!(
-                "warning: opening legacy S3REFDB1 reference db (no checksum); \
-                 re-save to gain corruption detection"
+            s3_core::CoreMetrics::get().v1_fallback.inc();
+            s3_obs::event::warn(
+                "persist",
+                "opening legacy S3REFDB1 reference db (no checksum); \
+                 re-save to gain corruption detection",
             );
             return Self::decode_payload(rest);
         }
@@ -267,6 +271,7 @@ impl ReferenceDb {
         let stored = u32::from_le_bytes(crc4);
         let computed = crc32(payload);
         if stored != computed {
+            s3_core::CoreMetrics::get().crc_failures.inc();
             return Err(PersistError::Checksum { stored, computed });
         }
         Self::decode_payload(payload)

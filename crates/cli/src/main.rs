@@ -8,13 +8,19 @@
 //! s3cbcd query <index-file> [--alpha A] [--sigma S] [--depth P] [--queries N] [--mem MB]
 //! s3cbcd detect <index-file-dir-seed> ... (see `detect --help`)
 //! s3cbcd monitor [--archive N] [--stream-frames N] [--seed S]
+//! s3cbcd metrics [--format table|json|prom] [--queries N]
 //! ```
 //!
 //! `build`/`info`/`query` exercise the index layer against a disk file;
 //! `detect` and `monitor` run the full in-memory CBCD pipeline on synthetic
 //! material (the substitute for real broadcast capture, see DESIGN.md).
+//! Every pipeline command accepts `--metrics-json <path>` (write a snapshot
+//! of all counters/histograms on exit) and `--metrics-every <secs>`
+//! (periodic metrics table on stderr); `metrics` runs a small self-contained
+//! workload and prints the populated registry in the chosen format.
 
 mod args;
+mod metrics;
 
 use args::Args;
 use s3_cbcd::{
@@ -42,6 +48,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(rest),
         "detect" => cmd_detect(rest),
         "monitor" => cmd_monitor(rest),
+        "metrics" => cmd_metrics(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -81,7 +88,14 @@ USAGE:
       Monitor a synthetic broadcast with embedded copies; report events,
       the real-time factor and a stream-health summary. --strict turns any
       degradation (out-of-order input, skipped index sections) into a hard
-      error.";
+      error.
+  s3cbcd metrics [--format table|json|prom] [--queries N]
+      Run a small self-contained extract+index+query workload and print
+      the populated metrics registry in the chosen exporter format.
+
+  query/detect/monitor also accept:
+      --metrics-json <path>   write a JSON metrics snapshot on exit
+      --metrics-every <secs>  print a metrics table to stderr periodically";
 
 fn cmd_build(rest: Vec<String>) -> Result<(), String> {
     let a = Args::parse(rest, &["videos", "frames", "seed"])?;
@@ -148,9 +162,19 @@ fn cmd_info(rest: Vec<String>) -> Result<(), String> {
 fn cmd_query(rest: Vec<String>) -> Result<(), String> {
     let a = Args::parse_with_switches(
         rest,
-        &["alpha", "sigma", "depth", "queries", "mem", "seed"],
+        &[
+            "alpha",
+            "sigma",
+            "depth",
+            "queries",
+            "mem",
+            "seed",
+            "metrics-json",
+            "metrics-every",
+        ],
         &["strict"],
     )?;
+    let (metrics_json, _ticker) = metrics::shared_flags(&a)?;
     let path = a.positional(0).ok_or("query needs an index path")?;
     let alpha: f64 = a.get_parsed("alpha", 0.8)?;
     let sigma: f64 = a.get_parsed("sigma", 15.0)?;
@@ -235,11 +259,26 @@ fn cmd_query(rest: Vec<String>) -> Result<(), String> {
             }
         );
     }
+    if let Some(path) = metrics_json {
+        metrics::dump_json(&path)?;
+    }
     Ok(())
 }
 
 fn cmd_detect(rest: Vec<String>) -> Result<(), String> {
-    let a = Args::parse(rest, &["videos", "frames", "seed", "attack", "candidate"])?;
+    let a = Args::parse(
+        rest,
+        &[
+            "videos",
+            "frames",
+            "seed",
+            "attack",
+            "candidate",
+            "metrics-json",
+            "metrics-every",
+        ],
+    )?;
+    let (metrics_json, _ticker) = metrics::shared_flags(&a)?;
     let n_videos: usize = a.get_parsed("videos", 6)?;
     let frames: usize = a.get_parsed("frames", 100)?;
     let seed: u64 = a.get_parsed("seed", 3)?;
@@ -329,6 +368,9 @@ fn cmd_detect(rest: Vec<String>) -> Result<(), String> {
             d.ncand
         );
     }
+    if let Some(path) = metrics_json {
+        metrics::dump_json(&path)?;
+    }
     match target {
         Some(t) if detections.iter().any(|d| d.id == t) => {
             println!("OK: correct video identified");
@@ -340,7 +382,18 @@ fn cmd_detect(rest: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_monitor(rest: Vec<String>) -> Result<(), String> {
-    let a = Args::parse_with_switches(rest, &["archive", "stream-frames", "seed"], &["strict"])?;
+    let a = Args::parse_with_switches(
+        rest,
+        &[
+            "archive",
+            "stream-frames",
+            "seed",
+            "metrics-json",
+            "metrics-every",
+        ],
+        &["strict"],
+    )?;
+    let (metrics_json, _ticker) = metrics::shared_flags(&a)?;
     let n_archive: usize = a.get_parsed("archive", 6)?;
     let stream_frames: usize = a.get_parsed("stream-frames", 400)?;
     let seed: u64 = a.get_parsed("seed", 11)?;
@@ -427,10 +480,38 @@ fn cmd_monitor(rest: Vec<String>) -> Result<(), String> {
             stats.health.sections_skipped
         );
     }
+    if let Some(path) = metrics_json {
+        metrics::dump_json(&path)?;
+    }
     if events.iter().any(|e| e.id == rerun_id as u32) {
         println!("OK: embedded rerun detected");
         Ok(())
     } else {
         Err("embedded rerun missed".into())
     }
+}
+
+fn cmd_metrics(rest: Vec<String>) -> Result<(), String> {
+    let a = Args::parse(rest, &["format", "queries"])?;
+    let format = a.get("format").unwrap_or("table");
+    let n_queries: usize = a.get_parsed("queries", 32)?;
+
+    // A small end-to-end workload (extract → index → query) so every stage's
+    // instrumentation has data to show; ~a second of work.
+    let video = ProceduralVideo::new(96, 72, 60, 0xD1CE);
+    let params = ExtractorParams::default();
+    let fps = extract_fingerprints(&video, &params);
+    let mut batch = RecordBatch::new(20);
+    for f in &fps {
+        batch.push(&f.fingerprint, 0, f.tc);
+    }
+    let index = S3Index::build(HilbertCurve::paper(), batch);
+    let model = IsotropicNormal::new(20, 15.0);
+    let opts = StatQueryOpts::for_db_size(0.8, index.len());
+    for f in fps.iter().take(n_queries) {
+        let _ = index.stat_query(&f.fingerprint, &model, &opts);
+    }
+
+    print!("{}", metrics::render(format)?);
+    Ok(())
 }

@@ -1,0 +1,82 @@
+//! Metrics plumbing for the CLI: snapshot export (`--metrics-json`), the
+//! periodic stderr reporter (`--metrics-every`) and the `metrics`
+//! subcommand's self-test workload.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::args::Args;
+
+/// Writes a JSON snapshot of the global registry to `path`.
+pub fn dump_json(path: &str) -> Result<(), String> {
+    let json = s3_obs::registry().snapshot().to_json();
+    std::fs::write(path, json).map_err(|e| format!("writing metrics to {path}: {e}"))?;
+    eprintln!("metrics snapshot written to {path}");
+    Ok(())
+}
+
+/// Renders the global registry in one of the supported exporter formats.
+pub fn render(format: &str) -> Result<String, String> {
+    let snap = s3_obs::registry().snapshot();
+    match format {
+        "table" => Ok(snap.to_table()),
+        "json" => Ok(snap.to_json()),
+        "prom" | "prometheus" => Ok(snap.to_prometheus()),
+        other => Err(format!(
+            "unknown metrics format '{other}' (expected table | json | prom)"
+        )),
+    }
+}
+
+/// Background thread that prints a metrics table to stderr every `period`.
+/// Stops (and joins) when dropped, so commands can simply hold it in scope.
+pub struct Ticker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Ticker {
+    /// Starts the reporter thread.
+    pub fn start(period: Duration) -> Ticker {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut last = Instant::now();
+            while !flag.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(25));
+                if last.elapsed() >= period {
+                    last = Instant::now();
+                    eprintln!(
+                        "--- metrics ---\n{}",
+                        s3_obs::registry().snapshot().to_table()
+                    );
+                }
+            }
+        });
+        Ticker {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Reads the shared `--metrics-json` / `--metrics-every` flags. Returns the
+/// snapshot path (if requested) and a running [`Ticker`] guard (if requested);
+/// the caller keeps the guard alive for the duration of the command.
+pub fn shared_flags(a: &Args) -> Result<(Option<String>, Option<Ticker>), String> {
+    let ticker = match a.get_parsed::<u64>("metrics-every", 0)? {
+        0 => None,
+        secs => Some(Ticker::start(Duration::from_secs(secs))),
+    };
+    Ok((a.get("metrics-json").map(String::from), ticker))
+}

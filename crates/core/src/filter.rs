@@ -56,6 +56,19 @@ pub struct FilterOutcome {
     pub truncated: bool,
 }
 
+/// Bumps the per-algorithm filter counters and returns the outcome —
+/// applied at every filter's return site so block selection is measured
+/// no matter which query engine invoked it.
+fn observed(outcome: FilterOutcome, algo: &'static str) -> FilterOutcome {
+    let r = s3_obs::registry();
+    r.counter_with("filter.runs", Some(("algo", algo))).inc();
+    r.counter("filter.nodes_expanded")
+        .add(outcome.nodes_expanded as u64);
+    r.counter("filter.blocks_selected")
+        .add(outcome.blocks.len() as u64);
+    outcome
+}
+
 /// Per-dimension block mass under the model, centred on the query.
 #[inline]
 fn dim_factor(model: &dyn DistortionModel, q: &[f64], block: &Block, dim: usize) -> f64 {
@@ -182,13 +195,16 @@ pub fn select_blocks_best_first(
         }
     }
 
-    FilterOutcome {
-        blocks: out,
-        mass: acc,
-        nodes_expanded: nodes,
-        tmax: None,
-        truncated,
-    }
+    observed(
+        FilterOutcome {
+            blocks: out,
+            mass: acc,
+            nodes_expanded: nodes,
+            tmax: None,
+            truncated,
+        },
+        "best_first",
+    )
 }
 
 /// Result of one pruned DFS evaluation of `B(t)`.
@@ -312,13 +328,16 @@ pub fn select_blocks_threshold(
     });
 
     let truncated = best.overflowed || best.psup < alpha;
-    FilterOutcome {
-        mass: best.psup,
-        blocks: best.blocks,
-        nodes_expanded: nodes_total,
-        tmax: Some(tmax),
-        truncated,
-    }
+    observed(
+        FilterOutcome {
+            mass: best.psup,
+            blocks: best.blocks,
+            nodes_expanded: nodes_total,
+            tmax: Some(tmax),
+            truncated,
+        },
+        "threshold",
+    )
 }
 
 /// Geometric filter of a classical ε-range query: selects every depth-p
@@ -366,13 +385,16 @@ pub fn select_blocks_range(
             stack.push(child);
         }
     }
-    FilterOutcome {
-        blocks,
-        mass: f64::NAN,
-        nodes_expanded: nodes,
-        tmax: None,
-        truncated,
-    }
+    observed(
+        FilterOutcome {
+            blocks,
+            mass: f64::NAN,
+            nodes_expanded: nodes,
+            tmax: None,
+            truncated,
+        },
+        "range",
+    )
 }
 
 /// Classical bounding-box filter: selects every depth-p block intersecting
@@ -427,13 +449,16 @@ pub fn select_blocks_bbox(
             stack.push(child);
         }
     }
-    FilterOutcome {
-        blocks,
-        mass: f64::NAN,
-        nodes_expanded: nodes,
-        tmax: None,
-        truncated,
-    }
+    observed(
+        FilterOutcome {
+            blocks,
+            mass: f64::NAN,
+            nodes_expanded: nodes,
+            tmax: None,
+            truncated,
+        },
+        "bbox",
+    )
 }
 
 /// Merges a filter outcome's blocks into sorted, non-overlapping contiguous

@@ -17,7 +17,10 @@ use crate::filter::{
     select_blocks_threshold, FilterOutcome,
 };
 use crate::fingerprint::{dist_sq, RecordBatch};
+use crate::metrics::CoreMetrics;
 use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
+use s3_obs::span;
+use std::time::Instant;
 
 /// Which algorithm computes the statistical block selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -169,9 +172,15 @@ impl S3Index {
         assert!(records.len() <= u32::MAX as usize, "too many records");
 
         let n = records.len();
-        let mut keyed: Vec<(Key256, u32)> = (0..n)
-            .map(|i| (curve.encode_bytes(records.fingerprint(i)), i as u32))
-            .collect();
+        // Hilbert key mapping dominates construction; expose it as a span.
+        let mut keyed: Vec<(Key256, u32)> = {
+            let mut sp = span!("index.build.keys", "records" => n as f64);
+            let keyed = (0..n)
+                .map(|i| (curve.encode_bytes(records.fingerprint(i)), i as u32))
+                .collect();
+            sp.record("threads", 1.0);
+            keyed
+        };
         // Unstable sort: equal keys are identical fingerprints, order among
         // them is irrelevant.
         keyed.sort_unstable_by_key(|a| a.0);
@@ -203,8 +212,14 @@ impl S3Index {
         assert_eq!(curve.order(), 8, "fingerprints are byte vectors (order 8)");
         assert!(records.len() <= u32::MAX as usize, "too many records");
 
-        let keys =
-            crate::parallel::build_keys_parallel(&curve, records.fingerprint_bytes(), threads);
+        let keys = {
+            let _sp = span!(
+                "index.build.keys",
+                "records" => records.len() as f64,
+                "threads" => threads as f64,
+            );
+            crate::parallel::build_keys_parallel(&curve, records.fingerprint_bytes(), threads)
+        };
         let n = records.len();
         let mut keyed: Vec<(Key256, u32)> = keys.into_iter().zip(0..n as u32).collect();
         keyed.sort_unstable_by_key(|&(k, _)| k);
@@ -301,6 +316,7 @@ impl S3Index {
         refine: Refine,
         model: Option<&dyn DistortionModel>,
     ) -> QueryResult {
+        let mut sp = span!("query.refine");
         let merged = merge_block_ranges(&self.curve, outcome);
         let mut matches = Vec::new();
         let mut entries = 0usize;
@@ -352,6 +368,8 @@ impl S3Index {
                 }
             }
         }
+        sp.record("ranges", merged.len() as f64);
+        sp.record("entries", entries as f64);
         QueryResult {
             matches,
             stats: QueryStats {
@@ -374,33 +392,49 @@ impl S3Index {
         model: &dyn DistortionModel,
         opts: &StatQueryOpts,
     ) -> QueryResult {
-        let outcome = match opts.algo {
-            FilterAlgo::BestFirst => select_blocks_best_first(
-                &self.curve,
-                model,
-                q,
-                opts.depth,
-                opts.alpha,
-                opts.max_blocks,
-            ),
-            FilterAlgo::Threshold { iterations } => select_blocks_threshold(
-                &self.curve,
-                model,
-                q,
-                opts.depth,
-                opts.alpha,
-                opts.max_blocks,
-                iterations,
-            ),
+        let t0 = Instant::now();
+        let outcome = {
+            let mut sp = span!("query.filter");
+            let outcome = match opts.algo {
+                FilterAlgo::BestFirst => select_blocks_best_first(
+                    &self.curve,
+                    model,
+                    q,
+                    opts.depth,
+                    opts.alpha,
+                    opts.max_blocks,
+                ),
+                FilterAlgo::Threshold { iterations } => select_blocks_threshold(
+                    &self.curve,
+                    model,
+                    q,
+                    opts.depth,
+                    opts.alpha,
+                    opts.max_blocks,
+                    iterations,
+                ),
+            };
+            sp.record("blocks", outcome.blocks.len() as f64);
+            sp.record("nodes", outcome.nodes_expanded as f64);
+            sp.record("mass", outcome.mass);
+            outcome
         };
-        self.refine_scan(q, &outcome, opts.refine, Some(model))
+        let res = self.refine_scan(q, &outcome, opts.refine, Some(model));
+        CoreMetrics::get().record_query(&res.stats, t0.elapsed());
+        res
     }
 
     /// Exact ε-range query through the index: geometric block filter plus
     /// distance refinement. Recall is exact (the filter is complete).
     pub fn range_query(&self, q: &[u8], eps: f64, depth: u32) -> QueryResult {
-        let outcome = select_blocks_range(&self.curve, q, depth, eps, usize::MAX);
-        self.refine_scan(q, &outcome, Refine::Range(eps), None)
+        let t0 = Instant::now();
+        let outcome = {
+            let _sp = span!("query.filter");
+            select_blocks_range(&self.curve, q, depth, eps, usize::MAX)
+        };
+        let res = self.refine_scan(q, &outcome, Refine::Range(eps), None);
+        CoreMetrics::get().record_query(&res.stats, t0.elapsed());
+        res
     }
 
     /// ε-range query through the classical bounding-box filter (the only
@@ -409,8 +443,14 @@ impl S3Index {
     /// high dimension — the baseline the paper's Fig. 6 speed-ups compare
     /// against.
     pub fn range_query_bbox(&self, q: &[u8], eps: f64, depth: u32) -> QueryResult {
-        let outcome = select_blocks_bbox(&self.curve, q, depth, eps, usize::MAX);
-        self.refine_scan(q, &outcome, Refine::Range(eps), None)
+        let t0 = Instant::now();
+        let outcome = {
+            let _sp = span!("query.filter");
+            select_blocks_bbox(&self.curve, q, depth, eps, usize::MAX)
+        };
+        let res = self.refine_scan(q, &outcome, Refine::Range(eps), None);
+        CoreMetrics::get().record_query(&res.stats, t0.elapsed());
+        res
     }
 
     /// Sequential-scan ε-range query — the reference baseline of Fig. 7.

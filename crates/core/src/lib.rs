@@ -44,8 +44,17 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 // Library code must surface failures as typed errors, not process aborts
-// (tests may still unwrap freely).
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+// (tests may still unwrap freely), and all diagnostics must go through the
+// s3-obs event sink, never raw prints.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::print_stdout,
+        clippy::print_stderr
+    )
+)]
 
 pub mod autotune;
 pub mod crc;
@@ -56,6 +65,7 @@ pub mod filter;
 pub mod fingerprint;
 pub mod index;
 pub mod knn;
+pub mod metrics;
 pub mod parallel;
 pub mod pseudo_disk;
 pub mod storage;
@@ -65,5 +75,6 @@ pub use dynamic::DynamicIndex;
 pub use error::IndexError;
 pub use fingerprint::{dist, dist_sq, Record, RecordBatch, PAPER_DIMS};
 pub use index::{FilterAlgo, Match, QueryResult, QueryStats, Refine, S3Index, StatQueryOpts};
+pub use metrics::CoreMetrics;
 pub use pseudo_disk::{DiskIndex, RetryPolicy, WriteOpts};
 pub use storage::{FaultPlan, FaultStats, FaultyStorage, FileStorage, MemStorage, Storage};

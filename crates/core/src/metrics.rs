@@ -1,0 +1,137 @@
+//! Pre-registered observability handles of the core crate.
+//!
+//! All hot-path instrumentation goes through [`CoreMetrics::get`]: the
+//! registry lookup happens once per process, after which every record is a
+//! few relaxed atomic operations — no locks, no allocation. Eager
+//! registration also guarantees the failure counters (`disk.retries`,
+//! `storage.crc_failures`, ...) appear in every snapshot, zero-valued, so
+//! dashboards can alert on them before the first incident.
+//!
+//! The full catalog is documented in `docs/observability.md`.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use s3_obs::{registry, Counter, Gauge, Histogram};
+
+use crate::index::QueryStats;
+
+/// Handles to every metric the core crate records.
+pub struct CoreMetrics {
+    /// `query.latency` — wall time per query, ns (batched queries record the
+    /// amortised per-query total `T_tot` of eq. 5).
+    pub query_latency: Histogram,
+    /// `query.filter` — filtering stage per query, ns. Shares its name with
+    /// the `query.filter` span, so RAII spans and this handle feed one
+    /// histogram.
+    pub filter_latency: Histogram,
+    /// `query.blocks_selected` — p-blocks kept by the filter.
+    pub blocks_selected: Counter,
+    /// `query.nodes_expanded` — partition-tree nodes expanded.
+    pub nodes_expanded: Counter,
+    /// `query.ranges_scanned` — merged key ranges scanned.
+    pub ranges_scanned: Counter,
+    /// `query.entries_scanned` — records visited by refinement.
+    pub entries_scanned: Counter,
+    /// `query.truncated` — queries cut short by the block budget.
+    pub truncated: Counter,
+    /// `query.sections_skipped` — per-query count of unreadable sections.
+    pub query_sections_skipped: Counter,
+    /// `query.degraded` — queries answered from surviving sections only.
+    pub degraded: Counter,
+    /// `filter.mass` — probability mass captured by the last filter.
+    pub mass: Gauge,
+    /// `filter.tmax` — density threshold of the last threshold filter.
+    pub tmax: Gauge,
+    /// `disk.retries` — section-load retries.
+    pub retries: Counter,
+    /// `disk.sections_loaded` — sections streamed from storage.
+    pub sections_loaded: Counter,
+    /// `disk.sections_skipped` — sections abandoned after retries.
+    pub sections_skipped: Counter,
+    /// `io.read_bytes` — record bytes read from storage.
+    pub read_bytes: Counter,
+    /// `io.section_load` — per-section load time, ns (includes retries).
+    pub section_load: Histogram,
+    /// `storage.crc_failures` — checksum mismatches detected.
+    pub crc_failures: Counter,
+    /// `storage.v1_fallback` — legacy unchecksummed files opened.
+    pub v1_fallback: Counter,
+}
+
+static CORE: OnceLock<CoreMetrics> = OnceLock::new();
+
+impl CoreMetrics {
+    /// The process-wide handles (registered on first call).
+    pub fn get() -> &'static CoreMetrics {
+        CORE.get_or_init(|| {
+            let r = registry();
+            CoreMetrics {
+                query_latency: r.histogram("query.latency"),
+                filter_latency: r.histogram("query.filter"),
+                blocks_selected: r.counter("query.blocks_selected"),
+                nodes_expanded: r.counter("query.nodes_expanded"),
+                ranges_scanned: r.counter("query.ranges_scanned"),
+                entries_scanned: r.counter("query.entries_scanned"),
+                truncated: r.counter("query.truncated"),
+                query_sections_skipped: r.counter("query.sections_skipped"),
+                degraded: r.counter("query.degraded"),
+                mass: r.gauge("filter.mass"),
+                tmax: r.gauge("filter.tmax"),
+                retries: r.counter("disk.retries"),
+                sections_loaded: r.counter("disk.sections_loaded"),
+                sections_skipped: r.counter("disk.sections_skipped"),
+                read_bytes: r.counter("io.read_bytes"),
+                section_load: r.histogram("io.section_load"),
+                crc_failures: r.counter("storage.crc_failures"),
+                v1_fallback: r.counter("storage.v1_fallback"),
+            }
+        })
+    }
+
+    /// Folds one query's work counters (and its latency) into the registry.
+    pub fn record_query(&self, stats: &QueryStats, latency: Duration) {
+        self.query_latency.record_duration(latency);
+        self.blocks_selected.add(stats.blocks_selected as u64);
+        self.nodes_expanded.add(stats.nodes_expanded as u64);
+        self.ranges_scanned.add(stats.ranges_scanned as u64);
+        self.entries_scanned.add(stats.entries_scanned as u64);
+        if stats.truncated {
+            self.truncated.inc();
+        }
+        if stats.sections_skipped > 0 {
+            self.query_sections_skipped
+                .add(stats.sections_skipped as u64);
+        }
+        if stats.degraded {
+            self.degraded.inc();
+        }
+        if stats.mass.is_finite() {
+            self.mass.set(stats.mass);
+        }
+        if let Some(t) = stats.tmax {
+            self.tmax.set(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_query_updates_counters() {
+        let m = CoreMetrics::get();
+        let before = m.blocks_selected.get();
+        let stats = QueryStats {
+            blocks_selected: 7,
+            entries_scanned: 100,
+            mass: 0.9,
+            ..QueryStats::default()
+        };
+        m.record_query(&stats, Duration::from_micros(5));
+        assert_eq!(m.blocks_selected.get(), before + 7);
+        assert!(m.query_latency.count() >= 1);
+        assert_eq!(m.mass.get(), 0.9);
+    }
+}

@@ -26,6 +26,11 @@ pub fn stat_query_batch(
     threads: usize,
 ) -> Vec<QueryResult> {
     assert!(threads > 0, "need at least one thread");
+    let _sp = s3_obs::span!(
+        "query.batch",
+        "queries" => queries.len() as f64,
+        "threads" => threads as f64,
+    );
     if threads == 1 || queries.len() <= 1 {
         return queries
             .iter()

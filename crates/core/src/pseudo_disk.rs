@@ -58,8 +58,10 @@ use crate::error::IndexError;
 use crate::filter::{merge_block_ranges, select_blocks_best_first, select_blocks_range};
 use crate::fingerprint::dist_sq;
 use crate::index::{Match, QueryStats, Refine, S3Index, StatQueryOpts};
+use crate::metrics::CoreMetrics;
 use crate::storage::{FileStorage, Storage};
 use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
+use s3_obs::{event, span, LocalHistogram};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
@@ -144,7 +146,7 @@ pub struct DiskIndex {
 
 /// Aggregate timing and health of one batched search — the terms of eq. 5
 /// plus the fault accounting of the robust read path.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BatchTiming {
     /// Total filtering time (database-independent first stage).
     pub filter: Duration,
@@ -152,6 +154,10 @@ pub struct BatchTiming {
     pub load: Duration,
     /// Total refinement time.
     pub refine: Duration,
+    /// Per-section load-time distribution (ns, retries included): the same
+    /// log-bucketed histogram vocabulary as the `s3-obs` registry, so batch
+    /// reports and the global `io.section_load` metric agree.
+    pub section_load: LocalHistogram,
     /// Sections actually loaded (empty intersections are skipped).
     pub sections_loaded: usize,
     /// Bytes read from disk.
@@ -222,6 +228,13 @@ fn bad_format(detail: impl Into<String>) -> IndexError {
     IndexError::Format {
         detail: detail.into(),
     }
+}
+
+/// Builds a checksum error, counting it in `storage.crc_failures` — every
+/// CRC mismatch the read path detects goes through here.
+fn checksum_failure(region: &'static str, offset: u64) -> IndexError {
+    CoreMetrics::get().crc_failures.inc();
+    IndexError::Checksum { region, offset }
 }
 
 /// Accumulates per-block CRCs of a byte stream while it is written.
@@ -455,9 +468,11 @@ impl DiskIndex {
                     "v1 file size mismatch: expected {expected} bytes"
                 )));
             }
-            eprintln!(
-                "warning: opening legacy S3IDX001 index (no checksums); \
-                 rewrite with DiskIndex::write to gain corruption detection"
+            CoreMetrics::get().v1_fallback.inc();
+            event::warn(
+                "storage",
+                "opening legacy S3IDX001 index (no checksums); \
+                 rewrite with DiskIndex::write to gain corruption detection",
             );
             return Ok(index);
         }
@@ -472,10 +487,7 @@ impl DiskIndex {
         meta_crc.update(&header);
         meta_crc.update(&raw);
         if meta_crc.finalize() != le_u32(&stored) {
-            return Err(IndexError::Checksum {
-                region: "header",
-                offset: 0,
-            });
+            return Err(checksum_failure("header", 0));
         }
         index.data_off = HEADER_LEN + table_bytes + 4;
 
@@ -496,10 +508,7 @@ impl DiskIndex {
             .storage
             .read_at(crc_table_off + n_blocks * 4, &mut stored)?;
         if crc32(&crc_raw) != le_u32(&stored) {
-            return Err(IndexError::Checksum {
-                region: "crc table",
-                offset: crc_table_off,
-            });
+            return Err(checksum_failure("crc table", crc_table_off));
         }
         index.block_crcs = crc_raw.chunks_exact(4).map(le_u32).collect();
         Ok(index)
@@ -567,10 +576,7 @@ impl DiskIndex {
             self.storage
                 .read_at(self.data_off + start, &mut buf[..len])?;
             if crc32(&buf[..len]) != stored {
-                return Err(IndexError::Checksum {
-                    region: "data",
-                    offset: self.data_off + start,
-                });
+                return Err(checksum_failure("data", self.data_off + start));
             }
         }
         Ok(())
@@ -708,6 +714,7 @@ impl DiskIndex {
         let n_sections = 1usize << r;
 
         // Stage 1: database-independent filtering for every query.
+        let metrics = CoreMetrics::get();
         let t0 = Instant::now();
         let mut per_query_ranges: Vec<Vec<KeyRange>> = Vec::with_capacity(queries.len());
         let mut stats: Vec<QueryStats> = Vec::with_capacity(queries.len());
@@ -718,7 +725,10 @@ impl DiskIndex {
                     got: q.len(),
                 });
             }
-            let (ranges, st) = filter(q);
+            let (ranges, st) = {
+                let _sp = span!("query.filter");
+                filter(q)
+            };
             per_query_ranges.push(ranges);
             stats.push(st);
         }
@@ -761,15 +771,23 @@ impl DiskIndex {
             }
             let t_load = Instant::now();
             let loaded = self.load_section_retrying(a, b, &mut section);
-            timing.load += t_load.elapsed();
+            let load_time = t_load.elapsed();
+            timing.load += load_time;
+            timing.section_load.record_duration(load_time);
+            metrics.section_load.record_duration(load_time);
             match loaded {
                 Ok(retries) => {
                     timing.retries += retries;
                     timing.sections_loaded += 1;
-                    timing.bytes_loaded += (b - a) * self.record_bytes();
+                    let bytes = (b - a) * self.record_bytes();
+                    timing.bytes_loaded += bytes;
+                    metrics.retries.add(u64::from(retries));
+                    metrics.sections_loaded.inc();
+                    metrics.read_bytes.add(bytes);
                 }
                 Err((retries, err)) => {
                     timing.retries += retries;
+                    metrics.retries.add(u64::from(retries));
                     if self.retry.strict {
                         return Err(IndexError::SectionLost {
                             section: s,
@@ -781,6 +799,14 @@ impl DiskIndex {
                     // and account the loss per affected query.
                     timing.sections_skipped += 1;
                     timing.degraded = true;
+                    metrics.sections_skipped.inc();
+                    event::warn(
+                        "pseudo_disk",
+                        &format!(
+                            "section {s} unreadable after {retries} retries, \
+                             degrading batch: {err}"
+                        ),
+                    );
                     let mut prev = u32::MAX;
                     for &(qi, _) in work {
                         if qi != prev {
@@ -831,6 +857,13 @@ impl DiskIndex {
                 }
             }
             timing.refine += t_ref.elapsed();
+        }
+
+        // Fold the batch into the registry: per-query work counters plus
+        // the amortised per-query latency `T_tot = T + T_load/N_sig` (eq. 5).
+        let per_query = timing.per_query(queries.len());
+        for st in &stats {
+            metrics.record_query(st, per_query);
         }
 
         Ok(BatchResult {
@@ -904,10 +937,7 @@ impl DiskIndex {
                 .copied()
                 .ok_or_else(|| bad_format(format!("block {blk} beyond the crc table")))?;
             if crc32(&scratch[lo..hi]) != stored {
-                return Err(IndexError::Checksum {
-                    region: "data",
-                    offset: self.data_off + blk * bs,
-                });
+                return Err(checksum_failure("data", self.data_off + blk * bs));
             }
         }
         let start = (rel - aligned_start) as usize;
@@ -1125,6 +1155,15 @@ mod tests {
         b.sort_unstable();
         assert_eq!(a, b);
         assert!(batch.timing.sections_loaded >= 1);
+        // Per-section load accounting: one histogram sample per load attempt
+        // outcome (loaded or skipped), and quantiles bounded by the total.
+        let h = batch.timing.section_load.snapshot();
+        assert_eq!(
+            h.count as usize,
+            batch.timing.sections_loaded + batch.timing.sections_skipped
+        );
+        assert!(h.p99().unwrap() <= h.max);
+        assert!(Duration::from_nanos(h.sum) <= batch.timing.load + Duration::from_micros(10));
         std::fs::remove_file(path).ok();
     }
 

@@ -34,6 +34,8 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+// Library crates never print: diagnostics go through the s3-obs event sink.
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod blocks;
 pub mod curve;

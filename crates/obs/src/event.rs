@@ -1,0 +1,156 @@
+//! Structured events: the replacement for ad-hoc `eprintln!` diagnostics
+//! in library crates.
+//!
+//! Libraries call [`emit`] (or [`warn`]/[`error`]/[`info`]); every event
+//! increments a per-level counter (`events.info` / `events.warn` /
+//! `events.error`) and is forwarded to the installed [`EventSink`]. The
+//! default sink writes to stderr, so existing behaviour — operators seeing
+//! v1-fallback warnings on the console — is preserved while also being
+//! countable and redirectable.
+
+use std::sync::{Mutex, OnceLock};
+
+use crate::metrics::registry;
+
+/// Event severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Informational.
+    Info,
+    /// Something degraded but recoverable (retry, fallback, skip).
+    Warn,
+    /// An operation failed.
+    Error,
+}
+
+impl Level {
+    /// Lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    fn counter_name(self) -> &'static str {
+        match self {
+            Level::Info => "events.info",
+            Level::Warn => "events.warn",
+            Level::Error => "events.error",
+        }
+    }
+}
+
+/// Receives emitted events. Must be cheap; runs on the emitting thread.
+pub trait EventSink: Send + Sync {
+    /// Called once per event. `target` identifies the subsystem
+    /// (e.g. `storage`, `persist`), `message` is human-readable.
+    fn on_event(&self, level: Level, target: &'static str, message: &str);
+}
+
+/// The default sink: plain stderr lines, `warning:`-prefixed like the
+/// `eprintln!` calls it replaces.
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    #[allow(clippy::explicit_write)] // stderr by design; print_stderr is denied crate-wide
+    fn on_event(&self, level: Level, target: &'static str, message: &str) {
+        use std::io::Write;
+        let _ = writeln!(
+            std::io::stderr(),
+            "{}: [{target}] {message}",
+            match level {
+                Level::Info => "info",
+                Level::Warn => "warning",
+                Level::Error => "error",
+            }
+        );
+    }
+}
+
+/// A sink that buffers events in memory; handy in tests and for the CLI's
+/// snapshot output.
+#[derive(Default)]
+pub struct MemEventSink {
+    events: Mutex<Vec<(Level, &'static str, String)>>,
+}
+
+impl MemEventSink {
+    /// Creates an empty buffering sink.
+    pub fn new() -> std::sync::Arc<MemEventSink> {
+        std::sync::Arc::new(MemEventSink::default())
+    }
+
+    /// Removes and returns all buffered events, oldest first.
+    pub fn drain(&self) -> Vec<(Level, &'static str, String)> {
+        match self.events.lock() {
+            Ok(mut e) => std::mem::take(&mut *e),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+impl EventSink for std::sync::Arc<MemEventSink> {
+    fn on_event(&self, level: Level, target: &'static str, message: &str) {
+        if let Ok(mut e) = self.events.lock() {
+            e.push((level, target, message.to_string()));
+        }
+    }
+}
+
+static SINK: OnceLock<Mutex<Box<dyn EventSink>>> = OnceLock::new();
+
+fn sink() -> &'static Mutex<Box<dyn EventSink>> {
+    SINK.get_or_init(|| Mutex::new(Box::new(StderrSink)))
+}
+
+/// Replaces the process-wide event sink (default: [`StderrSink`]).
+pub fn set_event_sink(new: Box<dyn EventSink>) {
+    if let Ok(mut s) = sink().lock() {
+        *s = new;
+    }
+}
+
+/// Emits an event: bumps the per-level counter and forwards to the sink.
+pub fn emit(level: Level, target: &'static str, message: &str) {
+    registry().counter(level.counter_name()).inc();
+    if let Ok(s) = sink().lock() {
+        s.on_event(level, target, message);
+    }
+}
+
+/// Emits at [`Level::Info`].
+pub fn info(target: &'static str, message: &str) {
+    emit(Level::Info, target, message);
+}
+
+/// Emits at [`Level::Warn`].
+pub fn warn(target: &'static str, message: &str) {
+    emit(Level::Warn, target, message);
+}
+
+/// Emits at [`Level::Error`].
+pub fn error(target: &'static str, message: &str) {
+    emit(Level::Error, target, message);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_counted_and_delivered() {
+        let mem = MemEventSink::new();
+        set_event_sink(Box::new(mem.clone()));
+        let before = registry().counter("events.warn").get();
+        warn("test", "v1 fallback");
+        assert_eq!(registry().counter("events.warn").get(), before + 1);
+        let events = mem.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, Level::Warn);
+        assert_eq!(events[0].1, "test");
+        assert!(events[0].2.contains("fallback"));
+        set_event_sink(Box::new(StderrSink));
+    }
+}

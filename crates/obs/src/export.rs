@@ -1,0 +1,297 @@
+//! Exporters over a registry [`Snapshot`]: human-readable table, JSON, and
+//! Prometheus text-format exposition.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{MetricId, Snapshot};
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// JSON string escaping for metric names / label values.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `query.latency` → `query_latency` (Prometheus metric-name charset).
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn prom_id(id: &MetricId, extra: Option<(&str, String)>) -> String {
+    let mut labels: Vec<String> = Vec::new();
+    if let Some((k, v)) = id.label {
+        labels.push(format!("{k}=\"{v}\""));
+    }
+    if let Some((k, v)) = extra {
+        labels.push(format!("{k}=\"{v}\""));
+    }
+    if labels.is_empty() {
+        prom_name(id.name)
+    } else {
+        format!("{}{{{}}}", prom_name(id.name), labels.join(","))
+    }
+}
+
+impl Snapshot {
+    /// Renders a human-readable table, one metric per line.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self
+                .counters
+                .iter()
+                .map(|(id, _)| id.render().len())
+                .max()
+                .unwrap_or(0);
+            for (id, v) in &self.counters {
+                let _ = writeln!(out, "  {:width$}  {v}", id.render());
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let width = self
+                .gauges
+                .iter()
+                .map(|(id, _)| id.render().len())
+                .max()
+                .unwrap_or(0);
+            for (id, v) in &self.gauges {
+                let _ = writeln!(out, "  {:width$}  {}", id.render(), fmt_f64(*v));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (ns unless noted):\n");
+            let width = self
+                .histograms
+                .iter()
+                .map(|(id, _)| id.render().len())
+                .max()
+                .unwrap_or(0);
+            for (id, h) in &self.histograms {
+                if h.count == 0 {
+                    let _ = writeln!(out, "  {:width$}  count=0", id.render());
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "  {:width$}  count={} min={} p50={} p90={} p99={} max={} mean={:.0}",
+                        id.render(),
+                        h.count,
+                        h.min,
+                        h.p50().unwrap_or(0),
+                        h.p90().unwrap_or(0),
+                        h.p99().unwrap_or(0),
+                        h.max,
+                        h.mean().unwrap_or(0.0),
+                    );
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics registered)\n");
+        }
+        out
+    }
+
+    /// Renders a JSON object with `counters`, `gauges` and `histograms`
+    /// sections; each histogram includes count/sum/min/max and
+    /// p50/p90/p99.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (id, v)) in self.counters.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    \"{}\": {v}",
+                if i == 0 { "" } else { "," },
+                json_escape(&id.render())
+            );
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (id, v)) in self.gauges.iter().enumerate() {
+            let val = if v.is_finite() {
+                fmt_f64(*v)
+            } else {
+                format!("\"{}\"", fmt_f64(*v))
+            };
+            let _ = write!(
+                out,
+                "{}\n    \"{}\": {val}",
+                if i == 0 { "" } else { "," },
+                json_escape(&id.render())
+            );
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (id, h)) in self.histograms.iter().enumerate() {
+            let empty = h.count == 0;
+            let q = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_else(|| "null".into());
+            let _ = write!(
+                out,
+                "{}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_escape(&id.render()),
+                h.count,
+                h.sum,
+                if empty {
+                    "null".into()
+                } else {
+                    h.min.to_string()
+                },
+                if empty {
+                    "null".into()
+                } else {
+                    h.max.to_string()
+                },
+                h.mean()
+                    .map(|m| format!("{m}"))
+                    .unwrap_or_else(|| "null".into()),
+                q(h.p50()),
+                q(h.p90()),
+                q(h.p99()),
+            );
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Renders Prometheus text-format exposition: counters as `counter`,
+    /// gauges as `gauge`, histograms as cumulative `_bucket{le=...}`
+    /// series plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        let mut type_line = |out: &mut String, name: &'static str, kind: &str| {
+            if !seen.contains(&name) {
+                seen.push(name);
+                let _ = writeln!(out, "# TYPE {} {kind}", prom_name(name));
+            }
+        };
+        for (id, v) in &self.counters {
+            type_line(&mut out, id.name, "counter");
+            let _ = writeln!(out, "{} {v}", prom_id(id, None));
+        }
+        for (id, v) in &self.gauges {
+            type_line(&mut out, id.name, "gauge");
+            let _ = writeln!(out, "{} {}", prom_id(id, None), fmt_f64(*v));
+        }
+        for (id, h) in &self.histograms {
+            type_line(&mut out, id.name, "histogram");
+            let base = prom_name(id.name);
+            let mut cum = 0u64;
+            for (_, hi, c) in h.nonzero_buckets() {
+                cum += c;
+                let _ = writeln!(
+                    out,
+                    "{base}_bucket{} {cum}",
+                    prom_suffix(id, hi.to_string())
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{base}_bucket{} {}",
+                prom_suffix(id, "+Inf".into()),
+                h.count
+            );
+            let _ = writeln!(out, "{base}_sum{} {}", prom_plain_labels(id), h.sum);
+            let _ = writeln!(out, "{base}_count{} {}", prom_plain_labels(id), h.count);
+        }
+        out
+    }
+}
+
+fn prom_suffix(id: &MetricId, le: String) -> String {
+    let mut labels: Vec<String> = Vec::new();
+    if let Some((k, v)) = id.label {
+        labels.push(format!("{k}=\"{v}\""));
+    }
+    labels.push(format!("le=\"{le}\""));
+    format!("{{{}}}", labels.join(","))
+}
+
+fn prom_plain_labels(id: &MetricId) -> String {
+    match id.label {
+        None => String::new(),
+        Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::Registry;
+
+    #[test]
+    fn table_and_json_render() {
+        let r = Registry::new();
+        r.counter("a.count").add(3);
+        r.gauge("a.gauge").set(1.5);
+        let h = r.histogram("a.hist");
+        for v in [1u64, 2, 3, 1000] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let table = snap.to_table();
+        assert!(table.contains("a.count"), "{table}");
+        assert!(table.contains("p99="), "{table}");
+        let json = snap.to_json();
+        assert!(json.contains("\"a.count\": 3"), "{json}");
+        assert!(json.contains("\"p50\""), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let r = Registry::new();
+        r.counter_with("c", Some(("kind", "x"))).add(2);
+        let h = r.histogram("lat");
+        h.record(5);
+        h.record(700);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE c counter"), "{text}");
+        assert!(text.contains("c{kind=\"x\"} 2"), "{text}");
+        assert!(text.contains("# TYPE lat histogram"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lat_sum 705"), "{text}");
+        assert!(text.contains("lat_count 2"), "{text}");
+        // Buckets are cumulative: the last finite bucket holds both samples.
+        let finite: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_bucket") && !l.contains("+Inf"))
+            .collect();
+        assert!(finite.last().is_some_and(|l| l.ends_with(" 2")), "{text}");
+    }
+}

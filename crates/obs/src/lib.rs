@@ -1,0 +1,53 @@
+//! `s3-obs` — zero-dependency observability for the S³ CBCD system.
+//!
+//! Three pieces, all thread-safe and allocation-free on the hot path:
+//!
+//! * a process-wide **metrics registry** ([`registry`]) of saturating
+//!   atomic [`Counter`]s, [`Gauge`]s, and log-bucketed [`Histogram`]s
+//!   (p50/p90/p99 with ≤12.5% relative error, exact min/max), addressed by
+//!   `&'static str` name plus an optional static label;
+//! * RAII **spans** ([`Span`], [`span!`]) whose duration feeds the
+//!   histogram of the same name, with structured fields forwarded to a
+//!   pluggable [`SpanSink`] such as [`RingCollector`];
+//! * structured **events** ([`event`]) replacing raw `eprintln!` in
+//!   library crates: counted per level and routed through a swappable
+//!   [`EventSink`] (default: stderr).
+//!
+//! Snapshots export as a human-readable table, JSON, or Prometheus text
+//! format (see [`Snapshot`]).
+//!
+//! ```
+//! use s3_obs::{registry, span};
+//!
+//! registry().counter("demo.hits").inc();
+//! {
+//!     let mut s = span!("demo.latency", "items" => 3.0);
+//!     s.record("extra", 1.0);
+//! } // drop records elapsed ns into histogram "demo.latency"
+//! let snap = registry().snapshot();
+//! assert!(snap.to_prometheus().contains("demo_hits 1"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::print_stdout,
+        clippy::print_stderr
+    )
+)]
+
+pub mod event;
+mod export;
+mod metrics;
+mod span;
+
+pub use event::{set_event_sink, EventSink, Level, MemEventSink, StderrSink};
+pub use metrics::{
+    registry, Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram, MetricId, Registry,
+    Snapshot,
+};
+pub use span::{clear_span_sink, set_span_sink, RingCollector, Span, SpanRecord, SpanSink};

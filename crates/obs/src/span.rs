@@ -1,0 +1,220 @@
+//! Lightweight spans: RAII-timed regions whose duration feeds a histogram
+//! of the same name, with optional structured fields forwarded to a
+//! pluggable [`SpanSink`].
+//!
+//! When no sink is installed (the common production case) a span is just a
+//! `Instant::now()` plus one histogram record on drop — no heap allocation.
+//! The sink check is a single relaxed atomic load.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::{registry, Histogram};
+
+/// A finished span as delivered to a [`SpanSink`].
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Span (and histogram) name.
+    pub name: &'static str,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Structured fields recorded while the span was open.
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+/// Receives finished spans. Implementations must be cheap: they run on the
+/// instrumented thread inside `Span::drop`.
+pub trait SpanSink: Send + Sync {
+    /// Called once per finished span.
+    fn on_span(&self, record: SpanRecord);
+}
+
+struct SinkCell {
+    sink: Mutex<Option<Box<dyn SpanSink>>>,
+}
+
+static SINK: OnceLock<SinkCell> = OnceLock::new();
+static SINK_INSTALLED: AtomicBool = AtomicBool::new(false);
+
+fn cell() -> &'static SinkCell {
+    SINK.get_or_init(|| SinkCell {
+        sink: Mutex::new(None),
+    })
+}
+
+/// Installs a process-wide span sink (replacing any previous one).
+pub fn set_span_sink(sink: Box<dyn SpanSink>) {
+    if let Ok(mut s) = cell().sink.lock() {
+        *s = Some(sink);
+        SINK_INSTALLED.store(true, Ordering::Release);
+    }
+}
+
+/// Removes the process-wide span sink.
+pub fn clear_span_sink() {
+    if let Ok(mut s) = cell().sink.lock() {
+        SINK_INSTALLED.store(false, Ordering::Release);
+        *s = None;
+    }
+}
+
+#[inline]
+fn sink_installed() -> bool {
+    SINK_INSTALLED.load(Ordering::Acquire)
+}
+
+fn deliver(record: SpanRecord) {
+    if let Ok(s) = cell().sink.lock() {
+        if let Some(sink) = s.as_ref() {
+            sink.on_span(record);
+        }
+    }
+}
+
+/// An open, RAII-timed span. Created by [`Span::enter`] or the
+/// [`crate::span!`] macro; on drop it records its duration into the
+/// histogram named after it.
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    hist: Histogram,
+    /// Only populated when a sink is installed.
+    fields: Option<Vec<(&'static str, f64)>>,
+}
+
+impl Span {
+    /// Opens a span. `name` doubles as the latency histogram name.
+    #[inline]
+    pub fn enter(name: &'static str) -> Span {
+        Span {
+            name,
+            start: Instant::now(),
+            hist: registry().histogram(name),
+            fields: sink_installed().then(Vec::new),
+        }
+    }
+
+    /// Attaches a numeric field. A no-op (and allocation-free) when no
+    /// sink is installed.
+    #[inline]
+    pub fn record(&mut self, key: &'static str, value: f64) {
+        if let Some(fields) = self.fields.as_mut() {
+            fields.push((key, value));
+        }
+    }
+
+    /// Elapsed time since the span opened.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur = self.start.elapsed();
+        self.hist.record_duration(dur);
+        if let Some(fields) = self.fields.take() {
+            deliver(SpanRecord {
+                name: self.name,
+                dur_ns: u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX),
+                fields,
+            });
+        }
+    }
+}
+
+/// Opens a [`Span`]: `let _s = span!("query.filter");` or
+/// `let mut s = span!("query.filter", "blocks" => n as f64);`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name)
+    };
+    ($name:expr, $($key:expr => $value:expr),+ $(,)?) => {{
+        let mut s = $crate::Span::enter($name);
+        $(s.record($key, $value);)+
+        s
+    }};
+}
+
+/// A bounded in-memory span collector: keeps the most recent `capacity`
+/// spans, dropping the oldest when full.
+pub struct RingCollector {
+    capacity: usize,
+    buf: Mutex<std::collections::VecDeque<SpanRecord>>,
+}
+
+impl RingCollector {
+    /// Creates a collector retaining at most `capacity` spans.
+    pub fn new(capacity: usize) -> std::sync::Arc<RingCollector> {
+        std::sync::Arc::new(RingCollector {
+            capacity: capacity.max(1),
+            buf: Mutex::new(std::collections::VecDeque::new()),
+        })
+    }
+
+    /// Removes and returns all buffered spans, oldest first.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        match self.buf.lock() {
+            Ok(mut b) => b.drain(..).collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Number of buffered spans.
+    pub fn len(&self) -> usize {
+        self.buf.lock().map(|b| b.len()).unwrap_or(0)
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SpanSink for std::sync::Arc<RingCollector> {
+    fn on_span(&self, record: SpanRecord) {
+        if let Ok(mut b) = self.buf.lock() {
+            if b.len() == self.capacity {
+                b.pop_front();
+            }
+            b.push_back(record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_histogram() {
+        let _s = Span::enter("test.span.hist");
+        drop(_s);
+        assert_eq!(registry().histogram("test.span.hist").count(), 1);
+    }
+
+    #[test]
+    fn ring_collector_keeps_latest() {
+        let ring = RingCollector::new(2);
+        set_span_sink(Box::new(ring.clone()));
+        for _ in 0..3 {
+            let mut s = span!("test.span.ring");
+            s.record("i", 1.0);
+        }
+        clear_span_sink();
+        let spans = ring.drain();
+        assert_eq!(spans.len(), 2, "ring drops oldest");
+        assert!(spans.iter().all(|r| r.name == "test.span.ring"));
+        assert_eq!(spans[0].fields, vec![("i", 1.0)]);
+    }
+
+    #[test]
+    fn fields_skipped_without_sink() {
+        clear_span_sink();
+        let mut s = Span::enter("test.span.nosink");
+        assert!(s.fields.is_none(), "no allocation without a sink");
+        s.record("x", 1.0);
+    }
+}

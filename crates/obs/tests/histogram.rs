@@ -1,0 +1,152 @@
+//! Satellite task: histogram bucketing and percentile edge cases —
+//! empty, single sample, saturating counts, and concurrent recording
+//! from ≥ 4 threads.
+
+use std::thread;
+
+use s3_obs::{LocalHistogram, Registry};
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let r = Registry::new();
+    let h = r.histogram("empty");
+    assert_eq!(h.count(), 0);
+    let s = h.snapshot();
+    assert_eq!(s.quantile(0.5), None);
+    assert_eq!(s.p99(), None);
+    assert_eq!(s.mean(), None);
+    assert_eq!(s.min, u64::MAX);
+    assert_eq!(s.max, 0);
+    assert!(s.nonzero_buckets().is_empty());
+}
+
+#[test]
+fn single_sample_dominates_every_quantile() {
+    let r = Registry::new();
+    let h = r.histogram("single");
+    h.record(12345);
+    let s = h.snapshot();
+    assert_eq!(s.count, 1);
+    assert_eq!(s.min, 12345);
+    assert_eq!(s.max, 12345);
+    // min==max clamps every quantile to the exact value.
+    for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(s.quantile(q), Some(12345), "q={q}");
+    }
+    assert_eq!(s.mean(), Some(12345.0));
+}
+
+#[test]
+fn small_values_are_exact() {
+    let r = Registry::new();
+    let h = r.histogram("small");
+    for v in 0..16u64 {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.quantile(1.0 / 16.0), Some(0));
+    assert_eq!(s.quantile(0.5), Some(7));
+    assert_eq!(s.quantile(1.0), Some(15));
+}
+
+#[test]
+fn quantiles_bounded_relative_error() {
+    let r = Registry::new();
+    let h = r.histogram("spread");
+    // 1..=10_000: exact quantile of q is ~q*10_000.
+    for v in 1..=10_000u64 {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    for (q, exact) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+        let got = s.quantile(q).unwrap() as f64;
+        let rel = (got - exact).abs() / exact;
+        assert!(rel <= 0.125, "q={q}: got {got}, exact {exact}, rel {rel}");
+    }
+    assert_eq!(s.min, 1);
+    assert_eq!(s.max, 10_000);
+    assert_eq!(s.quantile(0.0), Some(1), "q=0 clamps to exact min");
+    assert_eq!(s.quantile(1.0), Some(10_000), "q=1 clamps to exact max");
+}
+
+#[test]
+fn sum_saturates_instead_of_wrapping() {
+    let r = Registry::new();
+    let h = r.histogram("sat");
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    let s = h.snapshot();
+    assert_eq!(s.sum, u64::MAX, "sum saturates");
+    assert_eq!(s.count, 2);
+    assert_eq!(s.max, u64::MAX);
+
+    let c = r.counter("sat.count");
+    c.add(u64::MAX);
+    c.add(u64::MAX);
+    assert_eq!(c.get(), u64::MAX, "counter saturates");
+}
+
+#[test]
+fn concurrent_recording_from_many_threads() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let r = Registry::new();
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = r.histogram("concurrent");
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Distinct per-thread stride so min/max are known.
+                    h.record(t as u64 * PER_THREAD + i + 1);
+                }
+            });
+        }
+    });
+    let s = r.histogram("concurrent").snapshot();
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(s.count, total, "no lost updates");
+    assert_eq!(s.min, 1);
+    assert_eq!(s.max, total);
+    // Bucket counts must add up to the sample count.
+    let bucket_sum: u64 = s.nonzero_buckets().iter().map(|(_, _, c)| c).sum();
+    assert_eq!(bucket_sum, total);
+    // Sum of an arithmetic series 1..=total.
+    assert_eq!(s.sum, total * (total + 1) / 2);
+}
+
+#[test]
+fn local_histogram_matches_atomic_bucketing() {
+    let r = Registry::new();
+    let atomic = r.histogram("pair");
+    let mut local = LocalHistogram::new();
+    for v in [0u64, 1, 15, 16, 17, 1023, 1024, 123_456_789] {
+        atomic.record(v);
+        local.record(v);
+    }
+    let a = atomic.snapshot();
+    let l = local.snapshot();
+    assert_eq!(a.count, l.count);
+    assert_eq!(a.sum, l.sum);
+    assert_eq!(a.min, l.min);
+    assert_eq!(a.max, l.max);
+    assert_eq!(a.nonzero_buckets(), l.nonzero_buckets());
+    for q in [0.1, 0.5, 0.9, 0.99] {
+        assert_eq!(a.quantile(q), l.quantile(q));
+    }
+}
+
+#[test]
+fn local_histogram_merge() {
+    let mut a = LocalHistogram::new();
+    let mut b = LocalHistogram::new();
+    a.record(10);
+    b.record(1_000_000);
+    a.merge(&b);
+    let s = a.snapshot();
+    assert_eq!(s.count, 2);
+    assert_eq!(s.min, 10);
+    assert_eq!(s.max, 1_000_000);
+    // Merging an empty histogram is a no-op.
+    a.merge(&LocalHistogram::default());
+    assert_eq!(a.count(), 2);
+}

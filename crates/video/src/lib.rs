@@ -16,8 +16,17 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 // Library code must surface failures as typed errors, not process aborts
-// (tests may still unwrap freely).
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+// (tests may still unwrap freely), and all diagnostics must go through the
+// s3-obs event sink, never raw prints.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::print_stdout,
+        clippy::print_stderr
+    )
+)]
 
 pub mod features;
 pub mod filtering;

@@ -101,12 +101,18 @@ pub fn extract_fingerprints(
     video: &impl VideoSource,
     params: &ExtractorParams,
 ) -> Vec<LocalFingerprint> {
+    let mut sp = s3_obs::span!("video.extract", "frames" => video.len() as f64);
+    let obs = s3_obs::registry();
+    let points_per_frame = obs.histogram("video.points_per_frame");
     let kernels = Kernels::new(params.fingerprint.sigma);
     let keyframes = detect_keyframes(video, &params.keyframes);
+    obs.counter("video.keyframes").add(keyframes.len() as u64);
+    sp.record("keyframes", keyframes.len() as f64);
     let mut out = Vec::new();
     for &t in &keyframes {
         let key = video.frame(t);
         let points = detect_interest_points(&key, &params.harris);
+        points_per_frame.record(points.len() as u64);
         if points.is_empty() {
             continue;
         }
@@ -132,6 +138,8 @@ pub fn extract_fingerprints(
             });
         }
     }
+    obs.counter("video.fingerprints").add(out.len() as u64);
+    sp.record("fingerprints", out.len() as f64);
     out
 }
 

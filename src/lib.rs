@@ -11,7 +11,9 @@
 //! * [`video`] — synthetic video, the five attack transformations, and the
 //!   local fingerprint extraction pipeline;
 //! * [`cbcd`] — the complete copy-detection system: registration, robust
-//!   voting, monitoring, threshold calibration.
+//!   voting, monitoring, threshold calibration;
+//! * [`obs`] — observability: metrics registry, latency histograms,
+//!   tracing spans, and table/JSON/Prometheus exporters.
 //!
 //! See the repository README for a walkthrough and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction methodology.
@@ -21,5 +23,6 @@
 pub use s3_cbcd as cbcd;
 pub use s3_core as core;
 pub use s3_hilbert as hilbert;
+pub use s3_obs as obs;
 pub use s3_stats as stats;
 pub use s3_video as video;
