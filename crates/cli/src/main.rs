@@ -94,8 +94,15 @@ USAGE:
       the populated metrics registry in the chosen exporter format.
 
   query/detect/monitor also accept:
+      --threads N             worker threads for the search stage
+                              (default: all available cores)
       --metrics-json <path>   write a JSON metrics snapshot on exit
       --metrics-every <secs>  print a metrics table to stderr periodically";
+
+/// Default worker-thread count: every available core.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
 
 fn cmd_build(rest: Vec<String>) -> Result<(), String> {
     let a = Args::parse(rest, &["videos", "frames", "seed"])?;
@@ -169,6 +176,7 @@ fn cmd_query(rest: Vec<String>) -> Result<(), String> {
             "queries",
             "mem",
             "seed",
+            "threads",
             "metrics-json",
             "metrics-every",
         ],
@@ -182,11 +190,13 @@ fn cmd_query(rest: Vec<String>) -> Result<(), String> {
     let mem_mb: u64 = a.get_parsed("mem", 256)?;
     let seed: u64 = a.get_parsed("seed", 7)?;
 
+    let threads: usize = a.get_parsed("threads", default_threads())?;
     let mut disk = DiskIndex::open(path).map_err(|e| e.to_string())?;
     disk.set_retry_policy(RetryPolicy {
         strict: a.has("strict"),
         ..RetryPolicy::default()
     });
+    disk.set_threads(threads);
     let dims = disk.curve().dims();
     let default_depth = StatQueryOpts::for_db_size(alpha, disk.len() as usize).depth;
     let depth: u32 = a.get_parsed("depth", default_depth)?;
@@ -274,6 +284,7 @@ fn cmd_detect(rest: Vec<String>) -> Result<(), String> {
             "seed",
             "attack",
             "candidate",
+            "threads",
             "metrics-json",
             "metrics-every",
         ],
@@ -353,6 +364,7 @@ fn cmd_detect(rest: Vec<String>) -> Result<(), String> {
 
     let mut config = DetectorConfig::default();
     config.vote.min_votes = cal.min_votes;
+    config.threads = a.get_parsed("threads", default_threads())?;
     let detector = Detector::new(&db, config);
     let detections = detector.detect_fingerprints(&candidate_fps);
     if detections.is_empty() {
@@ -388,6 +400,7 @@ fn cmd_monitor(rest: Vec<String>) -> Result<(), String> {
             "archive",
             "stream-frames",
             "seed",
+            "threads",
             "metrics-json",
             "metrics-every",
         ],
@@ -448,6 +461,7 @@ fn cmd_monitor(rest: Vec<String>) -> Result<(), String> {
 
     let mut config = DetectorConfig::default();
     config.vote.min_votes = cal.min_votes;
+    config.threads = a.get_parsed("threads", default_threads())?;
     let detector = Detector::new(&db, config);
     let mut monitor = Monitor::new(&detector, params);
     for chunk in stream.chunks(32) {

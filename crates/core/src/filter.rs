@@ -27,6 +27,7 @@
 //! parent's and the whole partition sums to the mass of the byte cube.
 
 use crate::distortion::DistortionModel;
+use crate::metrics::CoreMetrics;
 use s3_hilbert::{Block, HilbertCurve};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -80,11 +81,102 @@ fn dim_factor(model: &dyn DistortionModel, q: &[f64], block: &Block, dim: usize)
     )
 }
 
-/// Full block mass (product over dimensions).
+/// Full block mass (product over dimensions). Production paths go through
+/// [`MassCache::factor`]; tests use this as the uncached reference.
+#[cfg(test)]
 fn block_mass(model: &dyn DistortionModel, q: &[f64], block: &Block) -> f64 {
     (0..model.dims())
         .map(|d| dim_factor(model, q, block, d))
         .product()
+}
+
+/// Deepest per-axis level whose memo table is worth allocating (`2^16`
+/// entries). Byte fingerprints (order 8) never get near it; it only guards
+/// against pathological high-order curves.
+const MAX_CACHED_LEVEL: usize = 16;
+
+/// Per-query memo of per-axis component masses.
+///
+/// Every block the filters score is an axis-aligned dyadic box: along axis
+/// `d` it covers `[k·2^e, (k+1)·2^e)` with `e = extent_log2(d)`, so its
+/// per-axis factor is identified by `(axis, level, k)` with
+/// `level = order − e`. A partition-tree descent revisits the same
+/// intervals constantly — a node's factor along every *unsplit* axis equals
+/// its parent's — so memoizing turns the dominant cost of block selection
+/// (repeated `erf`-based `component_mass` integrations) into table lookups.
+///
+/// **Bit-identical by construction**: a miss performs the exact same
+/// [`dim_factor`] call the uncached path would, and a hit returns that
+/// stored `f64` unchanged, so cached selection yields byte-identical
+/// [`FilterOutcome`]s (property-tested in `tests/properties.rs`).
+struct MassCache {
+    order: u32,
+    /// `tables[axis · (order+1) + level]`, lazily grown to `2^level`
+    /// entries; NaN marks "not yet computed" (`component_mass` of a real
+    /// interval is never NaN; a NaN-producing model just recomputes).
+    tables: Vec<Vec<f64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MassCache {
+    fn new(dims: usize, order: u32) -> MassCache {
+        MassCache {
+            order,
+            tables: vec![Vec::new(); dims * (order as usize + 1)],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Memoized [`dim_factor`].
+    fn factor(&mut self, model: &dyn DistortionModel, q: &[f64], block: &Block, dim: usize) -> f64 {
+        let ext = block.extent_log2(dim);
+        let level = (self.order - ext) as usize;
+        if level > MAX_CACHED_LEVEL {
+            self.misses += 1;
+            return dim_factor(model, q, block, dim);
+        }
+        let k = (block.lo()[dim] >> ext) as usize;
+        let table = &mut self.tables[dim * (self.order as usize + 1) + level];
+        if table.is_empty() {
+            table.resize(1usize << level, f64::NAN);
+        }
+        let v = table[k];
+        if !v.is_nan() {
+            self.hits += 1;
+            return v;
+        }
+        self.misses += 1;
+        let m = dim_factor(model, q, block, dim);
+        table[k] = m;
+        m
+    }
+
+    /// Folds the hit/miss tallies into the registry (one batch of atomic
+    /// adds per selection instead of two per lookup).
+    fn publish(&self) {
+        let m = CoreMetrics::get();
+        m.mass_cache_hits.add(self.hits);
+        m.mass_cache_misses.add(self.misses);
+    }
+}
+
+/// Shared argument validation of the statistical filters.
+fn check_stat_args(
+    curve: &HilbertCurve,
+    model: &dyn DistortionModel,
+    q: &[u8],
+    depth: u32,
+    alpha: f64,
+) {
+    assert_eq!(q.len(), curve.dims(), "query dimension mismatch");
+    assert_eq!(model.dims(), curve.dims(), "model dimension mismatch");
+    assert!(
+        depth >= 1 && depth <= curve.key_bits(),
+        "depth out of range"
+    );
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range: {alpha}");
 }
 
 /// Converts a byte query to centred f64 coordinates.
@@ -133,17 +225,58 @@ pub fn select_blocks_best_first(
     alpha: f64,
     max_blocks: usize,
 ) -> FilterOutcome {
-    assert_eq!(q.len(), curve.dims(), "query dimension mismatch");
-    assert_eq!(model.dims(), curve.dims(), "model dimension mismatch");
-    assert!(
-        depth >= 1 && depth <= curve.key_bits(),
-        "depth out of range"
-    );
-    assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range: {alpha}");
-
+    check_stat_args(curve, model, q, depth, alpha);
     let qf = query_coords(q);
+    let mut cache = MassCache::new(curve.dims(), curve.order() as u32);
+    let out = best_first_impl(
+        curve,
+        depth,
+        alpha,
+        max_blocks,
+        model.dims(),
+        &mut |b, d| cache.factor(model, &qf, b, d),
+    );
+    cache.publish();
+    observed(out, "best_first")
+}
+
+/// [`select_blocks_best_first`] without the per-query mass cache — every
+/// factor is re-integrated, exactly as before the cache existed. Kept as
+/// the equivalence baseline for tests and `bench_kernels`; the cached path
+/// returns byte-identical outcomes.
+pub fn select_blocks_best_first_uncached(
+    curve: &HilbertCurve,
+    model: &dyn DistortionModel,
+    q: &[u8],
+    depth: u32,
+    alpha: f64,
+    max_blocks: usize,
+) -> FilterOutcome {
+    check_stat_args(curve, model, q, depth, alpha);
+    let qf = query_coords(q);
+    let out = best_first_impl(
+        curve,
+        depth,
+        alpha,
+        max_blocks,
+        model.dims(),
+        &mut |b, d| dim_factor(model, &qf, b, d),
+    );
+    observed(out, "best_first_uncached")
+}
+
+/// Best-first descent parameterized over the per-axis factor source (the
+/// cached/uncached split of the public wrappers).
+fn best_first_impl(
+    curve: &HilbertCurve,
+    depth: u32,
+    alpha: f64,
+    max_blocks: usize,
+    dims: usize,
+    factor: &mut dyn FnMut(&Block, usize) -> f64,
+) -> FilterOutcome {
     let root = Block::root(curve);
-    let root_mass = block_mass(model, &qf, &root);
+    let root_mass: f64 = (0..dims).map(|d| factor(&root, d)).product();
     // For queries near the boundary of the byte cube, part of the distortion
     // mass falls outside the grid; the achievable expectation is capped by
     // the root mass. Clamp α so such queries terminate with the best
@@ -181,11 +314,11 @@ pub fn select_blocks_best_first(
         }
         nodes += 1;
         let axis = node.block.next_split_axis(curve);
-        let parent_factor = dim_factor(model, &qf, &node.block, axis);
+        let parent_factor = factor(&node.block, axis);
         let children = node.block.split(curve);
         for child in children {
             let mass = if parent_factor > 0.0 {
-                node.mass / parent_factor * dim_factor(model, &qf, &child, axis)
+                node.mass / parent_factor * factor(&child, axis)
             } else {
                 0.0
             };
@@ -195,16 +328,13 @@ pub fn select_blocks_best_first(
         }
     }
 
-    observed(
-        FilterOutcome {
-            blocks: out,
-            mass: acc,
-            nodes_expanded: nodes,
-            tmax: None,
-            truncated,
-        },
-        "best_first",
-    )
+    FilterOutcome {
+        blocks: out,
+        mass: acc,
+        nodes_expanded: nodes,
+        tmax: None,
+        truncated,
+    }
 }
 
 /// Result of one pruned DFS evaluation of `B(t)`.
@@ -218,14 +348,14 @@ struct ThresholdEval {
 /// Collects `B(t)`: all depth-p blocks with mass strictly greater than `t`.
 fn collect_above(
     curve: &HilbertCurve,
-    model: &dyn DistortionModel,
-    qf: &[f64],
+    dims: usize,
     depth: u32,
     t: f64,
     max_blocks: usize,
+    factor: &mut dyn FnMut(&Block, usize) -> f64,
 ) -> ThresholdEval {
     let root = Block::root(curve);
-    let root_mass = block_mass(model, qf, &root);
+    let root_mass: f64 = (0..dims).map(|d| factor(&root, d)).product();
     let mut eval = ThresholdEval {
         blocks: Vec::new(),
         psup: 0.0,
@@ -251,10 +381,10 @@ fn collect_above(
         }
         eval.nodes += 1;
         let axis = block.next_split_axis(curve);
-        let parent_factor = dim_factor(model, qf, &block, axis);
+        let parent_factor = factor(&block, axis);
         for child in block.split(curve) {
             let m = if parent_factor > 0.0 {
-                mass / parent_factor * dim_factor(model, qf, &child, axis)
+                mass / parent_factor * factor(&child, axis)
             } else {
                 0.0
             };
@@ -280,16 +410,52 @@ pub fn select_blocks_threshold(
     max_blocks: usize,
     iterations: usize,
 ) -> FilterOutcome {
-    assert_eq!(q.len(), curve.dims(), "query dimension mismatch");
-    assert!(
-        depth >= 1 && depth <= curve.key_bits(),
-        "depth out of range"
-    );
-    assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range: {alpha}");
+    check_stat_args(curve, model, q, depth, alpha);
     assert!(iterations > 0);
-
     let qf = query_coords(q);
-    let root_mass = block_mass(model, &qf, &Block::root(curve));
+    // One cache shared across every bisection iteration: each pruned DFS
+    // revisits mostly the same intervals, so iterations beyond the first
+    // integrate almost nothing new.
+    let mut cache = MassCache::new(curve.dims(), curve.order() as u32);
+    let out = threshold_impl(curve, depth, alpha, max_blocks, iterations, model.dims(), {
+        &mut |b, d| cache.factor(model, &qf, b, d)
+    });
+    cache.publish();
+    observed(out, "threshold")
+}
+
+/// [`select_blocks_threshold`] without the mass cache (see
+/// [`select_blocks_best_first_uncached`]).
+pub fn select_blocks_threshold_uncached(
+    curve: &HilbertCurve,
+    model: &dyn DistortionModel,
+    q: &[u8],
+    depth: u32,
+    alpha: f64,
+    max_blocks: usize,
+    iterations: usize,
+) -> FilterOutcome {
+    check_stat_args(curve, model, q, depth, alpha);
+    assert!(iterations > 0);
+    let qf = query_coords(q);
+    let out = threshold_impl(curve, depth, alpha, max_blocks, iterations, model.dims(), {
+        &mut |b, d| dim_factor(model, &qf, b, d)
+    });
+    observed(out, "threshold_uncached")
+}
+
+/// Bisection on `t` parameterized over the per-axis factor source.
+fn threshold_impl(
+    curve: &HilbertCurve,
+    depth: u32,
+    alpha: f64,
+    max_blocks: usize,
+    iterations: usize,
+    dims: usize,
+    factor: &mut dyn FnMut(&Block, usize) -> f64,
+) -> FilterOutcome {
+    let root = Block::root(curve);
+    let root_mass: f64 = (0..dims).map(|d| factor(&root, d)).product();
     // Same boundary clamp as the best-first filter (see there).
     let alpha = alpha.min(root_mass * (1.0 - 1e-9));
 
@@ -302,7 +468,7 @@ pub fn select_blocks_threshold(
 
     for _ in 0..iterations {
         let t = 0.5 * (lo + hi);
-        let eval = collect_above(curve, model, &qf, depth, t, max_blocks);
+        let eval = collect_above(curve, dims, depth, t, max_blocks, factor);
         nodes_total += eval.nodes;
         let satisfied = eval.psup >= alpha && !eval.overflowed;
         if satisfied {
@@ -321,23 +487,20 @@ pub fn select_blocks_threshold(
     let best = best.unwrap_or_else(|| {
         // No feasible t found within the budget (α too high for this depth /
         // block budget): fall back to t = lo, best effort.
-        let eval = collect_above(curve, model, &qf, depth, lo, max_blocks);
+        let eval = collect_above(curve, dims, depth, lo, max_blocks, factor);
         nodes_total += eval.nodes;
         tmax = lo;
         eval
     });
 
     let truncated = best.overflowed || best.psup < alpha;
-    observed(
-        FilterOutcome {
-            mass: best.psup,
-            blocks: best.blocks,
-            nodes_expanded: nodes_total,
-            tmax: Some(tmax),
-            truncated,
-        },
-        "threshold",
-    )
+    FilterOutcome {
+        mass: best.psup,
+        blocks: best.blocks,
+        nodes_expanded: nodes_total,
+        tmax: Some(tmax),
+        truncated,
+    }
 }
 
 /// Geometric filter of a classical ε-range query: selects every depth-p

@@ -212,17 +212,13 @@ impl RecordBatch {
 /// Squared Euclidean distance between two byte fingerprints.
 ///
 /// Exact in integer arithmetic (max per-component diff 255, so `D * 255²`
-/// fits easily in `u64` for any supported `D`).
+/// fits easily in `u64` for any supported `D`). Delegates to the
+/// runtime-dispatched SIMD kernel of [`crate::kernels`]; every tier is
+/// bit-identical to the scalar reference.
 #[inline]
 pub fn dist_sq(a: &[u8], b: &[u8]) -> u64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let d = i64::from(x) - i64::from(y);
-            (d * d) as u64
-        })
-        .sum()
+    crate::kernels::dist_sq(a, b)
 }
 
 /// Euclidean distance between two byte fingerprints.

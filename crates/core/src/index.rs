@@ -13,10 +13,12 @@
 
 use crate::distortion::DistortionModel;
 use crate::filter::{
-    merge_block_ranges, select_blocks_bbox, select_blocks_best_first, select_blocks_range,
-    select_blocks_threshold, FilterOutcome,
+    merge_block_ranges, select_blocks_bbox, select_blocks_best_first,
+    select_blocks_best_first_uncached, select_blocks_range, select_blocks_threshold,
+    select_blocks_threshold_uncached, FilterOutcome,
 };
 use crate::fingerprint::{dist_sq, RecordBatch};
+use crate::kernels;
 use crate::metrics::CoreMetrics;
 use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
 use s3_obs::span;
@@ -61,6 +63,10 @@ pub struct StatQueryOpts {
     pub algo: FilterAlgo,
     /// Hard budget on selected blocks.
     pub max_blocks: usize,
+    /// Memoize per-axis component masses across the filter descent (on by
+    /// default; bit-identical output either way — the switch exists for
+    /// benchmarking the cache itself).
+    pub mass_cache: bool,
 }
 
 impl StatQueryOpts {
@@ -73,6 +79,7 @@ impl StatQueryOpts {
             refine: Refine::All,
             algo: FilterAlgo::BestFirst,
             max_blocks: 1 << 16,
+            mass_cache: true,
         }
     }
 
@@ -321,6 +328,13 @@ impl S3Index {
         let mut matches = Vec::new();
         let mut entries = 0usize;
         let mut delta = vec![0.0f64; q.len()];
+        // Range refinement compares the integer d² against ⌊ε²⌋ — exactly
+        // equivalent to `d² as f64 <= ε²` (see `kernels::bound_from_eps_sq`)
+        // but lets the kernel abandon a record mid-vector.
+        let range_bound = match refine {
+            Refine::Range(eps) => kernels::bound_from_eps_sq(eps * eps),
+            _ => None,
+        };
         for range in &merged {
             let (start, end) = self.locate(range);
             entries += end - start;
@@ -336,14 +350,9 @@ impl S3Index {
                         });
                         continue;
                     }
-                    Refine::Range(eps) => {
-                        let d2 = dist_sq(q, fp) as f64;
-                        if d2 <= eps * eps {
-                            Some(d2)
-                        } else {
-                            None
-                        }
-                    }
+                    Refine::Range(_) => range_bound
+                        .and_then(|bound| kernels::dist_sq_within(q, fp, bound))
+                        .map(|d2| d2 as f64),
                     Refine::LogLikelihood(bound) => {
                         let Some(model) = model else {
                             unreachable!("LogLikelihood refinement needs a model")
@@ -395,24 +404,20 @@ impl S3Index {
         let t0 = Instant::now();
         let outcome = {
             let mut sp = span!("query.filter");
-            let outcome = match opts.algo {
-                FilterAlgo::BestFirst => select_blocks_best_first(
-                    &self.curve,
-                    model,
-                    q,
-                    opts.depth,
-                    opts.alpha,
-                    opts.max_blocks,
-                ),
-                FilterAlgo::Threshold { iterations } => select_blocks_threshold(
-                    &self.curve,
-                    model,
-                    q,
-                    opts.depth,
-                    opts.alpha,
-                    opts.max_blocks,
-                    iterations,
-                ),
+            let (curve, depth, alpha, max) = (&self.curve, opts.depth, opts.alpha, opts.max_blocks);
+            let outcome = match (opts.algo, opts.mass_cache) {
+                (FilterAlgo::BestFirst, true) => {
+                    select_blocks_best_first(curve, model, q, depth, alpha, max)
+                }
+                (FilterAlgo::BestFirst, false) => {
+                    select_blocks_best_first_uncached(curve, model, q, depth, alpha, max)
+                }
+                (FilterAlgo::Threshold { iterations }, true) => {
+                    select_blocks_threshold(curve, model, q, depth, alpha, max, iterations)
+                }
+                (FilterAlgo::Threshold { iterations }, false) => {
+                    select_blocks_threshold_uncached(curve, model, q, depth, alpha, max, iterations)
+                }
             };
             sp.record("blocks", outcome.blocks.len() as f64);
             sp.record("nodes", outcome.nodes_expanded as f64);

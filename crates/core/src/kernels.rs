@@ -1,0 +1,544 @@
+//! Runtime-dispatched distance kernels over `u8` fingerprints.
+//!
+//! Squared Euclidean distance between byte fingerprints is the innermost
+//! loop of every refinement scan, k-NN candidate evaluation and sequential
+//! baseline. This module provides three interchangeable implementations —
+//! scalar, SSE2 and AVX2 — selected once per process with
+//! `is_x86_feature_detected!` and an `S3_KERNEL` environment override
+//! (`scalar` | `sse2` | `avx2` | `auto`), plus an early-exit variant
+//! [`dist_sq_within`] used by bounded scans (ε-range refinement, k-NN
+//! pruning).
+//!
+//! All tiers are **bit-identical**: the arithmetic is pure integer
+//! (absolute byte difference, widen to 16 bits, multiply-accumulate into
+//! 32-bit lanes, horizontal sum into `u64`), so every tier returns exactly
+//! the same `u64` for the same inputs — property-tested in
+//! `tests/properties.rs`. The selected tier is recorded once in the
+//! `kernel.dispatch` counter (label `tier`).
+//!
+//! The SIMD paths flush their 32-bit lane accumulators to the `u64` total
+//! every `FLUSH_CHUNKS` vectors; a single 16-byte chunk contributes at
+//! most `2 · 255² · 2 = 260 100` per lane, so 4096 chunks stay well below
+//! `i32::MAX`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which implementation of the distance kernels is active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Portable scalar loop (always available).
+    Scalar,
+    /// 128-bit SSE2 (baseline on every `x86_64`).
+    Sse2,
+    /// 256-bit AVX2 (detected at runtime).
+    Avx2,
+}
+
+impl KernelTier {
+    /// Short lowercase name, used as the `tier` label of the
+    /// `kernel.dispatch` counter.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Sse2 => "sse2",
+            KernelTier::Avx2 => "avx2",
+        }
+    }
+}
+
+const TIER_UNSET: u8 = 0;
+const TIER_SCALAR: u8 = 1;
+const TIER_SSE2: u8 = 2;
+const TIER_AVX2: u8 = 3;
+
+/// The resolved dispatch decision, cached after the first kernel call.
+static TIER: AtomicU8 = AtomicU8::new(TIER_UNSET);
+
+fn encode(tier: KernelTier) -> u8 {
+    match tier {
+        KernelTier::Scalar => TIER_SCALAR,
+        KernelTier::Sse2 => TIER_SSE2,
+        KernelTier::Avx2 => TIER_AVX2,
+    }
+}
+
+/// Every tier this host can run, in increasing width order.
+pub fn available_tiers() -> Vec<KernelTier> {
+    let mut tiers = vec![KernelTier::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        tiers.push(KernelTier::Sse2);
+        if std::arch::is_x86_feature_detected!("avx2") {
+            tiers.push(KernelTier::Avx2);
+        }
+    }
+    tiers
+}
+
+/// Picks the widest available tier, honouring the `S3_KERNEL` override.
+/// An override naming an unsupported tier falls back to auto-detection.
+fn detect() -> KernelTier {
+    let avail = available_tiers();
+    if let Ok(want) = std::env::var("S3_KERNEL") {
+        let forced = match want.as_str() {
+            "scalar" => Some(KernelTier::Scalar),
+            "sse2" => Some(KernelTier::Sse2),
+            "avx2" => Some(KernelTier::Avx2),
+            _ => None,
+        };
+        if let Some(t) = forced.filter(|t| avail.contains(t)) {
+            return t;
+        }
+    }
+    *avail.last().unwrap_or(&KernelTier::Scalar)
+}
+
+/// The tier the dispatched entry points currently use. Resolves (and
+/// records the `kernel.dispatch` counter) on first call.
+pub fn active_tier() -> KernelTier {
+    match TIER.load(Ordering::Relaxed) {
+        TIER_SCALAR => KernelTier::Scalar,
+        TIER_SSE2 => KernelTier::Sse2,
+        TIER_AVX2 => KernelTier::Avx2,
+        _ => {
+            let t = detect();
+            TIER.store(encode(t), Ordering::Relaxed);
+            s3_obs::registry()
+                .counter_with("kernel.dispatch", Some(("tier", t.name())))
+                .inc();
+            t
+        }
+    }
+}
+
+/// Overrides the dispatch decision — for benchmarks and tests that compare
+/// tiers within one process. `None` reverts to auto-detection on the next
+/// kernel call.
+///
+/// # Panics
+/// If the requested tier is not in [`available_tiers`].
+pub fn force_tier(tier: Option<KernelTier>) {
+    match tier {
+        None => TIER.store(TIER_UNSET, Ordering::Relaxed),
+        Some(t) => {
+            assert!(
+                available_tiers().contains(&t),
+                "kernel tier {t:?} is not supported on this host"
+            );
+            TIER.store(encode(t), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Squared Euclidean distance between two byte fingerprints, computed with
+/// the active kernel tier. Extra trailing components of the longer slice
+/// are ignored (callers always pass equal lengths; `debug_assert`ed).
+#[inline]
+pub fn dist_sq(a: &[u8], b: &[u8]) -> u64 {
+    debug_assert_eq!(a.len(), b.len(), "fingerprint length mismatch");
+    match active_tier() {
+        KernelTier::Scalar => dist_sq_scalar(a, b),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the tier is only selected when the feature is available.
+        KernelTier::Sse2 => unsafe { x86::dist_sq_sse2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        KernelTier::Avx2 => unsafe { x86::dist_sq_avx2(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => dist_sq_scalar(a, b),
+    }
+}
+
+/// Bounded squared distance: `Some(d²)` iff `d² ≤ bound`, `None` otherwise.
+///
+/// The squared distance is a monotone non-negative sum, so the kernels bail
+/// out as soon as a partial sum exceeds `bound` — the win behind ε-range
+/// refinement and k-NN candidate pruning. When the result is `Some`, the
+/// value is exactly [`dist_sq`] of the same inputs.
+#[inline]
+pub fn dist_sq_within(a: &[u8], b: &[u8], bound: u64) -> Option<u64> {
+    debug_assert_eq!(a.len(), b.len(), "fingerprint length mismatch");
+    match active_tier() {
+        KernelTier::Scalar => dist_sq_within_scalar(a, b, bound),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the tier is only selected when the feature is available.
+        KernelTier::Sse2 => unsafe { x86::dist_sq_within_sse2(a, b, bound) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        KernelTier::Avx2 => unsafe { x86::dist_sq_within_avx2(a, b, bound) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => dist_sq_within_scalar(a, b, bound),
+    }
+}
+
+/// [`dist_sq`] with an explicit tier — lets tests and benchmarks compare
+/// implementations side by side regardless of the dispatched default.
+///
+/// # Panics
+/// If the requested tier is not in [`available_tiers`].
+pub fn dist_sq_with_tier(tier: KernelTier, a: &[u8], b: &[u8]) -> u64 {
+    assert!(
+        available_tiers().contains(&tier),
+        "kernel tier {tier:?} is not supported on this host"
+    );
+    match tier {
+        KernelTier::Scalar => dist_sq_scalar(a, b),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above.
+        KernelTier::Sse2 => unsafe { x86::dist_sq_sse2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above.
+        KernelTier::Avx2 => unsafe { x86::dist_sq_avx2(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => dist_sq_scalar(a, b),
+    }
+}
+
+/// [`dist_sq_within`] with an explicit tier (see [`dist_sq_with_tier`]).
+///
+/// # Panics
+/// If the requested tier is not in [`available_tiers`].
+pub fn dist_sq_within_with_tier(tier: KernelTier, a: &[u8], b: &[u8], bound: u64) -> Option<u64> {
+    assert!(
+        available_tiers().contains(&tier),
+        "kernel tier {tier:?} is not supported on this host"
+    );
+    match tier {
+        KernelTier::Scalar => dist_sq_within_scalar(a, b, bound),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above.
+        KernelTier::Sse2 => unsafe { x86::dist_sq_within_sse2(a, b, bound) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above.
+        KernelTier::Avx2 => unsafe { x86::dist_sq_within_avx2(a, b, bound) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => dist_sq_within_scalar(a, b, bound),
+    }
+}
+
+/// Converts the floating refinement predicate `d² as f64 ≤ eps_sq` into an
+/// equivalent integer bound for [`dist_sq_within`]: for integer `d²`,
+/// `d² ≤ eps_sq ⇔ d² ≤ ⌊eps_sq⌋`. Returns `None` when no distance can
+/// qualify (negative or NaN `eps_sq`).
+#[inline]
+pub fn bound_from_eps_sq(eps_sq: f64) -> Option<u64> {
+    if eps_sq.is_nan() || eps_sq < 0.0 {
+        return None;
+    }
+    if eps_sq >= u64::MAX as f64 {
+        Some(u64::MAX)
+    } else {
+        Some(eps_sq as u64) // truncation == floor for non-negative values
+    }
+}
+
+/// Portable scalar squared distance — the reference every SIMD tier must
+/// bit-match.
+#[inline]
+pub fn dist_sq_scalar(a: &[u8], b: &[u8]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = i64::from(x) - i64::from(y);
+            (d * d) as u64
+        })
+        .sum()
+}
+
+/// Scalar [`dist_sq_within`]: checks the bound every 16 components.
+#[inline]
+pub fn dist_sq_within_scalar(a: &[u8], b: &[u8], bound: u64) -> Option<u64> {
+    let n = a.len().min(b.len());
+    let mut acc = 0u64;
+    let mut i = 0usize;
+    while i < n {
+        let end = (i + 16).min(n);
+        while i < end {
+            let d = i64::from(a[i]) - i64::from(b[i]);
+            acc += (d * d) as u64;
+            i += 1;
+        }
+        if acc > bound {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// SIMD chunks processed between accumulator flushes; see the module docs
+/// for the overflow headroom.
+#[cfg(target_arch = "x86_64")]
+const FLUSH_CHUNKS: usize = 4096;
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::FLUSH_CHUNKS;
+    use std::arch::x86_64::*;
+
+    /// Scalar tail over `a[i..n]` (fewer components than one vector).
+    #[inline]
+    fn tail(a: &[u8], b: &[u8], i: usize, n: usize) -> u64 {
+        super::dist_sq_scalar(&a[i..n], &b[i..n])
+    }
+
+    /// Sums the four non-negative i32 lanes into a u64.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn hsum_epi32_sse2(v: __m128i) -> u64 {
+        let mut lanes = [0i32; 4];
+        _mm_storeu_si128(lanes.as_mut_ptr().cast(), v);
+        lanes.iter().map(|&x| x as u64).sum()
+    }
+
+    /// Sums the eight non-negative i32 lanes into a u64.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epi32_avx2(v: __m256i) -> u64 {
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), v);
+        lanes.iter().map(|&x| x as u64).sum()
+    }
+
+    /// Adds the squared differences of one 16-byte chunk at `i` into `acc`
+    /// (i32 lanes): |a−b| via unsigned max−min, widen to u16, `madd` the
+    /// squares into i32 pairs.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn step_sse2(a: &[u8], b: &[u8], i: usize, acc: __m128i) -> __m128i {
+        let zero = _mm_setzero_si128();
+        let va = _mm_loadu_si128(a.as_ptr().add(i).cast());
+        let vb = _mm_loadu_si128(b.as_ptr().add(i).cast());
+        let d = _mm_sub_epi8(_mm_max_epu8(va, vb), _mm_min_epu8(va, vb));
+        let lo = _mm_unpacklo_epi8(d, zero);
+        let hi = _mm_unpackhi_epi8(d, zero);
+        let acc = _mm_add_epi32(acc, _mm_madd_epi16(lo, lo));
+        _mm_add_epi32(acc, _mm_madd_epi16(hi, hi))
+    }
+
+    /// As [`step_sse2`] for one 32-byte chunk.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn step_avx2(a: &[u8], b: &[u8], i: usize, acc: __m256i) -> __m256i {
+        let zero = _mm256_setzero_si256();
+        let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+        let d = _mm256_sub_epi8(_mm256_max_epu8(va, vb), _mm256_min_epu8(va, vb));
+        let lo = _mm256_unpacklo_epi8(d, zero);
+        let hi = _mm256_unpackhi_epi8(d, zero);
+        let acc = _mm256_add_epi32(acc, _mm256_madd_epi16(lo, lo));
+        _mm256_add_epi32(acc, _mm256_madd_epi16(hi, hi))
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn dist_sq_sse2(a: &[u8], b: &[u8]) -> u64 {
+        let n = a.len().min(b.len());
+        let mut total = 0u64;
+        let mut acc = _mm_setzero_si128();
+        let mut chunks = 0usize;
+        let mut i = 0usize;
+        while i + 16 <= n {
+            acc = step_sse2(a, b, i, acc);
+            i += 16;
+            chunks += 1;
+            if chunks == FLUSH_CHUNKS {
+                total += hsum_epi32_sse2(acc);
+                acc = _mm_setzero_si128();
+                chunks = 0;
+            }
+        }
+        total + hsum_epi32_sse2(acc) + tail(a, b, i, n)
+    }
+
+    /// Tail after the 32-byte chunks: one 16-byte SSE2 step when at least
+    /// half a vector remains (the paper's D = 20 lands here), then scalar.
+    /// SSE2 is implied by AVX2, so this needs no extra detection.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn tail_avx2(a: &[u8], b: &[u8], mut i: usize, n: usize) -> u64 {
+        let mut total = 0u64;
+        if i + 16 <= n {
+            total += hsum_epi32_sse2(step_sse2(a, b, i, _mm_setzero_si128()));
+            i += 16;
+        }
+        total + tail(a, b, i, n)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dist_sq_avx2(a: &[u8], b: &[u8]) -> u64 {
+        let n = a.len().min(b.len());
+        let mut total = 0u64;
+        let mut acc = _mm256_setzero_si256();
+        let mut chunks = 0usize;
+        let mut i = 0usize;
+        while i + 32 <= n {
+            acc = step_avx2(a, b, i, acc);
+            i += 32;
+            chunks += 1;
+            if chunks == FLUSH_CHUNKS {
+                total += hsum_epi32_avx2(acc);
+                acc = _mm256_setzero_si256();
+                chunks = 0;
+            }
+        }
+        total + hsum_epi32_avx2(acc) + tail_avx2(a, b, i, n)
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn dist_sq_within_sse2(a: &[u8], b: &[u8], bound: u64) -> Option<u64> {
+        let n = a.len().min(b.len());
+        let vec_end = n - n % 16;
+        let mut total = 0u64;
+        let mut i = 0usize;
+        // Accumulate in 256-byte super-chunks, comparing after each; the
+        // partial sum is monotone so exceeding `bound` early is conclusive.
+        while i < vec_end {
+            let stop = (i + 256).min(vec_end);
+            let mut acc = _mm_setzero_si128();
+            while i < stop {
+                acc = step_sse2(a, b, i, acc);
+                i += 16;
+            }
+            total += hsum_epi32_sse2(acc);
+            if total > bound {
+                return None;
+            }
+        }
+        total += tail(a, b, i, n);
+        (total <= bound).then_some(total)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dist_sq_within_avx2(a: &[u8], b: &[u8], bound: u64) -> Option<u64> {
+        let n = a.len().min(b.len());
+        let vec_end = n - n % 32;
+        let mut total = 0u64;
+        let mut i = 0usize;
+        while i < vec_end {
+            let stop = (i + 256).min(vec_end);
+            let mut acc = _mm256_setzero_si256();
+            while i < stop {
+                acc = step_avx2(a, b, i, acc);
+                i += 32;
+            }
+            total += hsum_epi32_avx2(acc);
+            if total > bound {
+                return None;
+            }
+        }
+        total += tail_avx2(a, b, i, n);
+        (total <= bound).then_some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift_vec(len: usize, seed: u64) -> Vec<u8> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_tiers_match_scalar_across_lengths() {
+        // Includes the paper's D=20, widths around the 16/32-byte vector
+        // boundaries, and long buffers exercising the tail path.
+        for len in [0, 1, 2, 15, 16, 17, 20, 31, 32, 33, 63, 64, 100, 1000] {
+            let a = xorshift_vec(len, 0xA11CE + len as u64);
+            let b = xorshift_vec(len, 0xB0B + len as u64);
+            let reference = dist_sq_scalar(&a, &b);
+            for tier in available_tiers() {
+                assert_eq!(
+                    dist_sq_with_tier(tier, &a, &b),
+                    reference,
+                    "tier {tier:?} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unaligned_slices_match() {
+        let a = xorshift_vec(256, 1);
+        let b = xorshift_vec(256, 2);
+        for off in 0..4usize {
+            let (sa, sb) = (&a[off..], &b[off..]);
+            let reference = dist_sq_scalar(sa, sb);
+            for tier in available_tiers() {
+                assert_eq!(dist_sq_with_tier(tier, sa, sb), reference, "off {off}");
+            }
+        }
+    }
+
+    #[test]
+    fn within_agrees_with_full_distance() {
+        let a = xorshift_vec(300, 7);
+        let b = xorshift_vec(300, 8);
+        let full = dist_sq_scalar(&a, &b);
+        for tier in available_tiers() {
+            for bound in [0, full - 1, full, full + 1, u64::MAX] {
+                let got = dist_sq_within_with_tier(tier, &a, &b, bound);
+                if full <= bound {
+                    assert_eq!(got, Some(full), "tier {tier:?} bound {bound}");
+                } else {
+                    assert_eq!(got, None, "tier {tier:?} bound {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn within_empty_input_is_zero() {
+        for tier in available_tiers() {
+            assert_eq!(dist_sq_within_with_tier(tier, &[], &[], 0), Some(0));
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow_lanes() {
+        // 4 KiB of maximal differences: 4096 · 255² exercises several
+        // full vectors at the top of the per-lane range.
+        let a = vec![255u8; 4096];
+        let b = vec![0u8; 4096];
+        let want = 4096u64 * 255 * 255;
+        for tier in available_tiers() {
+            assert_eq!(dist_sq_with_tier(tier, &a, &b), want);
+            assert_eq!(dist_sq_within_with_tier(tier, &a, &b, want), Some(want));
+            assert_eq!(dist_sq_within_with_tier(tier, &a, &b, want - 1), None);
+        }
+    }
+
+    #[test]
+    fn bound_conversion_is_floor() {
+        assert_eq!(bound_from_eps_sq(0.0), Some(0));
+        assert_eq!(bound_from_eps_sq(2.9), Some(2));
+        assert_eq!(bound_from_eps_sq(3.0), Some(3));
+        assert_eq!(bound_from_eps_sq(-1.0), None);
+        assert_eq!(bound_from_eps_sq(f64::NAN), None);
+        assert_eq!(bound_from_eps_sq(f64::INFINITY), Some(u64::MAX));
+    }
+
+    #[test]
+    fn forced_tier_drives_dispatch() {
+        let tiers = available_tiers();
+        let a = xorshift_vec(20, 3);
+        let b = xorshift_vec(20, 4);
+        let want = dist_sq_scalar(&a, &b);
+        for &t in &tiers {
+            force_tier(Some(t));
+            assert_eq!(active_tier(), t);
+            assert_eq!(dist_sq(&a, &b), want);
+            assert_eq!(dist_sq_within(&a, &b, want), Some(want));
+        }
+        force_tier(None);
+        // Re-detection picks the widest available tier (or the env choice).
+        assert!(tiers.contains(&active_tier()));
+    }
+}

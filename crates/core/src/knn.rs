@@ -13,8 +13,8 @@
 //! A node whose min-distance exceeds the current k-th best distance can be
 //! discarded with all its descendants, which makes the search exact.
 
-use crate::fingerprint::dist_sq;
 use crate::index::{Match, S3Index};
+use crate::kernels;
 use s3_hilbert::Block;
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
@@ -26,7 +26,8 @@ pub struct KnnResult {
     pub neighbors: Vec<Match>,
     /// Tree nodes expanded.
     pub nodes_expanded: usize,
-    /// Records whose distance was evaluated.
+    /// Records visited by block scans (the distance kernel may abandon a
+    /// record early once it exceeds the current k-th best).
     pub entries_scanned: usize,
 }
 
@@ -115,9 +116,22 @@ pub fn knn(index: &S3Index, q: &[u8], k: usize, scan_depth: u32) -> KnnResult {
         if node.block.depth() >= scan_depth {
             let (start, end) = index.locate(&node.block.key_range(curve));
             for i in start..end {
-                let d2 = dist_sq(q, index.records().fingerprint(i));
                 scanned += 1;
-                if (d2 as f64) < kth_dist(&best) || (best.len() < k) {
+                // A candidate displaces the k-th best only if strictly
+                // closer: integer distances make that `d² ≤ kth − 1`, an
+                // exact bound the kernel can abandon records against. A
+                // heap already full at distance 0 admits nothing.
+                let bound = if best.len() < k {
+                    u64::MAX
+                } else {
+                    match best.peek().map(|c| c.dist_sq) {
+                        Some(0) => continue,
+                        Some(kth) => kth - 1,
+                        None => u64::MAX,
+                    }
+                };
+                if let Some(d2) = kernels::dist_sq_within(q, index.records().fingerprint(i), bound)
+                {
                     best.push(Candidate {
                         dist_sq: d2,
                         index: i,
@@ -222,9 +236,19 @@ pub fn knn_approx(
         if node.block.depth() >= scan_depth {
             let (start, end) = index.locate(&node.block.key_range(curve));
             for i in start..end {
-                let d2 = dist_sq(q, index.records().fingerprint(i));
                 scanned += 1;
-                if (d2 as f64) < kth_dist(&best) || best.len() < k {
+                // Same exact integer bound as in `knn` above.
+                let bound = if best.len() < k {
+                    u64::MAX
+                } else {
+                    match best.peek().map(|c| c.dist_sq) {
+                        Some(0) => continue,
+                        Some(kth) => kth - 1,
+                        None => u64::MAX,
+                    }
+                };
+                if let Some(d2) = kernels::dist_sq_within(q, index.records().fingerprint(i), bound)
+                {
                     best.push(Candidate {
                         dist_sq: d2,
                         index: i,
@@ -269,7 +293,7 @@ pub fn knn_approx(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fingerprint::RecordBatch;
+    use crate::fingerprint::{dist_sq, RecordBatch};
     use s3_hilbert::HilbertCurve;
 
     fn index(n: usize, seed: u64) -> S3Index {

@@ -64,6 +64,7 @@ pub mod error;
 pub mod filter;
 pub mod fingerprint;
 pub mod index;
+pub mod kernels;
 pub mod knn;
 pub mod metrics;
 pub mod parallel;
@@ -75,6 +76,7 @@ pub use dynamic::DynamicIndex;
 pub use error::IndexError;
 pub use fingerprint::{dist, dist_sq, Record, RecordBatch, PAPER_DIMS};
 pub use index::{FilterAlgo, Match, QueryResult, QueryStats, Refine, S3Index, StatQueryOpts};
+pub use kernels::{dist_sq_within, KernelTier};
 pub use metrics::CoreMetrics;
 pub use pseudo_disk::{DiskIndex, RetryPolicy, WriteOpts};
 pub use storage::{FaultPlan, FaultStats, FaultyStorage, FileStorage, MemStorage, Storage};

@@ -57,6 +57,18 @@ pub struct CoreMetrics {
     pub crc_failures: Counter,
     /// `storage.v1_fallback` — legacy unchecksummed files opened.
     pub v1_fallback: Counter,
+    /// `filter.mass_cache.hits` — per-axis component masses served from the
+    /// memo table instead of re-integrating `component_mass`.
+    pub mass_cache_hits: Counter,
+    /// `filter.mass_cache.misses` — component masses actually integrated
+    /// (table fills).
+    pub mass_cache_misses: Counter,
+    /// `scheduler.tasks_per_worker` — items claimed by each work-stealing
+    /// worker over its lifetime (one sample per worker per batch).
+    pub tasks_per_worker: Histogram,
+    /// `scheduler.workers` — worker threads spawned by the work-stealing
+    /// scheduler (after clamping to the task count).
+    pub workers_spawned: Counter,
 }
 
 static CORE: OnceLock<CoreMetrics> = OnceLock::new();
@@ -85,6 +97,10 @@ impl CoreMetrics {
                 section_load: r.histogram("io.section_load"),
                 crc_failures: r.counter("storage.crc_failures"),
                 v1_fallback: r.counter("storage.v1_fallback"),
+                mass_cache_hits: r.counter("filter.mass_cache.hits"),
+                mass_cache_misses: r.counter("filter.mass_cache.misses"),
+                tasks_per_worker: r.histogram("scheduler.tasks_per_worker"),
+                workers_spawned: r.counter("scheduler.workers"),
             }
         })
     }

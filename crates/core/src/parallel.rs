@@ -6,18 +6,110 @@
 //! of construction (Hilbert key computation); the final sort stays
 //! single-threaded and is a small fraction of build time.
 //!
+//! Work is distributed dynamically by default ([`Schedule::WorkStealing`]):
+//! workers claim items off a shared atomic cursor, so a handful of expensive
+//! queries — deep filters, wide distortion models — cannot strand the rest
+//! of the batch on one thread the way static chunking does. The static
+//! splitter is kept as [`Schedule::Static`] for comparison benchmarks.
+//!
 //! This goes beyond the paper (which reports single-core Pentium-IV numbers)
 //! but is what the paper's TV-monitoring deployment would use today; the
 //! monitoring example uses it to stay ahead of real time.
 
 use crate::distortion::DistortionModel;
 use crate::index::{QueryResult, S3Index, StatQueryOpts};
+use crate::metrics::CoreMetrics;
 use s3_hilbert::{HilbertCurve, Key256};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Runs a batch of statistical queries across `threads` worker threads.
+/// How a batch is split across worker threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Schedule {
+    /// One contiguous chunk per worker, fixed up front. Cheap to set up but
+    /// the batch finishes when its slowest chunk does.
+    Static,
+    /// Workers repeatedly claim the next unclaimed items off a shared atomic
+    /// cursor (default). Load-balances skewed batches at the cost of one
+    /// `fetch_add` per claim.
+    #[default]
+    WorkStealing,
+}
+
+/// Rows of Hilbert-key work claimed per cursor bump: one key is far too
+/// cheap to pay an atomic for, so keys are claimed in pages.
+const KEY_ROWS_PER_TASK: usize = 1024;
+
+/// A per-item result slot written by exactly one worker.
 ///
-/// Results are returned in input order. With `threads == 1` this is a plain
-/// sequential loop (no thread spawn).
+/// The atomic cursor hands each index to a single winner, so the cells are
+/// never aliased; `UnsafeCell` just lets the winners write through a shared
+/// borrow without a lock.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: distinct threads only ever access distinct slots (each index is
+// claimed by exactly one `fetch_add` winner), so `&Slot` may cross threads
+// whenever the payload itself may.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// Runs `f(0..n)` across up to `threads` workers pulling `chunk`-sized runs
+/// of indices off a shared cursor; returns results in index order.
+///
+/// Falls back to a plain sequential loop when one worker (or fewer) would
+/// remain after clamping to the task count — so 0- and 1-item batches never
+/// pay a thread spawn.
+pub(crate) fn run_dynamic<T, F>(n: usize, threads: usize, chunk: usize, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let chunk = chunk.max(1);
+    let workers = threads.min(n.div_ceil(chunk));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let metrics = CoreMetrics::get();
+    metrics.workers_spawned.add(workers as u64);
+    let slots: Vec<Slot<T>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut claimed = 0u64;
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for (i, slot) in slots.iter().enumerate().take(end).skip(start) {
+                        let v = f(i);
+                        // SAFETY: index `i` belongs to this claim alone; no
+                        // other thread reads or writes `slots[i]` until the
+                        // scope joins.
+                        unsafe { *slot.0.get() = Some(v) };
+                    }
+                    claimed += (end - start) as u64;
+                }
+                metrics.tasks_per_worker.record(claimed);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| match s.0.into_inner() {
+            Some(v) => v,
+            // The cursor sweeps [0, n) exactly once.
+            None => unreachable!("all slots filled"),
+        })
+        .collect()
+}
+
+/// Runs a batch of statistical queries across `threads` worker threads with
+/// the default work-stealing schedule.
+///
+/// Results are returned in input order. With `threads == 1` (or a batch of
+/// at most one query) this is a plain sequential loop — no thread spawn.
 pub fn stat_query_batch(
     index: &S3Index,
     queries: &[&[u8]],
@@ -25,42 +117,66 @@ pub fn stat_query_batch(
     opts: &StatQueryOpts,
     threads: usize,
 ) -> Vec<QueryResult> {
+    stat_query_batch_with(index, queries, model, opts, threads, Schedule::default())
+}
+
+/// As [`stat_query_batch`] with an explicit [`Schedule`].
+pub fn stat_query_batch_with(
+    index: &S3Index,
+    queries: &[&[u8]],
+    model: &dyn DistortionModel,
+    opts: &StatQueryOpts,
+    threads: usize,
+    schedule: Schedule,
+) -> Vec<QueryResult> {
     assert!(threads > 0, "need at least one thread");
     let _sp = s3_obs::span!(
         "query.batch",
         "queries" => queries.len() as f64,
         "threads" => threads as f64,
     );
-    if threads == 1 || queries.len() <= 1 {
+    let workers = threads.min(queries.len());
+    if workers <= 1 {
         return queries
             .iter()
             .map(|q| index.stat_query(q, model, opts))
             .collect();
     }
-    let chunk = queries.len().div_ceil(threads);
-    let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (qs, rs) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (q, slot) in qs.iter().zip(rs.iter_mut()) {
-                    *slot = Some(index.stat_query(q, model, opts));
+    match schedule {
+        // Queries are orders of magnitude heavier than a `fetch_add`, so
+        // they are claimed one at a time for the finest balance.
+        Schedule::WorkStealing => run_dynamic(queries.len(), workers, 1, &|i| {
+            index.stat_query(queries[i], model, opts)
+        }),
+        Schedule::Static => {
+            let chunk = queries.len().div_ceil(workers);
+            let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for (qs, rs) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (q, slot) in qs.iter().zip(rs.iter_mut()) {
+                            *slot = Some(index.stat_query(q, model, opts));
+                        }
+                    });
                 }
             });
+            results
+                .into_iter()
+                .map(|r| match r {
+                    Some(r) => r,
+                    // The chunking above covers every slot exactly once.
+                    None => unreachable!("all slots filled"),
+                })
+                .collect()
         }
-    });
-    results
-        .into_iter()
-        .map(|r| match r {
-            Some(r) => r,
-            // The chunking above covers every slot exactly once.
-            None => unreachable!("all slots filled"),
-        })
-        .collect()
+    }
 }
 
 /// Computes Hilbert keys for a flat fingerprint buffer in parallel.
 ///
 /// `fingerprints` is `n * dims` bytes, row-major. Returns one key per row.
+/// Rows are claimed in pages of `KEY_ROWS_PER_TASK` off the work-stealing
+/// cursor.
 pub fn build_keys_parallel(
     curve: &HilbertCurve,
     fingerprints: &[u8],
@@ -70,27 +186,9 @@ pub fn build_keys_parallel(
     let dims = curve.dims();
     assert_eq!(fingerprints.len() % dims, 0, "ragged fingerprint buffer");
     let n = fingerprints.len() / dims;
-    if threads == 1 || n <= 1 {
-        return fingerprints
-            .chunks_exact(dims)
-            .map(|fp| curve.encode_bytes(fp))
-            .collect();
-    }
-    let rows_per = n.div_ceil(threads);
-    let mut keys = vec![Key256::ZERO; n];
-    std::thread::scope(|scope| {
-        for (fps, ks) in fingerprints
-            .chunks(rows_per * dims)
-            .zip(keys.chunks_mut(rows_per))
-        {
-            scope.spawn(move || {
-                for (fp, k) in fps.chunks_exact(dims).zip(ks.iter_mut()) {
-                    *k = curve.encode_bytes(fp);
-                }
-            });
-        }
-    });
-    keys
+    run_dynamic(n, threads, KEY_ROWS_PER_TASK, &|i| {
+        curve.encode_bytes(&fingerprints[i * dims..(i + 1) * dims])
+    })
 }
 
 #[cfg(test)]
@@ -133,6 +231,23 @@ mod tests {
     }
 
     #[test]
+    fn schedules_agree() {
+        let idx = index(1500);
+        let model = IsotropicNormal::new(4, 10.0);
+        let opts = StatQueryOpts::new(0.8, 9);
+        let queries: Vec<Vec<u8>> = (0..17u8).map(|i| vec![i * 13, i, 255 - i, 90]).collect();
+        let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        let st = stat_query_batch_with(&idx, &qrefs, &model, &opts, 4, Schedule::Static);
+        let ws = stat_query_batch_with(&idx, &qrefs, &model, &opts, 4, Schedule::WorkStealing);
+        for (a, b) in st.iter().zip(&ws) {
+            let ai: Vec<usize> = a.matches.iter().map(|m| m.index).collect();
+            let bi: Vec<usize> = b.matches.iter().map(|m| m.index).collect();
+            assert_eq!(ai, bi);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
     fn parallel_keys_match_sequential() {
         let curve = HilbertCurve::new(5, 8).unwrap();
         let mut fps = Vec::new();
@@ -149,11 +264,42 @@ mod tests {
     }
 
     #[test]
+    fn parallel_keys_balance_across_pages() {
+        // More rows than one claim page, several workers: still exact.
+        let curve = HilbertCurve::new(2, 8).unwrap();
+        let mut fps = Vec::new();
+        let mut s = 5u64;
+        for _ in 0..(KEY_ROWS_PER_TASK * 3 + 17) * 2 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            fps.push((s >> 32) as u8);
+        }
+        let a = build_keys_parallel(&curve, &fps, 1);
+        let b = build_keys_parallel(&curve, &fps, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn empty_batch_ok() {
         let idx = index(10);
         let model = IsotropicNormal::new(4, 12.0);
         let opts = StatQueryOpts::new(0.8, 6);
         assert!(stat_query_batch(&idx, &[], &model, &opts, 4).is_empty());
+        assert!(stat_query_batch_with(&idx, &[], &model, &opts, 4, Schedule::Static).is_empty());
+    }
+
+    #[test]
+    fn single_query_skips_thread_spawn() {
+        let idx = index(200);
+        let model = IsotropicNormal::new(4, 12.0);
+        let opts = StatQueryOpts::new(0.8, 6);
+        let q: &[u8] = &[9, 9, 9, 9];
+        let seq = stat_query_batch(&idx, &[q], &model, &opts, 1);
+        let par = stat_query_batch(&idx, &[q], &model, &opts, 8);
+        assert_eq!(seq.len(), 1);
+        assert_eq!(par.len(), 1);
+        assert_eq!(seq[0].matches.len(), par[0].matches.len());
     }
 
     #[test]
@@ -164,5 +310,15 @@ mod tests {
         let q: &[u8] = &[1, 2, 3, 4];
         let r = stat_query_batch(&idx, &[q, q, q], &model, &opts, 16);
         assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn run_dynamic_preserves_order() {
+        let out = run_dynamic(1000, 7, 3, &|i| i * i);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+        assert!(run_dynamic(0, 4, 1, &|i| i).is_empty());
+        assert_eq!(run_dynamic(1, 4, 1, &|i| i + 1), vec![1]);
     }
 }

@@ -55,9 +55,13 @@
 use crate::crc::{crc32, Crc32};
 use crate::distortion::DistortionModel;
 use crate::error::IndexError;
-use crate::filter::{merge_block_ranges, select_blocks_best_first, select_blocks_range};
+use crate::filter::{
+    merge_block_ranges, select_blocks_best_first, select_blocks_best_first_uncached,
+    select_blocks_range,
+};
 use crate::fingerprint::dist_sq;
 use crate::index::{Match, QueryStats, Refine, S3Index, StatQueryOpts};
+use crate::kernels;
 use crate::metrics::CoreMetrics;
 use crate::storage::{FileStorage, Storage};
 use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
@@ -142,6 +146,8 @@ pub struct DiskIndex {
     /// Length of the data region in bytes.
     data_len: u64,
     retry: RetryPolicy,
+    /// Worker threads for per-section refinement (1 = sequential).
+    threads: usize,
 }
 
 /// Aggregate timing and health of one batched search — the terms of eq. 5
@@ -458,6 +464,7 @@ impl DiskIndex {
             data_off: 0,
             data_len,
             retry: RetryPolicy::default(),
+            threads: 1,
         };
 
         if version == 1 {
@@ -528,6 +535,24 @@ impl DiskIndex {
     /// The active retry/degradation policy.
     pub fn retry_policy(&self) -> RetryPolicy {
         self.retry
+    }
+
+    /// Sets the worker-thread count for per-section refinement (builder
+    /// style). Clamped to at least one; section loading stays sequential —
+    /// only the CPU-bound scan fans out.
+    pub fn with_threads(mut self, threads: usize) -> DiskIndex {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the refinement worker-thread count (clamped to at least one).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Worker threads used for per-section refinement.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// On-disk format version of the opened file (1 or 2).
@@ -655,14 +680,25 @@ impl DiskIndex {
         mem_budget: u64,
     ) -> Result<BatchResult, IndexError> {
         self.query_batch_inner(queries, mem_budget, opts.refine, Some(model), |q| {
-            let outcome = select_blocks_best_first(
-                &self.curve,
-                model,
-                q,
-                opts.depth,
-                opts.alpha,
-                opts.max_blocks,
-            );
+            let outcome = if opts.mass_cache {
+                select_blocks_best_first(
+                    &self.curve,
+                    model,
+                    q,
+                    opts.depth,
+                    opts.alpha,
+                    opts.max_blocks,
+                )
+            } else {
+                select_blocks_best_first_uncached(
+                    &self.curve,
+                    model,
+                    q,
+                    opts.depth,
+                    opts.alpha,
+                    opts.max_blocks,
+                )
+            };
             let stats = QueryStats {
                 nodes_expanded: outcome.nodes_expanded,
                 blocks_selected: outcome.blocks.len(),
@@ -755,6 +791,12 @@ impl DiskIndex {
         }
 
         // Stage 2: stream sections, retrying and degrading as configured.
+        // Range refinement uses the exact integer bound so the distance
+        // kernel can abandon a record mid-vector (see `S3Index::refine_scan`).
+        let range_bound = match refine {
+            Refine::Range(eps) => kernels::bound_from_eps_sq(eps * eps),
+            _ => None,
+        };
         let mut matches: Vec<Vec<Match>> = vec![Vec::new(); queries.len()];
         let mut timing = BatchTiming {
             filter: filter_time,
@@ -820,41 +862,75 @@ impl DiskIndex {
             }
 
             let t_ref = Instant::now();
-            for &(qi, ri) in work {
-                let q = queries[qi as usize];
-                let range = &per_query_ranges[qi as usize][ri as usize];
-                let (lo, hi) = section.locate(range);
-                stats[qi as usize].ranges_scanned += 1;
-                stats[qi as usize].entries_scanned += hi - lo;
-                for i in lo..hi {
-                    let fp = section.fingerprint(self.curve.dims(), i);
-                    let keep = match refine {
-                        Refine::All => Some(None),
-                        Refine::Range(eps) => {
-                            let d2 = dist_sq(q, fp) as f64;
-                            (d2 <= eps * eps).then_some(Some(d2))
+            // `work` is pushed in ascending qi order, so each query's ranges
+            // form one contiguous run — the unit of parallel refinement.
+            // Workers produce independent GroupResults; the sequential merge
+            // below reproduces the exact sequential output order.
+            let mut groups: Vec<(usize, usize)> = Vec::new();
+            let mut gs = 0usize;
+            for w in 1..=work.len() {
+                if w == work.len() || work[w].0 != work[gs].0 {
+                    groups.push((gs, w));
+                    gs = w;
+                }
+            }
+            let section_ref = &section;
+            let refine_group = |g: usize| -> GroupResult {
+                let (lo_w, hi_w) = groups[g];
+                let qi = work[lo_w].0 as usize;
+                let q = queries[qi];
+                let mut out = GroupResult {
+                    qi,
+                    matches: Vec::new(),
+                    ranges: 0,
+                    entries: 0,
+                };
+                for &(_, ri) in &work[lo_w..hi_w] {
+                    let range = &per_query_ranges[qi][ri as usize];
+                    let (lo, hi) = section_ref.locate(range);
+                    out.ranges += 1;
+                    out.entries += hi - lo;
+                    for i in lo..hi {
+                        let fp = section_ref.fingerprint(self.curve.dims(), i);
+                        let keep = match refine {
+                            Refine::All => Some(None),
+                            Refine::Range(_) => range_bound
+                                .and_then(|bound| kernels::dist_sq_within(q, fp, bound))
+                                .map(|d2| Some(d2 as f64)),
+                            Refine::LogLikelihood(bound) => {
+                                let Some(model) = model else {
+                                    unreachable!("likelihood refinement needs a model")
+                                };
+                                let delta: Vec<f64> = q
+                                    .iter()
+                                    .zip(fp)
+                                    .map(|(&a, &b)| f64::from(b) - f64::from(a))
+                                    .collect();
+                                (model.log_pdf(&delta) >= bound)
+                                    .then(|| Some(dist_sq(q, fp) as f64))
+                            }
+                        };
+                        if let Some(dist_sq) = keep {
+                            out.matches.push(Match {
+                                index: (a as usize) + i,
+                                id: section_ref.ids[i],
+                                tc: section_ref.tcs[i],
+                                dist_sq,
+                            });
                         }
-                        Refine::LogLikelihood(bound) => {
-                            let Some(model) = model else {
-                                unreachable!("likelihood refinement needs a model")
-                            };
-                            let delta: Vec<f64> = q
-                                .iter()
-                                .zip(fp)
-                                .map(|(&a, &b)| f64::from(b) - f64::from(a))
-                                .collect();
-                            (model.log_pdf(&delta) >= bound).then(|| Some(dist_sq(q, fp) as f64))
-                        }
-                    };
-                    if let Some(dist_sq) = keep {
-                        matches[qi as usize].push(Match {
-                            index: (a as usize) + i,
-                            id: section.ids[i],
-                            tc: section.tcs[i],
-                            dist_sq,
-                        });
                     }
                 }
+                out
+            };
+            let results: Vec<GroupResult> = if self.threads > 1 && groups.len() > 1 {
+                crate::parallel::run_dynamic(groups.len(), self.threads, 1, &refine_group)
+            } else {
+                (0..groups.len()).map(refine_group).collect()
+            };
+            for gr in results {
+                stats[gr.qi].ranges_scanned += gr.ranges;
+                stats[gr.qi].entries_scanned += gr.entries;
+                matches[gr.qi].extend(gr.matches);
             }
             timing.refine += t_ref.elapsed();
         }
@@ -976,6 +1052,15 @@ impl DiskIndex {
         buf.raw = raw;
         Ok(())
     }
+}
+
+/// Refinement output of one query's contiguous run of ranges within a
+/// section — the unit merged back into per-query results in input order.
+struct GroupResult {
+    qi: usize,
+    matches: Vec<Match>,
+    ranges: usize,
+    entries: usize,
 }
 
 /// One memory-resident section of the database.
@@ -1182,6 +1267,52 @@ mod tests {
         assert_eq!(a, b);
         for m in &batch.matches[0] {
             assert!(m.dist_sq.unwrap() <= eps * eps);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn threaded_refinement_matches_sequential() {
+        let (_idx, path) = build_pair(3000);
+        let seq = DiskIndex::open(&path).unwrap();
+        let par = DiskIndex::open(&path).unwrap().with_threads(4);
+        assert_eq!(par.threads(), 4);
+        let model = IsotropicNormal::new(4, 14.0);
+        let mut opts = StatQueryOpts::new(0.9, 9);
+        opts.refine = Refine::Range(120.0);
+        let queries: Vec<Vec<u8>> = (0..11u8)
+            .map(|i| vec![i * 23, 255 - i * 9, i * 5, 77])
+            .collect();
+        let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        // Tight budget: several sections, so the grouped refinement runs
+        // repeatedly per batch.
+        let a = seq
+            .stat_query_batch(&qrefs, &model, &opts, 500 * 44)
+            .unwrap();
+        let b = par
+            .stat_query_batch(&qrefs, &model, &opts, 500 * 44)
+            .unwrap();
+        for qi in 0..queries.len() {
+            let am: Vec<(usize, u32, u32)> = a.matches[qi]
+                .iter()
+                .map(|m| (m.index, m.id, m.tc))
+                .collect();
+            let bm: Vec<(usize, u32, u32)> = b.matches[qi]
+                .iter()
+                .map(|m| (m.index, m.id, m.tc))
+                .collect();
+            assert_eq!(am, bm, "query {qi} match order must be identical");
+            assert_eq!(a.stats[qi], b.stats[qi]);
+        }
+        // Uncached filter must agree too (bit-identical masses).
+        let mut unc = opts;
+        unc.mass_cache = false;
+        let c = seq
+            .stat_query_batch(&qrefs, &model, &unc, 500 * 44)
+            .unwrap();
+        for qi in 0..queries.len() {
+            assert_eq!(a.stats[qi], c.stats[qi]);
+            assert_eq!(a.matches[qi].len(), c.matches[qi].len());
         }
         std::fs::remove_file(path).ok();
     }
