@@ -1,0 +1,617 @@
+//! Deterministic chaos harness for the query-lifecycle resilience layer.
+//!
+//! Drives `stat_query_batch`/`stat_query_batch_ctx` through scripted fault
+//! schedules — latency stalls, torn pages, bit flips, transient errors, dead
+//! regions, admission floods — over a seed matrix, and asserts the
+//! resilience invariants on every run:
+//!
+//! * **I1 — no panic**: every scenario runs under `catch_unwind`.
+//! * **I2 — no deadlock**: every scenario runs under a watchdog; a hang is a
+//!   violation, not a hung harness.
+//! * **I3 — bounded overshoot**: a deadline may be overshot by at most one
+//!   uninterruptible unit of work (one section-load attempt, i.e. four
+//!   stalled column reads).
+//! * **I4 — honest flags**: per-query `degraded` is true exactly when some
+//!   of that query's work was skipped or the query was cancelled, and the
+//!   batch flag agrees with the per-query flags.
+//! * **I5 — bit-identical where clean**: wherever `degraded == false`, the
+//!   matches are identical to the fault-free run.
+//!
+//! All time runs on a [`MockClock`] (stalls advance it, deadlines read it),
+//! so the whole matrix is deterministic and costs zero wall-clock sleeping.
+//!
+//! Usage: `chaos [--scale quick|full]`. Writes `results/CHAOS.json` and
+//! exits non-zero if any invariant was violated.
+
+use s3_bench::{results_dir, Scale};
+use s3_core::pseudo_disk::{DiskIndex, RetryPolicy, WriteOpts};
+use s3_core::{
+    Admission, AdmissionController, Clock, CoreMetrics, FaultPlan, FaultyStorage, IsotropicNormal,
+    Match, MemStorage, MockClock, QueryCtx, RecordBatch, S3Index, Shed, StatQueryOpts,
+};
+use s3_hilbert::HilbertCurve;
+use std::fmt::Write as _;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIMS: usize = 6;
+const TABLE_DEPTH: u32 = 8;
+const BLOCK_SIZE: u32 = 128;
+/// Memory budget small enough to force a multi-section split.
+const MEM_BUDGET: u64 = 8 << 10;
+/// Wall-clock watchdog per scenario run (I2). Generous: a quick run takes
+/// milliseconds; only a real deadlock gets anywhere near it.
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// One scenario × seed execution.
+struct RunReport {
+    scenario: &'static str,
+    seed: u64,
+    /// Violated invariants; empty = the run passed.
+    violations: Vec<String>,
+    /// Counters worth keeping in the JSON report.
+    counters: Vec<(&'static str, f64)>,
+}
+
+/// Everything a fault scenario needs: the serialized index, the reference
+/// (fault-free) answers, and the query workload.
+#[derive(Clone)]
+struct Workload {
+    bytes: Vec<u8>,
+    queries: Vec<Vec<u8>>,
+    baseline: Vec<Vec<Match>>,
+}
+
+fn build_workload(n_records: usize, n_queries: usize) -> Workload {
+    let mut s = 0x5EED_C405u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut batch = RecordBatch::new(DIMS);
+    for i in 0..n_records {
+        let fp: Vec<u8> = (0..DIMS).map(|_| (next() >> 24) as u8).collect();
+        batch.push(&fp, (i % 7) as u32, i as u32);
+    }
+    let index = S3Index::build(HilbertCurve::new(DIMS, 8).unwrap(), batch);
+    let path = std::env::temp_dir().join(format!("s3-chaos-{}.idx", std::process::id()));
+    DiskIndex::write_with(
+        &index,
+        &path,
+        WriteOpts {
+            table_depth: TABLE_DEPTH,
+            block_size: BLOCK_SIZE,
+        },
+    )
+    .unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let step = (n_records / n_queries).max(1);
+    let queries: Vec<Vec<u8>> = (0..n_queries)
+        .map(|i| index.records().fingerprint(i * step).to_vec())
+        .collect();
+    let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+    let clean = DiskIndex::open_storage(Box::new(MemStorage::new(bytes.clone()))).unwrap();
+    let baseline = clean
+        .stat_query_batch(&qrefs, &model(), &opts(), MEM_BUDGET)
+        .unwrap()
+        .matches;
+    Workload {
+        bytes,
+        queries,
+        baseline,
+    }
+}
+
+fn model() -> IsotropicNormal {
+    IsotropicNormal::new(DIMS, 12.0)
+}
+
+fn opts() -> StatQueryOpts {
+    StatQueryOpts::new(0.9, 12)
+}
+
+fn no_backoff(max_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        backoff: Duration::ZERO,
+        strict: false,
+    }
+}
+
+/// Runs `f` under a panic guard and a watchdog (I1 + I2). On timeout the
+/// worker thread is leaked — the harness reports the deadlock instead of
+/// becoming one.
+fn guarded(f: impl FnOnce() -> RunReport + Send + 'static) -> Result<RunReport, String> {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        let _ = tx.send(out);
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(Ok(report)) => {
+            let _ = handle.join();
+            Ok(report)
+        }
+        Ok(Err(panic)) => {
+            let _ = handle.join();
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "opaque panic payload".into());
+            Err(format!("I1 violated: panic: {msg}"))
+        }
+        Err(_) => Err(format!(
+            "I2 violated: no completion within {WATCHDOG:?} (deadlock?)"
+        )),
+    }
+}
+
+/// Shared I4/I5 checks over a completed batch.
+fn check_flags_and_identity(
+    batch: &s3_core::pseudo_disk::BatchResult,
+    wl: &Workload,
+    violations: &mut Vec<String>,
+) {
+    for qi in 0..wl.queries.len() {
+        let st = &batch.stats[qi];
+        if st.degraded != (st.sections_skipped > 0 || st.cancelled) {
+            violations.push(format!(
+                "I4 violated: query {qi} degraded={} but sections_skipped={} cancelled={}",
+                st.degraded, st.sections_skipped, st.cancelled
+            ));
+        }
+        if !st.degraded && batch.matches[qi] != wl.baseline[qi] {
+            violations.push(format!(
+                "I5 violated: query {qi} not flagged degraded yet answers differ \
+                 ({} vs {} matches)",
+                batch.matches[qi].len(),
+                wl.baseline[qi].len()
+            ));
+        }
+    }
+    let any_query_degraded = batch.stats.iter().any(|st| st.degraded);
+    if batch.timing.degraded != (any_query_degraded || batch.timing.sections_skipped > 0) {
+        violations.push(format!(
+            "I4 violated: batch degraded={} disagrees with per-query flags",
+            batch.timing.degraded
+        ));
+    }
+}
+
+/// Pure-stall storage under a mock-clock deadline: the batch must come back
+/// inside budget + one section-load unit, flagged honestly (I3/I4/I5), with
+/// the deadline metric incremented.
+fn scenario_stall(wl: Workload, seed: u64) -> RunReport {
+    let clock = Arc::new(MockClock::new());
+    let stall = Duration::from_millis(10);
+    let fs = Arc::new(FaultyStorage::with_clock(
+        MemStorage::new(wl.bytes.clone()),
+        FaultPlan {
+            seed,
+            stall_every_n: 1,
+            stall_ms: stall.as_millis() as u64,
+            skip_reads: 5,
+            ..FaultPlan::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+    ));
+    let disk = DiskIndex::open_storage(Box::new(Arc::clone(&fs))).unwrap();
+    let qrefs: Vec<&[u8]> = wl.queries.iter().map(|q| q.as_slice()).collect();
+    let ctx = QueryCtx::with_deadline(clock.clone() as Arc<dyn Clock>, Duration::from_millis(25));
+    let before = CoreMetrics::get().deadline_exceeded.get();
+
+    let mut violations = Vec::new();
+    let batch = disk
+        .stat_query_batch_ctx(&qrefs, &model(), &opts(), MEM_BUDGET, &ctx)
+        .unwrap();
+    check_flags_and_identity(&batch, &wl, &mut violations);
+    if !batch.timing.deadline_hit {
+        violations.push("stall run must hit its deadline".into());
+    }
+    if CoreMetrics::get().deadline_exceeded.get() <= before {
+        violations.push("resilience.deadline_exceeded not incremented".into());
+    }
+    let expires = ctx.deadline().unwrap().expires_at();
+    let overshoot = clock.now().saturating_sub(expires);
+    if overshoot > stall * 4 {
+        violations.push(format!(
+            "I3 violated: overshoot {overshoot:?} > one section-load unit ({:?})",
+            stall * 4
+        ));
+    }
+    RunReport {
+        scenario: "stall",
+        seed,
+        violations,
+        counters: vec![
+            ("stalls", fs.stats().stalls as f64),
+            ("sections_skipped", batch.timing.sections_skipped as f64),
+            ("overshoot_ms", overshoot.as_secs_f64() * 1e3),
+        ],
+    }
+}
+
+/// Ok-returning corruption (torn pages / bit flips): the CRC layer must
+/// catch every one; retries re-read clean data, so the final answer is
+/// exact and nothing is flagged.
+fn scenario_corruption(wl: Workload, seed: u64, torn: f64, flip: f64) -> RunReport {
+    let scenario = if torn > 0.0 { "torn" } else { "bitflip" };
+    let fs = Arc::new(FaultyStorage::new(
+        MemStorage::new(wl.bytes.clone()),
+        FaultPlan {
+            seed,
+            torn_read: torn,
+            bit_flip: flip,
+            skip_reads: 5,
+            ..FaultPlan::default()
+        },
+    ));
+    let disk = DiskIndex::open_storage(Box::new(Arc::clone(&fs)))
+        .unwrap()
+        .with_retry_policy(no_backoff(10));
+    let qrefs: Vec<&[u8]> = wl.queries.iter().map(|q| q.as_slice()).collect();
+
+    let mut violations = Vec::new();
+    match disk.stat_query_batch(&qrefs, &model(), &opts(), MEM_BUDGET) {
+        Ok(batch) => {
+            check_flags_and_identity(&batch, &wl, &mut violations);
+            if fs.stats().total() > 0 && batch.timing.retries == 0 {
+                violations.push("corruption fired but no retry was recorded".into());
+            }
+            RunReport {
+                scenario,
+                seed,
+                violations,
+                counters: vec![
+                    ("injected", fs.stats().total() as f64),
+                    ("retries", f64::from(batch.timing.retries)),
+                    ("sections_skipped", batch.timing.sections_skipped as f64),
+                ],
+            }
+        }
+        Err(e) => {
+            violations.push(format!(
+                "non-strict corruption run must degrade, not error: {e}"
+            ));
+            RunReport {
+                scenario,
+                seed,
+                violations,
+                counters: vec![],
+            }
+        }
+    }
+}
+
+/// Transient errors with a deep retry ladder: everything retries away to
+/// the exact baseline answer, and the retry counter matches the injection
+/// counter one-for-one.
+fn scenario_transient(wl: Workload, seed: u64) -> RunReport {
+    let fs = Arc::new(FaultyStorage::new(
+        MemStorage::new(wl.bytes.clone()),
+        FaultPlan {
+            seed,
+            transient_error: 0.15,
+            skip_reads: 5,
+            ..FaultPlan::default()
+        },
+    ));
+    let disk = DiskIndex::open_storage(Box::new(Arc::clone(&fs)))
+        .unwrap()
+        .with_retry_policy(no_backoff(10));
+    let qrefs: Vec<&[u8]> = wl.queries.iter().map(|q| q.as_slice()).collect();
+
+    let mut violations = Vec::new();
+    let batch = disk
+        .stat_query_batch(&qrefs, &model(), &opts(), MEM_BUDGET)
+        .unwrap();
+    check_flags_and_identity(&batch, &wl, &mut violations);
+    if batch.timing.degraded {
+        violations.push("transients within the retry budget must not degrade".into());
+    }
+    if u64::from(batch.timing.retries) != fs.stats().transient_errors {
+        violations.push(format!(
+            "retry counter {} != injected transients {}",
+            batch.timing.retries,
+            fs.stats().transient_errors
+        ));
+    }
+    RunReport {
+        scenario: "transient",
+        seed,
+        violations,
+        counters: vec![
+            ("injected", fs.stats().transient_errors as f64),
+            ("retries", f64::from(batch.timing.retries)),
+        ],
+    }
+}
+
+/// A permanently dead region: affected queries are flagged, clean queries
+/// answer exactly, nothing panics.
+fn scenario_dead(wl: Workload, seed: u64) -> RunReport {
+    let data_off = 32 + (((1u64 << TABLE_DEPTH) + 1) * 8) + 4;
+    let fs = Arc::new(FaultyStorage::new(
+        MemStorage::new(wl.bytes.clone()),
+        FaultPlan {
+            seed,
+            dead_range: Some(data_off + 300 * 32..data_off + 400 * 32),
+            skip_reads: 5,
+            ..FaultPlan::default()
+        },
+    ));
+    let disk = DiskIndex::open_storage(Box::new(Arc::clone(&fs)))
+        .unwrap()
+        .with_retry_policy(no_backoff(2));
+    let qrefs: Vec<&[u8]> = wl.queries.iter().map(|q| q.as_slice()).collect();
+
+    let mut violations = Vec::new();
+    let batch = disk
+        .stat_query_batch(&qrefs, &model(), &opts(), MEM_BUDGET)
+        .unwrap();
+    check_flags_and_identity(&batch, &wl, &mut violations);
+    if fs.stats().dead_reads > 0 && !batch.timing.degraded {
+        violations.push("dead region was hit but the batch is not degraded".into());
+    }
+    RunReport {
+        scenario: "dead",
+        seed,
+        violations,
+        counters: vec![
+            ("dead_reads", fs.stats().dead_reads as f64),
+            ("sections_skipped", batch.timing.sections_skipped as f64),
+        ],
+    }
+}
+
+/// The kitchen sink: stalls + transients + torn pages under a deadline.
+/// Every invariant must still hold; overshoot gets the same one-load bound
+/// (a fired token ends the retry ladder early).
+fn scenario_mixed(wl: Workload, seed: u64) -> RunReport {
+    let clock = Arc::new(MockClock::new());
+    let stall = Duration::from_millis(3);
+    let fs = Arc::new(FaultyStorage::with_clock(
+        MemStorage::new(wl.bytes.clone()),
+        FaultPlan {
+            seed,
+            transient_error: 0.05,
+            torn_read: 0.02,
+            stall_every_n: 7,
+            stall_ms: stall.as_millis() as u64,
+            skip_reads: 5,
+            ..FaultPlan::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+    ));
+    let disk = DiskIndex::open_storage(Box::new(Arc::clone(&fs)))
+        .unwrap()
+        .with_retry_policy(no_backoff(4));
+    let qrefs: Vec<&[u8]> = wl.queries.iter().map(|q| q.as_slice()).collect();
+    let ctx = QueryCtx::with_deadline(clock.clone() as Arc<dyn Clock>, Duration::from_millis(30));
+
+    let mut violations = Vec::new();
+    let batch = disk
+        .stat_query_batch_ctx(&qrefs, &model(), &opts(), MEM_BUDGET, &ctx)
+        .unwrap();
+    check_flags_and_identity(&batch, &wl, &mut violations);
+    if batch.timing.deadline_hit {
+        let expires = ctx.deadline().unwrap().expires_at();
+        let overshoot = clock.now().saturating_sub(expires);
+        if overshoot > stall * 4 {
+            violations.push(format!(
+                "I3 violated: overshoot {overshoot:?} > one section-load unit"
+            ));
+        }
+    }
+    RunReport {
+        scenario: "mixed",
+        seed,
+        violations,
+        counters: vec![
+            ("injected", fs.stats().total() as f64),
+            ("stalls", fs.stats().stalls as f64),
+            ("retries", f64::from(batch.timing.retries)),
+            ("sections_skipped", batch.timing.sections_skipped as f64),
+            (
+                "deadline_hit",
+                f64::from(u8::from(batch.timing.deadline_hit)),
+            ),
+        ],
+    }
+}
+
+/// Admission flood: many threads slam a small gate under each shed policy.
+/// The in-flight bound must hold (2× under DegradeAlpha) and the admission
+/// ledger must balance.
+fn scenario_admission(seed: u64) -> RunReport {
+    let mut violations = Vec::new();
+    let mut counters = Vec::new();
+    for (policy, cap_factor, label) in [
+        (Shed::Reject, 1, "reject"),
+        (Shed::DegradeAlpha, 2, "degrade_alpha"),
+        (Shed::Oldest, 1, "oldest"),
+    ] {
+        let max_inflight = 2usize;
+        let ctrl = AdmissionController::new(max_inflight, policy);
+        let threads = 8 + (seed % 5) as usize;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let ctrl = Arc::clone(&ctrl);
+            handles.push(std::thread::spawn(move || match ctrl.try_admit() {
+                Admission::Admitted(p) => {
+                    // Hold the permit briefly so the flood overlaps.
+                    std::thread::sleep(Duration::from_millis(2));
+                    drop(p);
+                    (1u32, 0u32, 0u32)
+                }
+                Admission::Degraded(p) => {
+                    std::thread::sleep(Duration::from_millis(2));
+                    drop(p);
+                    (0, 1, 0)
+                }
+                Admission::Shed => (0, 0, 1),
+            }));
+        }
+        let (mut admitted, mut degraded, mut shed) = (0u32, 0u32, 0u32);
+        for h in handles {
+            let (a, d, s) = h.join().unwrap();
+            admitted += a;
+            degraded += d;
+            shed += s;
+        }
+        if admitted + degraded + shed != threads as u32 {
+            violations.push(format!("{label}: admission ledger does not balance"));
+        }
+        let bound = max_inflight * cap_factor;
+        if ctrl.peak_inflight() > bound {
+            violations.push(format!(
+                "{label}: peak in-flight {} > bound {bound}",
+                ctrl.peak_inflight()
+            ));
+        }
+        if ctrl.inflight() != 0 {
+            violations.push(format!("{label}: permits leaked after the flood"));
+        }
+        counters.push(match policy {
+            Shed::Reject => ("reject_shed", f64::from(shed)),
+            Shed::DegradeAlpha => ("degrade_admitted", f64::from(degraded)),
+            Shed::Oldest => ("oldest_admitted", f64::from(admitted)),
+        });
+    }
+    RunReport {
+        scenario: "admission",
+        seed,
+        violations,
+        counters,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_report(reports: &[RunReport], failed: usize, path: &std::path::Path) {
+    let mut out = String::from("{\n  \"id\": \"chaos\",\n");
+    let _ = writeln!(out, "  \"runs\": {},", reports.len());
+    let _ = writeln!(out, "  \"failed\": {failed},");
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"scenario\": \"{}\", \"seed\": {}, \"passed\": {}, \"violations\": [",
+            r.scenario,
+            r.seed,
+            r.violations.is_empty()
+        );
+        for (j, v) in r.violations.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", json_escape(v));
+        }
+        out.push_str("], \"counters\": {");
+        for (j, (k, v)) in r.counters.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{k}\": {v}");
+        }
+        out.push_str("}}");
+        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(path, out).unwrap();
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (n_records, n_queries) = scale.pick((600, 24), (2400, 60));
+    let seeds: Vec<u64> = scale
+        .pick(0xC4A0_0001u64..0xC4A0_0004, 0xC4A0_0001u64..0xC4A0_0009)
+        .collect();
+    println!(
+        "chaos: {} records, {} queries, {} seeds per scenario",
+        n_records,
+        n_queries,
+        seeds.len()
+    );
+    let wl = build_workload(n_records, n_queries);
+
+    let mut reports: Vec<RunReport> = Vec::new();
+    let mut hard_failures: Vec<String> = Vec::new();
+    for &seed in &seeds {
+        type Runner = Box<dyn FnOnce() -> RunReport + Send>;
+        let runs: Vec<(&'static str, Runner)> = vec![
+            ("stall", {
+                let wl = wl.clone();
+                Box::new(move || scenario_stall(wl, seed))
+            }),
+            ("torn", {
+                let wl = wl.clone();
+                Box::new(move || scenario_corruption(wl, seed, 0.08, 0.0))
+            }),
+            ("bitflip", {
+                let wl = wl.clone();
+                Box::new(move || scenario_corruption(wl, seed, 0.0, 0.08))
+            }),
+            ("transient", {
+                let wl = wl.clone();
+                Box::new(move || scenario_transient(wl, seed))
+            }),
+            ("dead", {
+                let wl = wl.clone();
+                Box::new(move || scenario_dead(wl, seed))
+            }),
+            ("mixed", {
+                let wl = wl.clone();
+                Box::new(move || scenario_mixed(wl, seed))
+            }),
+            ("admission", Box::new(move || scenario_admission(seed))),
+        ];
+        for (name, run) in runs {
+            match guarded(run) {
+                Ok(report) => reports.push(report),
+                Err(violation) => {
+                    hard_failures.push(format!("{name} (seed {seed:#x}): {violation}"));
+                    reports.push(RunReport {
+                        scenario: name,
+                        seed,
+                        violations: vec![violation],
+                        counters: vec![],
+                    });
+                }
+            }
+        }
+    }
+
+    let failed = reports.iter().filter(|r| !r.violations.is_empty()).count();
+    for r in &reports {
+        let status = if r.violations.is_empty() {
+            "ok"
+        } else {
+            "FAIL"
+        };
+        println!("  [{status}] {:<10} seed {:#010x}", r.scenario, r.seed);
+        for v in &r.violations {
+            println!("         !! {v}");
+        }
+    }
+    let path = results_dir().join("CHAOS.json");
+    write_report(&reports, failed, &path);
+    println!(
+        "chaos: {}/{} runs passed — report at {}",
+        reports.len() - failed,
+        reports.len(),
+        path.display()
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -9,8 +9,9 @@
 use crate::registry::ReferenceDb;
 use crate::spatial::{vote_spatial, SpatialCandidateVotes, SpatialDetection, SpatialVoteParams};
 use crate::voting::{vote, CandidateVotes, Detection, VoteParams};
-use s3_core::{parallel, IsotropicNormal, StatQueryOpts};
+use s3_core::{parallel, system_clock, IsotropicNormal, QueryCtx, QueryResult, StatQueryOpts};
 use s3_video::{extract_fingerprints, LocalFingerprint, VideoSource};
+use std::time::Duration;
 
 /// Configuration of the detector.
 #[derive(Clone, Debug)]
@@ -32,6 +33,11 @@ pub struct DetectorConfig {
     /// without measurably affecting recall. Set to `None` for the paper's
     /// raw behaviour.
     pub distance_gate_quantile: Option<f64>,
+    /// Latency budget of one search batch. When set, each batch runs under a
+    /// deadline on the system clock: past the budget the remaining queries
+    /// come back partial, flagged `cancelled`/`degraded`, instead of blowing
+    /// the budget. `None` = unbounded (the default).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for DetectorConfig {
@@ -47,18 +53,40 @@ impl Default for DetectorConfig {
             vote: VoteParams::default(),
             threads: 1,
             distance_gate_quantile: Some(0.90),
+            deadline: None,
         }
     }
 }
 
-/// Degradation summary of one search batch: non-zero only when the backing
-/// index answered some queries without all of their sections.
+/// Degradation summary of one search batch: non-zero only when some queries
+/// were answered incompletely — from a partial index, past a deadline, or
+/// both.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchHealth {
-    /// Queries answered from a partial index.
+    /// Queries answered incompletely, for any reason.
     pub degraded_queries: usize,
-    /// Section loads abandoned, summed over those queries.
+    /// Of those, queries stopped by a deadline or cancellation — a policy
+    /// outcome, not a fault.
+    pub cancelled_queries: usize,
+    /// Queries degraded by storage faults alone (degraded but not
+    /// cancelled) — what strict mode treats as a hard error.
+    pub fault_degraded_queries: usize,
+    /// Section loads abandoned, summed over the degraded queries.
     pub sections_skipped: usize,
+}
+
+impl SearchHealth {
+    fn of(results: &[QueryResult]) -> SearchHealth {
+        SearchHealth {
+            degraded_queries: results.iter().filter(|r| r.stats.degraded).count(),
+            cancelled_queries: results.iter().filter(|r| r.stats.cancelled).count(),
+            fault_degraded_queries: results
+                .iter()
+                .filter(|r| r.stats.degraded && !r.stats.cancelled)
+                .count(),
+            sections_skipped: results.iter().map(|r| r.stats.sections_skipped).sum(),
+        }
+    }
 }
 
 /// The assembled detector.
@@ -111,8 +139,19 @@ impl<'a> Detector<'a> {
     /// (ids and time-codes only — the voting stage never touches the
     /// descriptors, §III) are buffered and voted on.
     pub fn detect_fingerprints(&self, fps: &[LocalFingerprint]) -> Vec<Detection> {
-        let buffer = self.query_buffer(fps);
-        vote(&buffer, &self.config.vote)
+        self.detect_fingerprints_checked(fps).0
+    }
+
+    /// As [`Detector::detect_fingerprints`], additionally reporting search
+    /// degradation — partial answers from a faulty index or a hit deadline —
+    /// so callers can surface a degraded verdict instead of silently
+    /// presenting partial detections as complete.
+    pub fn detect_fingerprints_checked(
+        &self,
+        fps: &[LocalFingerprint],
+    ) -> (Vec<Detection>, SearchHealth) {
+        let (buffer, health) = self.query_buffer_checked(fps);
+        (vote(&buffer, &self.config.vote), health)
     }
 
     /// Detects copies with the spatio-temporal voting extension (§VI future
@@ -143,17 +182,8 @@ impl<'a> Detector<'a> {
     ) -> (Vec<SpatialCandidateVotes>, SearchHealth) {
         let mut sp = s3_obs::span!("detect.search", "queries" => fps.len() as f64);
         let queries: Vec<&[u8]> = fps.iter().map(|f| f.fingerprint.as_slice()).collect();
-        let results = parallel::stat_query_batch(
-            self.db.index(),
-            &queries,
-            &self.model,
-            &self.config.query,
-            self.config.threads,
-        );
-        let health = SearchHealth {
-            degraded_queries: results.iter().filter(|r| r.stats.degraded).count(),
-            sections_skipped: results.iter().map(|r| r.stats.sections_skipped).sum(),
-        };
+        let results = self.run_search(&queries);
+        let health = SearchHealth::of(&results);
         sp.record("degraded_queries", health.degraded_queries as f64);
         let votes = fps
             .iter()
@@ -178,22 +208,52 @@ impl<'a> Detector<'a> {
     /// Runs the search stage only, returning the voting buffer. Exposed for
     /// the monitoring loop, which buffers across window boundaries.
     pub fn query_buffer(&self, fps: &[LocalFingerprint]) -> Vec<CandidateVotes> {
+        self.query_buffer_checked(fps).0
+    }
+
+    /// As [`Detector::query_buffer`], additionally reporting search
+    /// degradation.
+    pub fn query_buffer_checked(
+        &self,
+        fps: &[LocalFingerprint],
+    ) -> (Vec<CandidateVotes>, SearchHealth) {
         let _sp = s3_obs::span!("detect.search", "queries" => fps.len() as f64);
         let queries: Vec<&[u8]> = fps.iter().map(|f| f.fingerprint.as_slice()).collect();
-        let results = parallel::stat_query_batch(
-            self.db.index(),
-            &queries,
-            &self.model,
-            &self.config.query,
-            self.config.threads,
-        );
-        fps.iter()
+        let results = self.run_search(&queries);
+        let health = SearchHealth::of(&results);
+        let votes = fps
+            .iter()
             .zip(results)
             .map(|(f, res)| CandidateVotes {
                 tc: f64::from(f.tc),
                 refs: res.matches.iter().map(|m| (m.id, m.tc)).collect(),
             })
-            .collect()
+            .collect();
+        (votes, health)
+    }
+
+    /// One search batch, under the configured deadline when one is set.
+    fn run_search(&self, queries: &[&[u8]]) -> Vec<QueryResult> {
+        match self.config.deadline {
+            Some(budget) => {
+                let ctx = QueryCtx::with_deadline(system_clock(), budget);
+                parallel::stat_query_batch_ctx(
+                    self.db.index(),
+                    queries,
+                    &self.model,
+                    &self.config.query,
+                    self.config.threads,
+                    &ctx,
+                )
+            }
+            None => parallel::stat_query_batch(
+                self.db.index(),
+                queries,
+                &self.model,
+                &self.config.query,
+                self.config.threads,
+            ),
+        }
     }
 }
 

@@ -238,7 +238,11 @@ impl<'a> Monitor<'a> {
         let t0 = Instant::now();
         let (results, search_health) = self.detector.query_buffer_spatial_checked(fps);
         if search_health.degraded_queries > 0 {
-            if self.params.strict {
+            // Strict mode treats fault degradation (unreadable sections) as
+            // a hard error; a hit deadline is a policy outcome and yields
+            // flagged partial results even under strict — loudly, via the
+            // health report, never silently.
+            if self.params.strict && search_health.fault_degraded_queries > 0 {
                 self.busy += t0.elapsed();
                 return Err(MonitorError::Degraded {
                     degraded_queries: search_health.degraded_queries,

@@ -27,13 +27,28 @@ use s3_cbcd::{
     calibrate_monitor_threshold, DbBuilder, Detector, DetectorConfig, Monitor, MonitorParams,
 };
 use s3_core::pseudo_disk::{DiskIndex, RetryPolicy};
-use s3_core::{IsotropicNormal, RecordBatch, S3Index, StatQueryOpts};
+use s3_core::{
+    system_clock, Admission, AdmissionController, IsotropicNormal, Permit, QueryCtx, RecordBatch,
+    S3Index, Shed, StatQueryOpts,
+};
 use s3_hilbert::HilbertCurve;
 use s3_video::{
     extract_fingerprints, ExtractorParams, ProceduralVideo, Transform, TransformChain,
     TransformedVideo, VideoSource, Y4mVideo,
 };
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// How a command finished. Degradation gets its own exit code (2) so
+/// scripts can tell "complete answer" (0) from "partial answer" (2) from
+/// "hard failure" (1) without parsing output.
+enum CmdStatus {
+    /// Complete results.
+    Clean,
+    /// The command produced results, but they are partial: sections were
+    /// skipped, a deadline was hit, or admission degraded the search.
+    Degraded,
+}
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
@@ -51,12 +66,13 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(CmdStatus::Clean)
         }
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(CmdStatus::Clean) => ExitCode::SUCCESS,
+        Ok(CmdStatus::Degraded) => ExitCode::from(2),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -96,15 +112,73 @@ USAGE:
   query/detect/monitor also accept:
       --threads N             worker threads for the search stage
                               (default: all available cores)
+      --deadline-ms N         latency budget per search batch; past it the
+                              remaining work is skipped and results come
+                              back partial, flagged degraded
+      --max-inflight N        admission bound on concurrent search batches
+      --shed-policy P         what to do over the bound:
+                              reject | degrade-alpha | oldest
       --metrics-json <path>   write a JSON metrics snapshot on exit
-      --metrics-every <secs>  print a metrics table to stderr periodically";
+      --metrics-every <secs>  print a metrics table to stderr periodically
+
+EXIT CODES:
+  0  complete results
+  1  hard error (bad arguments, I/O failure, strict-mode fault)
+  2  results produced but partial: sections skipped, deadline hit, or
+     admission degraded the search";
+
+/// Applies the admission flags: builds a one-shot controller when
+/// `--max-inflight` is given and admits this command's batch through it.
+/// Returns the held permit (in-flight until drop) and whether the policy
+/// admitted the batch in degraded form.
+fn admit_batch(a: &Args) -> Result<Option<(Permit, bool)>, String> {
+    let Some(raw) = a.get("max-inflight") else {
+        if a.get("shed-policy").is_some() {
+            return Err("--shed-policy needs --max-inflight".into());
+        }
+        return Ok(None);
+    };
+    let max: usize = raw
+        .parse()
+        .map_err(|_| format!("invalid value for --max-inflight: {raw:?}"))?;
+    let policy: Shed = a.get("shed-policy").unwrap_or("reject").parse()?;
+    let ctrl = AdmissionController::new(max, policy);
+    match ctrl.try_admit() {
+        Admission::Admitted(p) => Ok(Some((p, false))),
+        Admission::Degraded(p) => {
+            eprintln!("admission: over capacity, searching at reduced alpha");
+            Ok(Some((p, true)))
+        }
+        Admission::Shed => Err(format!(
+            "admission: batch shed (over --max-inflight {max} with policy {})",
+            policy.name()
+        )),
+    }
+}
+
+/// Builds the query context from `--deadline-ms`: a system-clock deadline
+/// when the flag is given, unbounded otherwise.
+fn query_ctx(a: &Args) -> Result<QueryCtx, String> {
+    match a.get("deadline-ms") {
+        Some(raw) => {
+            let ms: u64 = raw
+                .parse()
+                .map_err(|_| format!("invalid value for --deadline-ms: {raw:?}"))?;
+            Ok(QueryCtx::with_deadline(
+                system_clock(),
+                Duration::from_millis(ms),
+            ))
+        }
+        None => Ok(QueryCtx::unbounded()),
+    }
+}
 
 /// Default worker-thread count: every available core.
 fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
-fn cmd_build(rest: Vec<String>) -> Result<(), String> {
+fn cmd_build(rest: Vec<String>) -> Result<CmdStatus, String> {
     let a = Args::parse(rest, &["videos", "frames", "seed"])?;
     let path = a.positional(0).ok_or("build needs an output path")?;
     let n_videos: usize = a.get_parsed("videos", 8)?;
@@ -147,10 +221,10 @@ fn cmd_build(rest: Vec<String>) -> Result<(), String> {
             .map_err(|e| e.to_string())?
             .data_bytes()
     );
-    Ok(())
+    Ok(CmdStatus::Clean)
 }
 
-fn cmd_info(rest: Vec<String>) -> Result<(), String> {
+fn cmd_info(rest: Vec<String>) -> Result<CmdStatus, String> {
     let a = Args::parse(rest, &[])?;
     let path = a.positional(0).ok_or("info needs an index path")?;
     let disk = DiskIndex::open(path).map_err(|e| e.to_string())?;
@@ -163,10 +237,10 @@ fn cmd_info(rest: Vec<String>) -> Result<(), String> {
     );
     println!("key bits   : {}", disk.curve().key_bits());
     println!("data bytes : {}", disk.data_bytes());
-    Ok(())
+    Ok(CmdStatus::Clean)
 }
 
-fn cmd_query(rest: Vec<String>) -> Result<(), String> {
+fn cmd_query(rest: Vec<String>) -> Result<CmdStatus, String> {
     let a = Args::parse_with_switches(
         rest,
         &[
@@ -177,6 +251,9 @@ fn cmd_query(rest: Vec<String>) -> Result<(), String> {
             "mem",
             "seed",
             "threads",
+            "deadline-ms",
+            "max-inflight",
+            "shed-policy",
             "metrics-json",
             "metrics-every",
         ],
@@ -184,13 +261,18 @@ fn cmd_query(rest: Vec<String>) -> Result<(), String> {
     )?;
     let (metrics_json, _ticker) = metrics::shared_flags(&a)?;
     let path = a.positional(0).ok_or("query needs an index path")?;
-    let alpha: f64 = a.get_parsed("alpha", 0.8)?;
+    let mut alpha: f64 = a.get_parsed("alpha", 0.8)?;
     let sigma: f64 = a.get_parsed("sigma", 15.0)?;
     let n_queries: usize = a.get_parsed("queries", 100)?;
     let mem_mb: u64 = a.get_parsed("mem", 256)?;
     let seed: u64 = a.get_parsed("seed", 7)?;
 
     let threads: usize = a.get_parsed("threads", default_threads())?;
+    let admission = admit_batch(&a)?;
+    let ctx = query_ctx(&a)?;
+    if admission.as_ref().is_some_and(|(_, degraded)| *degraded) {
+        alpha = s3_core::resilience::degraded_alpha(alpha);
+    }
     let mut disk = DiskIndex::open(path).map_err(|e| e.to_string())?;
     disk.set_retry_policy(RetryPolicy {
         strict: a.has("strict"),
@@ -231,7 +313,7 @@ fn cmd_query(rest: Vec<String>) -> Result<(), String> {
         ..StatQueryOpts::new(alpha, depth)
     };
     let batch = disk
-        .stat_query_batch(&qrefs, &model, &opts, mem_mb << 20)
+        .stat_query_batch_ctx(&qrefs, &model, &opts, mem_mb << 20, &ctx)
         .map_err(|e| e.to_string())?;
 
     let total_matches: usize = batch.matches.iter().map(Vec::len).sum();
@@ -259,9 +341,15 @@ fn cmd_query(rest: Vec<String>) -> Result<(), String> {
     );
     if batch.timing.retries > 0 || batch.timing.degraded {
         println!(
-            "health             : {} retries, {} sections skipped{}",
+            "health             : {} retries, {} sections skipped ({} breaker){}{}",
             batch.timing.retries,
             batch.timing.sections_skipped,
+            batch.timing.breaker_skips,
+            if batch.timing.deadline_hit {
+                " — deadline exceeded"
+            } else {
+                ""
+            },
             if batch.timing.degraded {
                 " — DEGRADED results"
             } else {
@@ -272,10 +360,15 @@ fn cmd_query(rest: Vec<String>) -> Result<(), String> {
     if let Some(path) = metrics_json {
         metrics::dump_json(&path)?;
     }
-    Ok(())
+    let admission_degraded = admission.is_some_and(|(_, degraded)| degraded);
+    if batch.timing.degraded || admission_degraded {
+        Ok(CmdStatus::Degraded)
+    } else {
+        Ok(CmdStatus::Clean)
+    }
 }
 
-fn cmd_detect(rest: Vec<String>) -> Result<(), String> {
+fn cmd_detect(rest: Vec<String>) -> Result<CmdStatus, String> {
     let a = Args::parse(
         rest,
         &[
@@ -285,10 +378,14 @@ fn cmd_detect(rest: Vec<String>) -> Result<(), String> {
             "attack",
             "candidate",
             "threads",
+            "deadline-ms",
+            "max-inflight",
+            "shed-policy",
             "metrics-json",
             "metrics-every",
         ],
     )?;
+    let admission = admit_batch(&a)?;
     let (metrics_json, _ticker) = metrics::shared_flags(&a)?;
     let n_videos: usize = a.get_parsed("videos", 6)?;
     let frames: usize = a.get_parsed("frames", 100)?;
@@ -365,10 +462,28 @@ fn cmd_detect(rest: Vec<String>) -> Result<(), String> {
     let mut config = DetectorConfig::default();
     config.vote.min_votes = cal.min_votes;
     config.threads = a.get_parsed("threads", default_threads())?;
+    if let Some(raw) = a.get("deadline-ms") {
+        let ms: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value for --deadline-ms: {raw:?}"))?;
+        config.deadline = Some(Duration::from_millis(ms));
+    }
+    if admission.as_ref().is_some_and(|(_, degraded)| *degraded) {
+        config.query.alpha = s3_core::resilience::degraded_alpha(config.query.alpha);
+    }
     let detector = Detector::new(&db, config);
-    let detections = detector.detect_fingerprints(&candidate_fps);
+    let (detections, health) = detector.detect_fingerprints_checked(&candidate_fps);
     if detections.is_empty() {
         println!("no detection");
+    }
+    if health.degraded_queries > 0 {
+        println!(
+            "health: {} degraded queries ({} deadline-cancelled, {} fault), {} sections skipped",
+            health.degraded_queries,
+            health.cancelled_queries,
+            health.fault_degraded_queries,
+            health.sections_skipped
+        );
     }
     for d in &detections {
         println!(
@@ -383,17 +498,23 @@ fn cmd_detect(rest: Vec<String>) -> Result<(), String> {
     if let Some(path) = metrics_json {
         metrics::dump_json(&path)?;
     }
+    let admission_degraded = admission.is_some_and(|(_, degraded)| degraded);
+    let status = if health.degraded_queries > 0 || admission_degraded {
+        CmdStatus::Degraded
+    } else {
+        CmdStatus::Clean
+    };
     match target {
         Some(t) if detections.iter().any(|d| d.id == t) => {
             println!("OK: correct video identified");
-            Ok(())
+            Ok(status)
         }
         Some(_) => Err("the attacked video was not identified".into()),
-        None => Ok(()),
+        None => Ok(status),
     }
 }
 
-fn cmd_monitor(rest: Vec<String>) -> Result<(), String> {
+fn cmd_monitor(rest: Vec<String>) -> Result<CmdStatus, String> {
     let a = Args::parse_with_switches(
         rest,
         &[
@@ -401,11 +522,15 @@ fn cmd_monitor(rest: Vec<String>) -> Result<(), String> {
             "stream-frames",
             "seed",
             "threads",
+            "deadline-ms",
+            "max-inflight",
+            "shed-policy",
             "metrics-json",
             "metrics-every",
         ],
         &["strict"],
     )?;
+    let admission = admit_batch(&a)?;
     let (metrics_json, _ticker) = metrics::shared_flags(&a)?;
     let n_archive: usize = a.get_parsed("archive", 6)?;
     let stream_frames: usize = a.get_parsed("stream-frames", 400)?;
@@ -462,6 +587,15 @@ fn cmd_monitor(rest: Vec<String>) -> Result<(), String> {
     let mut config = DetectorConfig::default();
     config.vote.min_votes = cal.min_votes;
     config.threads = a.get_parsed("threads", default_threads())?;
+    if let Some(raw) = a.get("deadline-ms") {
+        let ms: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value for --deadline-ms: {raw:?}"))?;
+        config.deadline = Some(Duration::from_millis(ms));
+    }
+    if admission.as_ref().is_some_and(|(_, degraded)| *degraded) {
+        config.query.alpha = s3_core::resilience::degraded_alpha(config.query.alpha);
+    }
     let detector = Detector::new(&db, config);
     let mut monitor = Monitor::new(&detector, params);
     for chunk in stream.chunks(32) {
@@ -499,13 +633,18 @@ fn cmd_monitor(rest: Vec<String>) -> Result<(), String> {
     }
     if events.iter().any(|e| e.id == rerun_id as u32) {
         println!("OK: embedded rerun detected");
-        Ok(())
+        let admission_degraded = admission.is_some_and(|(_, degraded)| degraded);
+        if !stats.health.healthy() || admission_degraded {
+            Ok(CmdStatus::Degraded)
+        } else {
+            Ok(CmdStatus::Clean)
+        }
     } else {
         Err("embedded rerun missed".into())
     }
 }
 
-fn cmd_metrics(rest: Vec<String>) -> Result<(), String> {
+fn cmd_metrics(rest: Vec<String>) -> Result<CmdStatus, String> {
     let a = Args::parse(rest, &["format", "queries"])?;
     let format = a.get("format").unwrap_or("table");
     let n_queries: usize = a.get_parsed("queries", 32)?;
@@ -527,5 +666,5 @@ fn cmd_metrics(rest: Vec<String>) -> Result<(), String> {
     }
 
     print!("{}", metrics::render(format)?);
-    Ok(())
+    Ok(CmdStatus::Clean)
 }

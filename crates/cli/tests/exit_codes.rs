@@ -1,0 +1,137 @@
+//! End-to-end exit-code contract of the `s3cbcd` binary: 0 = complete
+//! results, 1 = hard error, 2 = results produced but partial (degraded).
+//! Scripts dispatch on these without parsing output, so they are part of
+//! the CLI's public interface.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn s3cbcd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_s3cbcd"))
+        .args(args)
+        .output()
+        .expect("failed to spawn s3cbcd")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("killed by signal")
+}
+
+/// Builds a small synthetic index under the target tmp dir and returns its
+/// path. Each caller gets its own file, so tests stay independent.
+fn build_index(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    let path = dir.join(name);
+    let out = s3cbcd(&[
+        "build",
+        path.to_str().expect("utf-8 path"),
+        "--videos",
+        "2",
+        "--frames",
+        "30",
+        "--seed",
+        "1",
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "build failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+#[test]
+fn clean_query_exits_zero() {
+    let idx = build_index("exit0.s3i");
+    let out = s3cbcd(&[
+        "query",
+        idx.to_str().expect("utf-8 path"),
+        "--queries",
+        "8",
+        "--threads",
+        "2",
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn expired_deadline_exits_two_with_degraded_note() {
+    let idx = build_index("exit2.s3i");
+    // A zero budget is already expired when the batch starts: every query
+    // comes back cancelled/degraded, but the command still succeeds in the
+    // "partial results" sense — exit 2, not 1.
+    let out = s3cbcd(&[
+        "query",
+        idx.to_str().expect("utf-8 path"),
+        "--queries",
+        "8",
+        "--threads",
+        "2",
+        "--deadline-ms",
+        "0",
+    ]);
+    assert_eq!(
+        code(&out),
+        2,
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("DEGRADED"),
+        "expected degraded health note, got: {stdout}"
+    );
+}
+
+#[test]
+fn missing_index_exits_one() {
+    let out = s3cbcd(&["query", "/nonexistent/path/to/index.s3i"]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error:"),
+        "hard errors report on stderr"
+    );
+}
+
+#[test]
+fn shed_policy_without_bound_is_a_usage_error() {
+    let idx = build_index("exit1-usage.s3i");
+    let out = s3cbcd(&[
+        "query",
+        idx.to_str().expect("utf-8 path"),
+        "--shed-policy",
+        "reject",
+    ]);
+    assert_eq!(code(&out), 1);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--max-inflight"));
+}
+
+#[test]
+fn admitted_batch_under_bound_exits_zero() {
+    let idx = build_index("exit0-admit.s3i");
+    let out = s3cbcd(&[
+        "query",
+        idx.to_str().expect("utf-8 path"),
+        "--queries",
+        "4",
+        "--max-inflight",
+        "4",
+        "--shed-policy",
+        "degrade-alpha",
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -28,6 +28,7 @@
 
 use crate::distortion::DistortionModel;
 use crate::metrics::CoreMetrics;
+use crate::resilience::QueryCtx;
 use s3_hilbert::{Block, HilbertCurve};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -234,10 +235,55 @@ pub fn select_blocks_best_first(
         alpha,
         max_blocks,
         model.dims(),
+        None,
         &mut |b, d| cache.factor(model, &qf, b, d),
     );
     cache.publish();
     observed(out, "best_first")
+}
+
+/// As [`select_blocks_best_first`] (cached or uncached per `mass_cache`),
+/// checking `ctx` every few node expansions. A stopped descent returns the
+/// blocks selected so far with [`FilterOutcome::truncated`] set — a valid
+/// (partial) selection, exact over the mass it did capture.
+#[allow(clippy::too_many_arguments)] // the full cancellable knob set; grouping would obscure the paper's parameters
+pub fn select_blocks_best_first_cancellable(
+    curve: &HilbertCurve,
+    model: &dyn DistortionModel,
+    q: &[u8],
+    depth: u32,
+    alpha: f64,
+    max_blocks: usize,
+    mass_cache: bool,
+    ctx: &QueryCtx,
+) -> FilterOutcome {
+    check_stat_args(curve, model, q, depth, alpha);
+    let qf = query_coords(q);
+    if mass_cache {
+        let mut cache = MassCache::new(curve.dims(), curve.order() as u32);
+        let out = best_first_impl(
+            curve,
+            depth,
+            alpha,
+            max_blocks,
+            model.dims(),
+            Some(ctx),
+            &mut |b, d| cache.factor(model, &qf, b, d),
+        );
+        cache.publish();
+        observed(out, "best_first")
+    } else {
+        let out = best_first_impl(
+            curve,
+            depth,
+            alpha,
+            max_blocks,
+            model.dims(),
+            Some(ctx),
+            &mut |b, d| dim_factor(model, &qf, b, d),
+        );
+        observed(out, "best_first_uncached")
+    }
 }
 
 /// [`select_blocks_best_first`] without the per-query mass cache — every
@@ -260,6 +306,7 @@ pub fn select_blocks_best_first_uncached(
         alpha,
         max_blocks,
         model.dims(),
+        None,
         &mut |b, d| dim_factor(model, &qf, b, d),
     );
     observed(out, "best_first_uncached")
@@ -273,6 +320,7 @@ fn best_first_impl(
     alpha: f64,
     max_blocks: usize,
     dims: usize,
+    ctx: Option<&QueryCtx>,
     factor: &mut dyn FnMut(&Block, usize) -> f64,
 ) -> FilterOutcome {
     let root = Block::root(curve);
@@ -292,10 +340,21 @@ fn best_first_impl(
     let mut acc = 0.0;
     let mut nodes = 0usize;
     let mut truncated = false;
+    let mut since_check = 0usize;
 
     while let Some(node) = heap.pop() {
         if node.mass <= 0.0 {
             break; // everything left is massless
+        }
+        if let Some(ctx) = ctx {
+            since_check += 1;
+            if since_check >= 32 {
+                since_check = 0;
+                if ctx.should_stop() {
+                    truncated = true;
+                    break;
+                }
+            }
         }
         if node.block.depth() == depth {
             out.push(ScoredBlock {

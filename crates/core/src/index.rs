@@ -20,6 +20,7 @@ use crate::filter::{
 use crate::fingerprint::{dist_sq, RecordBatch};
 use crate::kernels;
 use crate::metrics::CoreMetrics;
+use crate::resilience::{QueryCtx, REFINE_CHUNK};
 use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
 use s3_obs::span;
 use std::time::Instant;
@@ -132,9 +133,13 @@ pub struct QueryStats {
     pub truncated: bool,
     /// Pseudo-disk only: sections this query needed that stayed unreadable.
     pub sections_skipped: usize,
-    /// Pseudo-disk only: true if `sections_skipped > 0` — the match list is
-    /// complete over the surviving sections but may miss records from the
-    /// lost ones.
+    /// True if a deadline or cancellation stopped this query before it
+    /// finished — the match list covers the work completed up to the stop.
+    pub cancelled: bool,
+    /// True if the match list may be incomplete for any reason: sections
+    /// stayed unreadable (`sections_skipped > 0`) or the query was
+    /// [`cancelled`](QueryStats::cancelled). Results are exact over the work
+    /// actually performed.
     pub degraded: bool,
 }
 
@@ -315,18 +320,23 @@ impl S3Index {
         lo + self.keys[lo..hi].partition_point(|k| k < key)
     }
 
-    /// Shared refinement scan over merged ranges.
+    /// Shared refinement scan over merged ranges. With a `ctx`, the scan
+    /// checks for cancellation every [`REFINE_CHUNK`] records and stops
+    /// early, flagging the result `cancelled`/`degraded`.
     fn refine_scan(
         &self,
         q: &[u8],
         outcome: &FilterOutcome,
         refine: Refine,
         model: Option<&dyn DistortionModel>,
+        ctx: Option<&QueryCtx>,
     ) -> QueryResult {
         let mut sp = span!("query.refine");
         let merged = merge_block_ranges(&self.curve, outcome);
         let mut matches = Vec::new();
         let mut entries = 0usize;
+        let mut cancelled = false;
+        let mut since_check = 0usize;
         let mut delta = vec![0.0f64; q.len()];
         // Range refinement compares the integer d² against ⌊ε²⌋ — exactly
         // equivalent to `d² as f64 <= ε²` (see `kernels::bound_from_eps_sq`)
@@ -335,10 +345,20 @@ impl S3Index {
             Refine::Range(eps) => kernels::bound_from_eps_sq(eps * eps),
             _ => None,
         };
-        for range in &merged {
+        'ranges: for range in &merged {
             let (start, end) = self.locate(range);
-            entries += end - start;
             for i in start..end {
+                if let Some(ctx) = ctx {
+                    since_check += 1;
+                    if since_check >= REFINE_CHUNK {
+                        since_check = 0;
+                        if ctx.should_stop() {
+                            cancelled = true;
+                            break 'ranges;
+                        }
+                    }
+                }
+                entries += 1;
                 let fp = self.records.fingerprint(i);
                 let keep = match refine {
                     Refine::All => {
@@ -389,6 +409,8 @@ impl S3Index {
                 mass: outcome.mass,
                 tmax: outcome.tmax,
                 truncated: outcome.truncated,
+                cancelled,
+                degraded: cancelled,
                 ..QueryStats::default()
             },
         }
@@ -424,7 +446,74 @@ impl S3Index {
             sp.record("mass", outcome.mass);
             outcome
         };
-        let res = self.refine_scan(q, &outcome, opts.refine, Some(model));
+        let res = self.refine_scan(q, &outcome, opts.refine, Some(model), None);
+        CoreMetrics::get().record_query(&res.stats, t0.elapsed());
+        res
+    }
+
+    /// As [`S3Index::stat_query`], cooperatively checking `ctx` at
+    /// filter-node and refine-chunk granularity. A stopped query returns the
+    /// matches found so far, flagged `cancelled`/`degraded`; a query that
+    /// never observed a stop is complete and unflagged.
+    ///
+    /// Only the best-first filter is interruptible; the threshold filter
+    /// (a benchmarking baseline) runs to completion before the check.
+    pub fn stat_query_ctx(
+        &self,
+        q: &[u8],
+        model: &dyn DistortionModel,
+        opts: &StatQueryOpts,
+        ctx: &QueryCtx,
+    ) -> QueryResult {
+        let t0 = Instant::now();
+        if ctx.should_stop() {
+            let res = QueryResult {
+                matches: Vec::new(),
+                stats: QueryStats {
+                    cancelled: true,
+                    degraded: true,
+                    ..QueryStats::default()
+                },
+            };
+            CoreMetrics::get().record_query(&res.stats, t0.elapsed());
+            return res;
+        }
+        let outcome = {
+            let mut sp = span!("query.filter");
+            let (curve, depth, alpha, max) = (&self.curve, opts.depth, opts.alpha, opts.max_blocks);
+            let outcome = match opts.algo {
+                FilterAlgo::BestFirst => crate::filter::select_blocks_best_first_cancellable(
+                    curve,
+                    model,
+                    q,
+                    depth,
+                    alpha,
+                    max,
+                    opts.mass_cache,
+                    ctx,
+                ),
+                FilterAlgo::Threshold { iterations } => {
+                    if opts.mass_cache {
+                        select_blocks_threshold(curve, model, q, depth, alpha, max, iterations)
+                    } else {
+                        select_blocks_threshold_uncached(
+                            curve, model, q, depth, alpha, max, iterations,
+                        )
+                    }
+                }
+            };
+            sp.record("blocks", outcome.blocks.len() as f64);
+            sp.record("nodes", outcome.nodes_expanded as f64);
+            outcome
+        };
+        // A stop observed here means the filter may have been cut short:
+        // flag conservatively even if refinement completes.
+        let filter_stopped = ctx.should_stop();
+        let mut res = self.refine_scan(q, &outcome, opts.refine, Some(model), Some(ctx));
+        if filter_stopped {
+            res.stats.cancelled = true;
+            res.stats.degraded = true;
+        }
         CoreMetrics::get().record_query(&res.stats, t0.elapsed());
         res
     }
@@ -437,7 +526,7 @@ impl S3Index {
             let _sp = span!("query.filter");
             select_blocks_range(&self.curve, q, depth, eps, usize::MAX)
         };
-        let res = self.refine_scan(q, &outcome, Refine::Range(eps), None);
+        let res = self.refine_scan(q, &outcome, Refine::Range(eps), None, None);
         CoreMetrics::get().record_query(&res.stats, t0.elapsed());
         res
     }
@@ -453,7 +542,7 @@ impl S3Index {
             let _sp = span!("query.filter");
             select_blocks_bbox(&self.curve, q, depth, eps, usize::MAX)
         };
-        let res = self.refine_scan(q, &outcome, Refine::Range(eps), None);
+        let res = self.refine_scan(q, &outcome, Refine::Range(eps), None, None);
         CoreMetrics::get().record_query(&res.stats, t0.elapsed());
         res
     }

@@ -69,6 +69,7 @@ pub mod knn;
 pub mod metrics;
 pub mod parallel;
 pub mod pseudo_disk;
+pub mod resilience;
 pub mod storage;
 
 pub use distortion::{DiagonalNormal, DistortionModel, IsotropicNormal};
@@ -79,4 +80,8 @@ pub use index::{FilterAlgo, Match, QueryResult, QueryStats, Refine, S3Index, Sta
 pub use kernels::{dist_sq_within, KernelTier};
 pub use metrics::CoreMetrics;
 pub use pseudo_disk::{DiskIndex, RetryPolicy, WriteOpts};
+pub use resilience::{
+    system_clock, Admission, AdmissionController, BreakerConfig, CancelCause, CancelToken, Clock,
+    Deadline, MockClock, Permit, QueryCtx, SectionBreakers, Shed, SystemClock,
+};
 pub use storage::{FaultPlan, FaultStats, FaultyStorage, FileStorage, MemStorage, Storage};

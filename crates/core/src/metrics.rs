@@ -69,6 +69,29 @@ pub struct CoreMetrics {
     /// `scheduler.workers` — worker threads spawned by the work-stealing
     /// scheduler (after clamping to the task count).
     pub workers_spawned: Counter,
+    /// `resilience.deadline_exceeded` — batch deadlines that expired
+    /// (counted once per deadline, at the expiry transition).
+    pub deadline_exceeded: Counter,
+    /// `resilience.shed{policy=reject}` — batches refused at admission.
+    pub shed_reject: Counter,
+    /// `resilience.shed{policy=degrade_alpha}` — batches admitted over
+    /// capacity at a reduced α.
+    pub shed_degrade: Counter,
+    /// `resilience.shed{policy=oldest}` — in-flight batches evicted to make
+    /// room for newer arrivals.
+    pub shed_oldest: Counter,
+    /// `resilience.inflight` — batches currently holding an admission permit.
+    pub inflight: Gauge,
+    /// `resilience.breaker_open` — circuit-breaker trip events.
+    pub breaker_open: Counter,
+    /// `resilience.breaker_skips` — section loads short-circuited by an
+    /// open breaker.
+    pub breaker_skips: Counter,
+    /// `resilience.query_cancelled` — queries stopped by a fired token
+    /// before completing.
+    pub query_cancelled: Counter,
+    /// `resilience.cancel_latency` — token fire → batch return, ns.
+    pub cancel_latency: Histogram,
 }
 
 static CORE: OnceLock<CoreMetrics> = OnceLock::new();
@@ -101,6 +124,15 @@ impl CoreMetrics {
                 mass_cache_misses: r.counter("filter.mass_cache.misses"),
                 tasks_per_worker: r.histogram("scheduler.tasks_per_worker"),
                 workers_spawned: r.counter("scheduler.workers"),
+                deadline_exceeded: r.counter("resilience.deadline_exceeded"),
+                shed_reject: r.counter_with("resilience.shed", Some(("policy", "reject"))),
+                shed_degrade: r.counter_with("resilience.shed", Some(("policy", "degrade_alpha"))),
+                shed_oldest: r.counter_with("resilience.shed", Some(("policy", "oldest"))),
+                inflight: r.gauge("resilience.inflight"),
+                breaker_open: r.counter("resilience.breaker_open"),
+                breaker_skips: r.counter("resilience.breaker_skips"),
+                query_cancelled: r.counter("resilience.query_cancelled"),
+                cancel_latency: r.histogram("resilience.cancel_latency"),
             }
         })
     }
@@ -118,6 +150,9 @@ impl CoreMetrics {
         if stats.sections_skipped > 0 {
             self.query_sections_skipped
                 .add(stats.sections_skipped as u64);
+        }
+        if stats.cancelled {
+            self.query_cancelled.inc();
         }
         if stats.degraded {
             self.degraded.inc();

@@ -17,8 +17,9 @@
 //! monitoring example uses it to stay ahead of real time.
 
 use crate::distortion::DistortionModel;
-use crate::index::{QueryResult, S3Index, StatQueryOpts};
+use crate::index::{QueryResult, QueryStats, S3Index, StatQueryOpts};
 use crate::metrics::CoreMetrics;
+use crate::resilience::QueryCtx;
 use s3_hilbert::{HilbertCurve, Key256};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -63,10 +64,42 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_dynamic_ctx(n, threads, chunk, None, f)
+        .into_iter()
+        .map(|s| match s {
+            Some(v) => v,
+            // Without a ctx the cursor sweeps [0, n) exactly once.
+            None => unreachable!("all slots filled"),
+        })
+        .collect()
+}
+
+/// As [`run_dynamic`], but workers stop claiming new items once `ctx` fires.
+/// Items never claimed come back as `None`; items claimed before the stop run
+/// to completion (the task itself may poll `ctx` at a finer grain).
+pub(crate) fn run_dynamic_ctx<T, F>(
+    n: usize,
+    threads: usize,
+    chunk: usize,
+    ctx: Option<&QueryCtx>,
+    f: &F,
+) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let chunk = chunk.max(1);
     let workers = threads.min(n.div_ceil(chunk));
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+        for i in 0..n {
+            if ctx.is_some_and(|c| c.should_stop()) {
+                out.resize_with(n, || None);
+                return out;
+            }
+            out.push(Some(f(i)));
+        }
+        return out;
     }
     let metrics = CoreMetrics::get();
     metrics.workers_spawned.add(workers as u64);
@@ -77,6 +110,9 @@ where
             scope.spawn(|| {
                 let mut claimed = 0u64;
                 loop {
+                    if ctx.is_some_and(|c| c.should_stop()) {
+                        break;
+                    }
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n {
                         break;
@@ -95,14 +131,7 @@ where
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|s| match s.0.into_inner() {
-            Some(v) => v,
-            // The cursor sweeps [0, n) exactly once.
-            None => unreachable!("all slots filled"),
-        })
-        .collect()
+    slots.into_iter().map(|s| s.0.into_inner()).collect()
 }
 
 /// Runs a batch of statistical queries across `threads` worker threads with
@@ -170,6 +199,49 @@ pub fn stat_query_batch_with(
                 .collect()
         }
     }
+}
+
+/// As [`stat_query_batch`] under a [`QueryCtx`]: each query polls the ctx at
+/// filter and refine granularity, and workers stop claiming new queries once
+/// the token fires. Queries never started come back as empty results flagged
+/// `cancelled`/`degraded`, so the output always has one entry per input.
+pub fn stat_query_batch_ctx(
+    index: &S3Index,
+    queries: &[&[u8]],
+    model: &dyn DistortionModel,
+    opts: &StatQueryOpts,
+    threads: usize,
+    ctx: &QueryCtx,
+) -> Vec<QueryResult> {
+    assert!(threads > 0, "need at least one thread");
+    let _sp = s3_obs::span!(
+        "query.batch",
+        "queries" => queries.len() as f64,
+        "threads" => threads as f64,
+    );
+    let workers = threads.min(queries.len());
+    let slots = run_dynamic_ctx(queries.len(), workers.max(1), 1, Some(ctx), &|i| {
+        index.stat_query_ctx(queries[i], model, opts, ctx)
+    });
+    let metrics = CoreMetrics::get();
+    slots
+        .into_iter()
+        .map(|s| match s {
+            Some(r) => r,
+            None => {
+                let stats = QueryStats {
+                    cancelled: true,
+                    degraded: true,
+                    ..QueryStats::default()
+                };
+                metrics.record_query(&stats, std::time::Duration::ZERO);
+                QueryResult {
+                    matches: Vec::new(),
+                    stats,
+                }
+            }
+        })
+        .collect()
 }
 
 /// Computes Hilbert keys for a flat fingerprint buffer in parallel.

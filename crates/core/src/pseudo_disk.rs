@@ -56,19 +56,21 @@ use crate::crc::{crc32, Crc32};
 use crate::distortion::DistortionModel;
 use crate::error::IndexError;
 use crate::filter::{
-    merge_block_ranges, select_blocks_best_first, select_blocks_best_first_uncached,
-    select_blocks_range,
+    merge_block_ranges, select_blocks_best_first, select_blocks_best_first_cancellable,
+    select_blocks_best_first_uncached, select_blocks_range,
 };
 use crate::fingerprint::dist_sq;
 use crate::index::{Match, QueryStats, Refine, S3Index, StatQueryOpts};
 use crate::kernels;
 use crate::metrics::CoreMetrics;
+use crate::resilience::{CancelCause, QueryCtx, SectionBreakers, REFINE_CHUNK};
 use crate::storage::{FileStorage, Storage};
 use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
 use s3_obs::{event, span, LocalHistogram};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const MAGIC_V2: &[u8; 8] = b"S3IDX002";
@@ -126,6 +128,27 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// Cap of a single backoff sleep, whatever the attempt number.
+    pub const MAX_BACKOFF: Duration = MAX_BACKOFF;
+
+    /// Backoff before retry `attempt` (0-based): `backoff × 2^attempt`,
+    /// capped at [`RetryPolicy::MAX_BACKOFF`].
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        self.backoff
+            .saturating_mul(1 << attempt.min(10))
+            .min(MAX_BACKOFF)
+    }
+
+    /// Worst-case total sleep a single section load can spend retrying —
+    /// the sum of every per-attempt delay.
+    pub fn max_total_backoff(&self) -> Duration {
+        (0..self.max_retries)
+            .map(|k| self.delay_for(k))
+            .fold(Duration::ZERO, |acc, d| acc.saturating_add(d))
+    }
+}
+
 /// A file-backed S³ index queried through the pseudo-disk strategy.
 #[derive(Debug)]
 pub struct DiskIndex {
@@ -148,6 +171,11 @@ pub struct DiskIndex {
     retry: RetryPolicy,
     /// Worker threads for per-section refinement (1 = sequential).
     threads: usize,
+    /// Optional per-section circuit breakers: sections that keep failing are
+    /// skipped outright for a cooldown instead of re-paying the retry ladder
+    /// on every batch. Shared so several indexes over one device can pool
+    /// failure history.
+    breakers: Option<Arc<SectionBreakers>>,
 }
 
 /// Aggregate timing and health of one batched search — the terms of eq. 5
@@ -172,9 +200,14 @@ pub struct BatchTiming {
     pub retries: u32,
     /// Sections abandoned after exhausting retries (non-strict mode).
     pub sections_skipped: usize,
-    /// True if any section was skipped: results are complete over the
-    /// surviving sections only.
+    /// Of the skipped sections, how many were short-circuited by an open
+    /// circuit breaker (no I/O attempted).
+    pub breaker_skips: usize,
+    /// True if any section was skipped or any query was cancelled: results
+    /// are complete over the work actually performed only.
     pub degraded: bool,
+    /// True if the batch deadline expired while the batch was running.
+    pub deadline_hit: bool,
 }
 
 impl BatchTiming {
@@ -465,6 +498,7 @@ impl DiskIndex {
             data_len,
             retry: RetryPolicy::default(),
             threads: 1,
+            breakers: None,
         };
 
         if version == 1 {
@@ -553,6 +587,26 @@ impl DiskIndex {
     /// Worker threads used for per-section refinement.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Attaches per-section circuit breakers (builder style): a section that
+    /// keeps failing its loads is skipped outright for the breaker cooldown
+    /// instead of re-paying the retry ladder on every batch. Breaker keys are
+    /// the section's first fine-resolution table slot, so the same physical
+    /// region maps to the same breaker across different split factors.
+    pub fn with_breakers(mut self, breakers: Arc<SectionBreakers>) -> DiskIndex {
+        self.breakers = Some(breakers);
+        self
+    }
+
+    /// Attaches (or replaces) the per-section circuit breakers.
+    pub fn set_breakers(&mut self, breakers: Option<Arc<SectionBreakers>>) {
+        self.breakers = breakers;
+    }
+
+    /// The attached circuit breakers, if any.
+    pub fn breakers(&self) -> Option<&Arc<SectionBreakers>> {
+        self.breakers.as_ref()
     }
 
     /// On-disk format version of the opened file (1 or 2).
@@ -679,7 +733,7 @@ impl DiskIndex {
         opts: &StatQueryOpts,
         mem_budget: u64,
     ) -> Result<BatchResult, IndexError> {
-        self.query_batch_inner(queries, mem_budget, opts.refine, Some(model), |q| {
+        self.query_batch_inner(queries, mem_budget, opts.refine, Some(model), None, |q| {
             let outcome = if opts.mass_cache {
                 select_blocks_best_first(
                     &self.curve,
@@ -712,6 +766,51 @@ impl DiskIndex {
         })
     }
 
+    /// As [`DiskIndex::stat_query_batch`] under a [`QueryCtx`]: the batch
+    /// polls the ctx at filter, section-load, and refine-chunk granularity,
+    /// and returns a partial, `degraded`-flagged result instead of running
+    /// past an expired deadline or a fired token. Work already completed when
+    /// the stop lands is kept; per-query `cancelled`/`degraded` flags say
+    /// exactly which answers may be incomplete.
+    pub fn stat_query_batch_ctx(
+        &self,
+        queries: &[&[u8]],
+        model: &dyn DistortionModel,
+        opts: &StatQueryOpts,
+        mem_budget: u64,
+        ctx: &QueryCtx,
+    ) -> Result<BatchResult, IndexError> {
+        self.query_batch_inner(
+            queries,
+            mem_budget,
+            opts.refine,
+            Some(model),
+            Some(ctx),
+            |q| {
+                let outcome = select_blocks_best_first_cancellable(
+                    &self.curve,
+                    model,
+                    q,
+                    opts.depth,
+                    opts.alpha,
+                    opts.max_blocks,
+                    opts.mass_cache,
+                    ctx,
+                );
+                let stats = QueryStats {
+                    nodes_expanded: outcome.nodes_expanded,
+                    blocks_selected: outcome.blocks.len(),
+                    mass: outcome.mass,
+                    tmax: outcome.tmax,
+                    truncated: outcome.truncated,
+                    ..QueryStats::default()
+                };
+                let ranges = merge_block_ranges(&self.curve, &outcome);
+                (ranges, stats)
+            },
+        )
+    }
+
     /// Runs a batch of ε-range queries through the pseudo-disk engine.
     pub fn range_query_batch(
         &self,
@@ -720,7 +819,33 @@ impl DiskIndex {
         depth: u32,
         mem_budget: u64,
     ) -> Result<BatchResult, IndexError> {
-        self.query_batch_inner(queries, mem_budget, Refine::Range(eps), None, |q| {
+        self.range_query_batch_inner(queries, eps, depth, mem_budget, None)
+    }
+
+    /// As [`DiskIndex::range_query_batch`] under a [`QueryCtx`]. The range
+    /// filter itself runs to completion (it is cheap and database-
+    /// independent); cancellation lands at section-load and refine-chunk
+    /// granularity.
+    pub fn range_query_batch_ctx(
+        &self,
+        queries: &[&[u8]],
+        eps: f64,
+        depth: u32,
+        mem_budget: u64,
+        ctx: &QueryCtx,
+    ) -> Result<BatchResult, IndexError> {
+        self.range_query_batch_inner(queries, eps, depth, mem_budget, Some(ctx))
+    }
+
+    fn range_query_batch_inner(
+        &self,
+        queries: &[&[u8]],
+        eps: f64,
+        depth: u32,
+        mem_budget: u64,
+        ctx: Option<&QueryCtx>,
+    ) -> Result<BatchResult, IndexError> {
+        self.query_batch_inner(queries, mem_budget, Refine::Range(eps), None, ctx, |q| {
             let outcome = select_blocks_range(&self.curve, q, depth, eps, usize::MAX);
             let stats = QueryStats {
                 nodes_expanded: outcome.nodes_expanded,
@@ -739,6 +864,7 @@ impl DiskIndex {
         mem_budget: u64,
         refine: Refine,
         model: Option<&dyn DistortionModel>,
+        ctx: Option<&QueryCtx>,
         filter: impl Fn(&[u8]) -> (Vec<KeyRange>, QueryStats),
     ) -> Result<BatchResult, IndexError> {
         let r = self
@@ -748,6 +874,7 @@ impl DiskIndex {
                 min_section_bytes: self.min_section_bytes(),
             })?;
         let n_sections = 1usize << r;
+        let should_stop = || ctx.is_some_and(|c| c.should_stop());
 
         // Stage 1: database-independent filtering for every query.
         let metrics = CoreMetrics::get();
@@ -761,10 +888,25 @@ impl DiskIndex {
                     got: q.len(),
                 });
             }
-            let (ranges, st) = {
+            // A fired token skips the remaining filters outright: those
+            // queries come back empty, flagged `cancelled`.
+            if should_stop() {
+                per_query_ranges.push(Vec::new());
+                stats.push(QueryStats {
+                    cancelled: true,
+                    ..QueryStats::default()
+                });
+                continue;
+            }
+            let (ranges, mut st) = {
                 let _sp = span!("query.filter");
                 filter(q)
             };
+            // Conservative: if the token fired while this filter ran, its
+            // selection may be partial — flag it even if it just finished.
+            if should_stop() {
+                st.cancelled = true;
+            }
             per_query_ranges.push(ranges);
             stats.push(st);
         }
@@ -811,14 +953,52 @@ impl DiskIndex {
             if a == b {
                 continue;
             }
+            // Deadline/cancellation lands between sections: never start
+            // another load past the stop. Every remaining non-empty section
+            // is accounted as skipped so per-query flags stay truthful.
+            if should_stop() {
+                for (s2, work2) in section_work.iter().enumerate().skip(s) {
+                    if work2.is_empty() {
+                        continue;
+                    }
+                    let (a2, b2) = self.section_entries(r, s2);
+                    if a2 == b2 {
+                        continue;
+                    }
+                    timing.sections_skipped += 1;
+                    metrics.sections_skipped.inc();
+                    mark_section_skipped(&mut stats, work2, true);
+                }
+                break;
+            }
+            // Breaker keys are the section's first fine-resolution table
+            // slot, stable across different split factors `r`.
+            let breaker_key = s << sec_shift;
+            if let Some(br) = &self.breakers {
+                if !br.try_pass(breaker_key) {
+                    timing.sections_skipped += 1;
+                    timing.breaker_skips += 1;
+                    metrics.sections_skipped.inc();
+                    metrics.breaker_skips.inc();
+                    event::warn(
+                        "pseudo_disk",
+                        &format!("section {s} breaker open, skipping without I/O"),
+                    );
+                    mark_section_skipped(&mut stats, work, false);
+                    continue;
+                }
+            }
             let t_load = Instant::now();
-            let loaded = self.load_section_retrying(a, b, &mut section);
+            let loaded = self.load_section_retrying(a, b, &mut section, ctx);
             let load_time = t_load.elapsed();
             timing.load += load_time;
             timing.section_load.record_duration(load_time);
             metrics.section_load.record_duration(load_time);
             match loaded {
                 Ok(retries) => {
+                    if let Some(br) = &self.breakers {
+                        br.record_success(breaker_key);
+                    }
                     timing.retries += retries;
                     timing.sections_loaded += 1;
                     let bytes = (b - a) * self.record_bytes();
@@ -830,6 +1010,9 @@ impl DiskIndex {
                 Err((retries, err)) => {
                     timing.retries += retries;
                     metrics.retries.add(u64::from(retries));
+                    if let Some(br) = &self.breakers {
+                        br.record_failure(breaker_key);
+                    }
                     if self.retry.strict {
                         return Err(IndexError::SectionLost {
                             section: s,
@@ -840,7 +1023,6 @@ impl DiskIndex {
                     // Degrade: answer the batch from the surviving sections,
                     // and account the loss per affected query.
                     timing.sections_skipped += 1;
-                    timing.degraded = true;
                     metrics.sections_skipped.inc();
                     event::warn(
                         "pseudo_disk",
@@ -849,14 +1031,7 @@ impl DiskIndex {
                              degrading batch: {err}"
                         ),
                     );
-                    let mut prev = u32::MAX;
-                    for &(qi, _) in work {
-                        if qi != prev {
-                            stats[qi as usize].sections_skipped += 1;
-                            stats[qi as usize].degraded = true;
-                            prev = qi;
-                        }
-                    }
+                    mark_section_skipped(&mut stats, work, false);
                     continue;
                 }
             }
@@ -884,13 +1059,25 @@ impl DiskIndex {
                     matches: Vec::new(),
                     ranges: 0,
                     entries: 0,
+                    cancelled: false,
                 };
+                let mut since_check = 0usize;
                 for &(_, ri) in &work[lo_w..hi_w] {
                     let range = &per_query_ranges[qi][ri as usize];
                     let (lo, hi) = section_ref.locate(range);
                     out.ranges += 1;
-                    out.entries += hi - lo;
                     for i in lo..hi {
+                        // Cancellation lands on refine-chunk boundaries: one
+                        // chunk of records is the uninterruptible unit.
+                        since_check += 1;
+                        if since_check >= REFINE_CHUNK {
+                            since_check = 0;
+                            if should_stop() {
+                                out.cancelled = true;
+                                return out;
+                            }
+                        }
+                        out.entries += 1;
                         let fp = section_ref.fingerprint(self.curve.dims(), i);
                         let keep = match refine {
                             Refine::All => Some(None),
@@ -922,17 +1109,58 @@ impl DiskIndex {
                 }
                 out
             };
-            let results: Vec<GroupResult> = if self.threads > 1 && groups.len() > 1 {
-                crate::parallel::run_dynamic(groups.len(), self.threads, 1, &refine_group)
+            let results: Vec<Option<GroupResult>> = if self.threads > 1 && groups.len() > 1 {
+                crate::parallel::run_dynamic_ctx(groups.len(), self.threads, 1, ctx, &refine_group)
             } else {
-                (0..groups.len()).map(refine_group).collect()
+                let mut out = Vec::with_capacity(groups.len());
+                for g in 0..groups.len() {
+                    if should_stop() {
+                        out.push(None);
+                    } else {
+                        out.push(Some(refine_group(g)));
+                    }
+                }
+                out
             };
-            for gr in results {
-                stats[gr.qi].ranges_scanned += gr.ranges;
-                stats[gr.qi].entries_scanned += gr.entries;
-                matches[gr.qi].extend(gr.matches);
+            for (g, gr) in results.into_iter().enumerate() {
+                match gr {
+                    Some(gr) => {
+                        stats[gr.qi].ranges_scanned += gr.ranges;
+                        stats[gr.qi].entries_scanned += gr.entries;
+                        if gr.cancelled {
+                            stats[gr.qi].cancelled = true;
+                        }
+                        matches[gr.qi].extend(gr.matches);
+                    }
+                    // A group never claimed past the stop: its query keeps
+                    // whatever earlier sections contributed, flagged partial.
+                    None => {
+                        let qi = work[groups[g].0].0 as usize;
+                        stats[qi].cancelled = true;
+                    }
+                }
             }
             timing.refine += t_ref.elapsed();
+        }
+
+        // Resilience bookkeeping: the per-query and batch-level flags are
+        // recomputed here from the same evidence, so they agree by
+        // construction whatever path set them.
+        for st in &mut stats {
+            st.degraded = st.degraded || st.sections_skipped > 0 || st.cancelled;
+        }
+        timing.degraded = timing.sections_skipped > 0 || stats.iter().any(|s| s.degraded);
+        if let Some(ctx) = ctx {
+            timing.deadline_hit = ctx.stop_cause() == Some(CancelCause::DeadlineExceeded);
+            if timing.deadline_hit {
+                if let (Some(d), Some(fired)) = (ctx.deadline(), ctx.token().fired_at()) {
+                    // Token fire → batch return: how promptly cancellation
+                    // propagated through loads and refine chunks.
+                    metrics
+                        .cancel_latency
+                        .record_duration(d.clock().now().saturating_sub(fired));
+                }
+            }
         }
 
         // Fold the batch into the registry: per-query work counters plus
@@ -958,17 +1186,19 @@ impl DiskIndex {
         a: u64,
         b: u64,
         buf: &mut SectionBuf,
+        ctx: Option<&QueryCtx>,
     ) -> Result<u32, (u32, IndexError)> {
         let mut attempt = 0u32;
         loop {
             match self.load_section(a, b, buf) {
                 Ok(()) => return Ok(attempt),
                 Err(e) if e.is_transient() && attempt < self.retry.max_retries => {
-                    let delay = self
-                        .retry
-                        .backoff
-                        .saturating_mul(1 << attempt.min(10))
-                        .min(MAX_BACKOFF);
+                    // A fired token ends the retry ladder early: no point
+                    // sleeping toward a result the caller will discard.
+                    if ctx.is_some_and(|c| c.should_stop()) {
+                        return Err((attempt, e));
+                    }
+                    let delay = self.retry.delay_for(attempt);
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                     }
@@ -1061,6 +1291,26 @@ struct GroupResult {
     matches: Vec<Match>,
     ranges: usize,
     entries: usize,
+    /// The group stopped on a fired token mid-scan; `matches` covers the
+    /// records visited up to the stop.
+    cancelled: bool,
+}
+
+/// Accounts one skipped section against every query that needed it:
+/// `sections_skipped` bumps once per distinct query, plus `cancelled` when
+/// the skip came from a stop rather than a fault. (`degraded` is recomputed
+/// from both at the end of the batch.)
+fn mark_section_skipped(stats: &mut [QueryStats], work: &[(u32, u32)], cancelled: bool) {
+    let mut prev = u32::MAX;
+    for &(qi, _) in work {
+        if qi != prev {
+            stats[qi as usize].sections_skipped += 1;
+            if cancelled {
+                stats[qi as usize].cancelled = true;
+            }
+            prev = qi;
+        }
+    }
 }
 
 /// One memory-resident section of the database.

@@ -1,0 +1,824 @@
+//! Query-lifecycle resilience: deadlines, cooperative cancellation,
+//! admission control and per-section circuit breaking.
+//!
+//! The paper's pseudo-disk strategy (§IV-B) assumes a patient offline scan;
+//! a production service serving heavy traffic needs bounded tail latency and
+//! graceful behaviour when storage stalls or queues overflow. This module
+//! provides the vocabulary the whole query path speaks:
+//!
+//! * [`Clock`] — a pluggable monotonic time source. Production uses
+//!   [`SystemClock`]; tests use [`MockClock`], whose `sleep` merely advances
+//!   the reading, so deadline and stall behaviour is testable without
+//!   wall-clock flakiness.
+//! * [`CancelToken`] — a shared atomic flag checked cooperatively at
+//!   section-load, refine-scan-chunk and work-stealing-task granularity.
+//!   Once fired it records *why* ([`CancelCause`]) and *when*, so the
+//!   cancellation latency (fire → return) can be measured.
+//! * [`Deadline`] — a token that fires itself when a clock passes a budget.
+//!   A batch whose deadline fires returns partial, `degraded`-flagged
+//!   results instead of blowing its latency budget; the overshoot is bounded
+//!   by one unit of uninterruptible work (one section-load attempt or one
+//!   refinement chunk).
+//! * [`QueryCtx`] — the bundle (token + optional deadline) threaded through
+//!   every batched entry point.
+//! * [`AdmissionController`] — a bounded in-flight gate with a load-shedding
+//!   policy ([`Shed`]). `DegradeAlpha` is the paper-native fallback: under
+//!   pressure a query runs against a cheaper `V_α` region (smaller α)
+//!   instead of being refused.
+//! * [`SectionBreakers`] — per-section circuit breakers that trip after
+//!   repeated load failures and short-circuit to skip-with-stat instead of
+//!   re-hammering a bad region on every batch.
+//!
+//! Everything is observable through the `resilience.*` metrics documented in
+//! `docs/observability.md`.
+
+use crate::metrics::CoreMetrics;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Clocks
+// ---------------------------------------------------------------------------
+
+/// A monotonic time source.
+///
+/// `now` returns the elapsed time since an arbitrary per-clock epoch; only
+/// differences are meaningful. `sleep` blocks (or, for a mock, pretends to).
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Monotonic reading since the clock's epoch.
+    fn now(&self) -> Duration;
+    /// Blocks for `d` ([`MockClock`] advances its reading instead).
+    fn sleep(&self, d: Duration);
+}
+
+/// Wall-clock time via [`Instant`].
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is the moment of construction.
+    pub fn new() -> SystemClock {
+        SystemClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// The process-wide [`SystemClock`] (shared so deadlines are cheap to make).
+pub fn system_clock() -> Arc<dyn Clock> {
+    static CLOCK: OnceLock<Arc<SystemClock>> = OnceLock::new();
+    CLOCK.get_or_init(|| Arc::new(SystemClock::new())).clone()
+}
+
+/// A manually-driven clock for deterministic tests: `now` reads an atomic,
+/// `sleep` advances it. Fault-injection stalls against a `MockClock`
+/// therefore cost zero wall time while still exceeding mock deadlines.
+#[derive(Debug, Default)]
+pub struct MockClock {
+    nanos: AtomicU64,
+}
+
+impl MockClock {
+    /// A mock clock starting at zero.
+    pub fn new() -> MockClock {
+        MockClock::default()
+    }
+
+    /// Moves the reading forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(
+            d.as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::SeqCst,
+        );
+    }
+}
+
+impl Clock for MockClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+/// Records scanned between cancellation checks in refinement loops — the
+/// unit of uninterruptible refine work. Together with one section-load
+/// attempt it defines the "one work chunk" by which a deadline may be
+/// overshot.
+pub const REFINE_CHUNK: usize = 4096;
+
+/// Why a token fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelCause {
+    /// Explicit cancellation (e.g. evicted by [`Shed::Oldest`]).
+    Cancelled,
+    /// A [`Deadline`] expired.
+    DeadlineExceeded,
+}
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+#[derive(Debug, Default)]
+struct TokenInner {
+    state: AtomicU8,
+    /// Clock reading (ns) when the token fired, for cancellation-latency
+    /// accounting. Meaningful only against the clock that fired it.
+    fired_at_nanos: AtomicU64,
+}
+
+/// A shared cancellation flag, checked cooperatively by long-running work.
+///
+/// Clones share state; firing is idempotent and sticky. The query path
+/// checks tokens at bounded intervals (per section-load attempt, per
+/// refinement chunk, per work-stealing task), which bounds both the
+/// cancellation latency and any deadline overshoot by one such unit.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token with an explicit-cancel cause. Returns true if this
+    /// call performed the (first) fire.
+    pub fn cancel(&self) -> bool {
+        self.fire(CANCELLED, Duration::ZERO)
+    }
+
+    /// Fires with `cause` at clock reading `at`; first caller wins.
+    fn fire(&self, cause: u8, at: Duration) -> bool {
+        let won = self
+            .inner
+            .state
+            .compare_exchange(LIVE, cause, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        if won {
+            self.inner.fired_at_nanos.store(
+                at.as_nanos().min(u128::from(u64::MAX)) as u64,
+                Ordering::SeqCst,
+            );
+        }
+        won
+    }
+
+    /// True once the token has fired (for any cause).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.state.load(Ordering::Relaxed) != LIVE
+    }
+
+    /// The cause, once fired.
+    pub fn cause(&self) -> Option<CancelCause> {
+        match self.inner.state.load(Ordering::SeqCst) {
+            CANCELLED => Some(CancelCause::Cancelled),
+            DEADLINE => Some(CancelCause::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// Clock reading at fire time (zero for plain [`CancelToken::cancel`]).
+    pub fn fired_at(&self) -> Option<Duration> {
+        if self.is_cancelled() {
+            Some(Duration::from_nanos(
+                self.inner.fired_at_nanos.load(Ordering::SeqCst),
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+/// A latency budget that fires a [`CancelToken`] once a clock passes it.
+#[derive(Clone, Debug)]
+pub struct Deadline {
+    clock: Arc<dyn Clock>,
+    expires_at: Duration,
+    token: CancelToken,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now on `clock`, firing `token` on expiry.
+    pub fn after(clock: Arc<dyn Clock>, budget: Duration, token: CancelToken) -> Deadline {
+        let expires_at = clock.now().saturating_add(budget);
+        Deadline {
+            clock,
+            expires_at,
+            token,
+        }
+    }
+
+    /// Clock reading at which the deadline expires.
+    pub fn expires_at(&self) -> Duration {
+        self.expires_at
+    }
+
+    /// The token this deadline fires.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// The clock the deadline is measured against.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.expires_at.saturating_sub(self.clock.now())
+    }
+
+    /// Polls the clock; on the expiry transition fires the token with
+    /// [`CancelCause::DeadlineExceeded`] and counts
+    /// `resilience.deadline_exceeded` (once). Returns true once expired.
+    pub fn expired(&self) -> bool {
+        if self.token.is_cancelled() {
+            return true;
+        }
+        let now = self.clock.now();
+        if now < self.expires_at {
+            return false;
+        }
+        if self.token.fire(DEADLINE, now) {
+            CoreMetrics::get().deadline_exceeded.inc();
+        }
+        true
+    }
+}
+
+/// The resilience context threaded through a batched query: a cancellation
+/// token plus an optional deadline that fires it.
+#[derive(Clone, Debug, Default)]
+pub struct QueryCtx {
+    cancel: CancelToken,
+    deadline: Option<Deadline>,
+}
+
+impl QueryCtx {
+    /// A context that never stops the query (the default for callers that
+    /// do not opt into resilience).
+    pub fn unbounded() -> QueryCtx {
+        QueryCtx::default()
+    }
+
+    /// A context driven by an externally-owned token (admission permits,
+    /// remote cancellation).
+    pub fn with_token(cancel: CancelToken) -> QueryCtx {
+        QueryCtx {
+            cancel,
+            deadline: None,
+        }
+    }
+
+    /// A context whose token fires when `clock` passes `budget` from now.
+    pub fn with_deadline(clock: Arc<dyn Clock>, budget: Duration) -> QueryCtx {
+        let cancel = CancelToken::new();
+        let deadline = Deadline::after(clock, budget, cancel.clone());
+        QueryCtx {
+            cancel,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Attaches a deadline to an existing context (builder style).
+    pub fn and_deadline(mut self, clock: Arc<dyn Clock>, budget: Duration) -> QueryCtx {
+        self.deadline = Some(Deadline::after(clock, budget, self.cancel.clone()));
+        self
+    }
+
+    /// The context's token.
+    pub fn token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The context's deadline, if any.
+    pub fn deadline(&self) -> Option<&Deadline> {
+        self.deadline.as_ref()
+    }
+
+    /// The single cooperative check: true once the query should abandon
+    /// remaining work. Polls the deadline (firing the token on the expiry
+    /// transition), then the token.
+    pub fn should_stop(&self) -> bool {
+        if let Some(d) = &self.deadline {
+            if d.expired() {
+                return true;
+            }
+        }
+        self.cancel.is_cancelled()
+    }
+
+    /// Why the context stopped, once it has.
+    pub fn stop_cause(&self) -> Option<CancelCause> {
+        self.cancel.cause()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// What to do with a new batch when the in-flight queue is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Shed {
+    /// Refuse the new batch outright.
+    #[default]
+    Reject,
+    /// Admit it, but flag it to run against the cheaper degraded `V_α`
+    /// region (`α · DEGRADED_ALPHA_FACTOR`) — the paper-native fallback: a
+    /// smaller expectation buys a smaller search region. A hard cap of
+    /// twice the configured bound still rejects pathological floods.
+    DegradeAlpha,
+    /// Cancel the oldest in-flight batch (it returns partial,
+    /// `degraded`-flagged results at its next cooperative check) and admit
+    /// the new one.
+    Oldest,
+}
+
+impl Shed {
+    /// Stable lower-case name (metric labels, CLI).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Shed::Reject => "reject",
+            Shed::DegradeAlpha => "degrade_alpha",
+            Shed::Oldest => "oldest",
+        }
+    }
+}
+
+impl FromStr for Shed {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Shed, String> {
+        match s {
+            "reject" => Ok(Shed::Reject),
+            "degrade-alpha" | "degrade_alpha" => Ok(Shed::DegradeAlpha),
+            "oldest" => Ok(Shed::Oldest),
+            other => Err(format!(
+                "unknown shed policy '{other}' (expected reject | degrade-alpha | oldest)"
+            )),
+        }
+    }
+}
+
+/// α multiplier applied to batches admitted over capacity under
+/// [`Shed::DegradeAlpha`].
+pub const DEGRADED_ALPHA_FACTOR: f64 = 0.75;
+
+/// Applies the [`Shed::DegradeAlpha`] reduction to an expectation target.
+pub fn degraded_alpha(alpha: f64) -> f64 {
+    (alpha * DEGRADED_ALPHA_FACTOR).clamp(f64::MIN_POSITIVE, 1.0)
+}
+
+/// Outcome of [`AdmissionController::try_admit`].
+#[derive(Debug)]
+pub enum Admission {
+    /// Run at full fidelity. Thread the permit's token into the batch's
+    /// [`QueryCtx`] and keep the permit alive for the duration.
+    Admitted(Permit),
+    /// Over capacity under [`Shed::DegradeAlpha`]: run with
+    /// [`degraded_alpha`] and flag the results degraded.
+    Degraded(Permit),
+    /// Refused; the caller should report the batch shed.
+    Shed,
+}
+
+#[derive(Debug)]
+struct AdmissionState {
+    next_id: u64,
+    /// Oldest-first in-flight permits.
+    inflight: VecDeque<(u64, CancelToken)>,
+    /// High-water mark of the in-flight count (chaos-harness invariant).
+    peak: usize,
+}
+
+/// A bounded in-flight gate with a load-shedding policy.
+///
+/// Synchronous by design: callers `try_admit` before running a batch and
+/// drop the [`Permit`] when done. There is no waiting queue — a full gate
+/// sheds immediately per its [`Shed`] policy, which is what a latency-bound
+/// service wants (queueing just moves the deadline miss later).
+#[derive(Debug)]
+pub struct AdmissionController {
+    max_inflight: usize,
+    policy: Shed,
+    state: Mutex<AdmissionState>,
+}
+
+impl AdmissionController {
+    /// A gate admitting at most `max_inflight` concurrent batches (at least
+    /// one), shedding per `policy` beyond that.
+    pub fn new(max_inflight: usize, policy: Shed) -> Arc<AdmissionController> {
+        Arc::new(AdmissionController {
+            max_inflight: max_inflight.max(1),
+            policy,
+            state: Mutex::new(AdmissionState {
+                next_id: 0,
+                inflight: VecDeque::new(),
+                peak: 0,
+            }),
+        })
+    }
+
+    /// The configured bound.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// The configured shedding policy.
+    pub fn policy(&self) -> Shed {
+        self.policy
+    }
+
+    /// Current in-flight count.
+    pub fn inflight(&self) -> usize {
+        self.lock().inflight.len()
+    }
+
+    /// Highest in-flight count ever observed.
+    pub fn peak_inflight(&self) -> usize {
+        self.lock().peak
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, AdmissionState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Requests a slot for one batch.
+    pub fn try_admit(self: &Arc<Self>) -> Admission {
+        let metrics = CoreMetrics::get();
+        let mut st = self.lock();
+        let over = st.inflight.len() >= self.max_inflight;
+        if over {
+            match self.policy {
+                Shed::Reject => {
+                    metrics.shed_reject.inc();
+                    return Admission::Shed;
+                }
+                Shed::DegradeAlpha => {
+                    // Degrade up to a hard cap of 2× the bound, then refuse.
+                    if st.inflight.len() >= self.max_inflight * 2 {
+                        metrics.shed_reject.inc();
+                        return Admission::Shed;
+                    }
+                    metrics.shed_degrade.inc();
+                    let permit = Self::issue(self, &mut st);
+                    metrics.inflight.set(st.inflight.len() as f64);
+                    return Admission::Degraded(permit);
+                }
+                Shed::Oldest => {
+                    if let Some((_, oldest)) = st.inflight.pop_front() {
+                        oldest.cancel();
+                        metrics.shed_oldest.inc();
+                    }
+                }
+            }
+        }
+        let permit = Self::issue(self, &mut st);
+        metrics.inflight.set(st.inflight.len() as f64);
+        Admission::Admitted(permit)
+    }
+
+    fn issue(ctrl: &Arc<Self>, st: &mut AdmissionState) -> Permit {
+        let id = st.next_id;
+        st.next_id += 1;
+        let token = CancelToken::new();
+        st.inflight.push_back((id, token.clone()));
+        st.peak = st.peak.max(st.inflight.len());
+        Permit {
+            ctrl: Arc::clone(ctrl),
+            id,
+            token,
+        }
+    }
+
+    fn release(&self, id: u64) {
+        let mut st = self.lock();
+        st.inflight.retain(|(i, _)| *i != id);
+        CoreMetrics::get().inflight.set(st.inflight.len() as f64);
+    }
+}
+
+/// An admitted batch's slot; dropping it frees the slot.
+#[derive(Debug)]
+pub struct Permit {
+    ctrl: Arc<AdmissionController>,
+    id: u64,
+    token: CancelToken,
+}
+
+impl Permit {
+    /// The token [`Shed::Oldest`] eviction fires; thread it into the
+    /// batch's [`QueryCtx`].
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.ctrl.release(self.id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breakers
+// ---------------------------------------------------------------------------
+
+/// Tuning of a [`SectionBreakers`] set.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive section-load failures (each already past its retries)
+    /// that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker short-circuits loads before letting one
+    /// probe attempt through (half-open).
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    /// `Some(t)` while open: loads short-circuit until the clock passes
+    /// `t`, after which exactly one probe is allowed (half-open).
+    open_until: Option<Duration>,
+}
+
+/// Per-section circuit breakers over a shared clock.
+///
+/// Sections are keyed by the first fine-resolution table slot they cover,
+/// so the same physical region keeps its breaker across batches even when
+/// different memory budgets pick different section splits.
+#[derive(Debug)]
+pub struct SectionBreakers {
+    cfg: BreakerConfig,
+    clock: Arc<dyn Clock>,
+    state: Mutex<HashMap<usize, BreakerState>>,
+}
+
+impl SectionBreakers {
+    /// A breaker set with the given tuning and clock.
+    pub fn new(cfg: BreakerConfig, clock: Arc<dyn Clock>) -> SectionBreakers {
+        SectionBreakers {
+            cfg,
+            clock,
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<usize, BreakerState>> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// True if a load of section `key` may proceed. While the breaker is
+    /// open this returns false (short-circuit: skip with stat); once the
+    /// cooldown passes, the first call returns true as the half-open probe.
+    pub fn try_pass(&self, key: usize) -> bool {
+        let mut st = self.lock();
+        let Some(s) = st.get_mut(&key) else {
+            return true;
+        };
+        match s.open_until {
+            None => true,
+            Some(until) => {
+                if self.clock.now() >= until {
+                    // Half-open: allow one probe; a failure re-trips
+                    // immediately (the failure count is still at/above the
+                    // threshold), a success resets.
+                    s.open_until = None;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a section-load failure (already past its retries). Returns
+    /// true when this failure trips the breaker open.
+    pub fn record_failure(&self, key: usize) -> bool {
+        let mut st = self.lock();
+        let s = st.entry(key).or_default();
+        s.consecutive_failures = s.consecutive_failures.saturating_add(1);
+        if s.consecutive_failures >= self.cfg.failure_threshold && s.open_until.is_none() {
+            s.open_until = Some(self.clock.now() + self.cfg.cooldown);
+            CoreMetrics::get().breaker_open.inc();
+            return true;
+        }
+        false
+    }
+
+    /// Records a successful load, closing the breaker for `key`.
+    pub fn record_success(&self, key: usize) {
+        let mut st = self.lock();
+        if let Some(s) = st.get_mut(&key) {
+            *s = BreakerState::default();
+        }
+    }
+
+    /// Number of sections currently open (short-circuiting).
+    pub fn open_count(&self) -> usize {
+        let now = self.clock.now();
+        self.lock()
+            .values()
+            .filter(|s| s.open_until.is_some_and(|t| now < t))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_clock_advances_on_sleep() {
+        let c = MockClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.sleep(Duration::from_millis(30));
+        c.advance(Duration::from_millis(12));
+        assert_eq!(c.now(), Duration::from_millis(42));
+    }
+
+    #[test]
+    fn token_fires_once_with_cause() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.cause(), None);
+        assert!(t.cancel(), "first fire wins");
+        assert!(!t.cancel(), "second fire is a no-op");
+        assert!(t.is_cancelled());
+        assert_eq!(t.cause(), Some(CancelCause::Cancelled));
+        let clone = t.clone();
+        assert!(clone.is_cancelled(), "clones share state");
+    }
+
+    #[test]
+    fn deadline_fires_on_mock_expiry() {
+        let clock = Arc::new(MockClock::new());
+        let ctx = QueryCtx::with_deadline(clock.clone(), Duration::from_millis(100));
+        assert!(!ctx.should_stop());
+        clock.advance(Duration::from_millis(99));
+        assert!(!ctx.should_stop());
+        clock.advance(Duration::from_millis(2));
+        assert!(ctx.should_stop());
+        assert_eq!(ctx.stop_cause(), Some(CancelCause::DeadlineExceeded));
+        let fired = ctx.token().fired_at().expect("fired");
+        assert_eq!(fired, Duration::from_millis(101));
+        // Expiry is sticky even if (hypothetically) time rolled on.
+        clock.advance(Duration::from_secs(1));
+        assert!(ctx.should_stop());
+    }
+
+    #[test]
+    fn deadline_metric_counts_each_expiry_once() {
+        let m = CoreMetrics::get();
+        let before = m.deadline_exceeded.get();
+        let clock = Arc::new(MockClock::new());
+        let ctx = QueryCtx::with_deadline(clock.clone(), Duration::from_millis(5));
+        clock.advance(Duration::from_millis(10));
+        assert!(ctx.should_stop());
+        assert!(ctx.should_stop());
+        assert!(ctx.should_stop());
+        assert_eq!(m.deadline_exceeded.get(), before + 1);
+    }
+
+    #[test]
+    fn reject_policy_bounds_inflight() {
+        let ctrl = AdmissionController::new(2, Shed::Reject);
+        let a = ctrl.try_admit();
+        let b = ctrl.try_admit();
+        assert!(matches!(a, Admission::Admitted(_)));
+        assert!(matches!(b, Admission::Admitted(_)));
+        assert!(matches!(ctrl.try_admit(), Admission::Shed));
+        assert_eq!(ctrl.inflight(), 2);
+        drop(a);
+        assert_eq!(ctrl.inflight(), 1);
+        assert!(matches!(ctrl.try_admit(), Admission::Admitted(_)));
+        assert_eq!(ctrl.peak_inflight(), 2);
+    }
+
+    #[test]
+    fn degrade_alpha_admits_over_capacity_then_rejects() {
+        let ctrl = AdmissionController::new(1, Shed::DegradeAlpha);
+        let a = ctrl.try_admit();
+        assert!(matches!(a, Admission::Admitted(_)));
+        let b = ctrl.try_admit();
+        assert!(
+            matches!(b, Admission::Degraded(_)),
+            "over capacity: degrade"
+        );
+        // Hard cap at 2× the bound.
+        assert!(matches!(ctrl.try_admit(), Admission::Shed));
+        assert!(degraded_alpha(0.8) < 0.8);
+        assert!(degraded_alpha(0.8) > 0.0);
+    }
+
+    #[test]
+    fn oldest_policy_cancels_the_oldest_permit() {
+        let ctrl = AdmissionController::new(1, Shed::Oldest);
+        let Admission::Admitted(first) = ctrl.try_admit() else {
+            panic!("first admit")
+        };
+        assert!(!first.token().is_cancelled());
+        let Admission::Admitted(second) = ctrl.try_admit() else {
+            panic!("second admit")
+        };
+        assert!(
+            first.token().is_cancelled(),
+            "oldest permit must be evicted"
+        );
+        assert_eq!(first.token().cause(), Some(CancelCause::Cancelled));
+        assert!(!second.token().is_cancelled());
+        assert_eq!(ctrl.inflight(), 1, "eviction keeps the bound");
+        drop(first); // releasing an already-evicted permit is harmless
+        assert_eq!(ctrl.inflight(), 1);
+        drop(second);
+        assert_eq!(ctrl.inflight(), 0);
+    }
+
+    #[test]
+    fn shed_parses_and_names_roundtrip() {
+        for p in [Shed::Reject, Shed::DegradeAlpha, Shed::Oldest] {
+            let parsed: Shed = p.name().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+        assert_eq!("degrade-alpha".parse::<Shed>().unwrap(), Shed::DegradeAlpha);
+        assert!("nope".parse::<Shed>().is_err());
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_and_half_opens() {
+        let clock = Arc::new(MockClock::new());
+        let cfg = BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(1),
+        };
+        let br = SectionBreakers::new(cfg, clock.clone());
+        assert!(br.try_pass(5));
+        assert!(!br.record_failure(5), "below threshold");
+        assert!(br.try_pass(5), "still closed after one failure");
+        assert!(br.record_failure(5), "second failure trips");
+        assert!(!br.try_pass(5), "open: short-circuit");
+        assert_eq!(br.open_count(), 1);
+        clock.advance(Duration::from_millis(1500));
+        assert!(br.try_pass(5), "cooldown passed: half-open probe");
+        // Probe fails: re-trips immediately.
+        br.record_failure(5);
+        assert!(!br.try_pass(5), "failed probe re-opens");
+        clock.advance(Duration::from_secs(2));
+        assert!(br.try_pass(5));
+        br.record_success(5);
+        br.record_failure(5);
+        assert!(br.try_pass(5), "success reset the failure count");
+        assert!(br.try_pass(6), "other sections unaffected");
+    }
+}

@@ -13,7 +13,10 @@ use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::resilience::{system_clock, Clock};
 
 /// Random-access byte storage.
 ///
@@ -32,6 +35,18 @@ pub trait Storage: fmt::Debug + Send + Sync {
     /// True if the storage holds no bytes.
     fn is_empty(&self) -> io::Result<bool> {
         Ok(self.len()? == 0)
+    }
+}
+
+// Lets a test hand `Arc<FaultyStorage<_>>` to the index while keeping a
+// clone for reading `FaultStats` afterwards.
+impl<S: Storage> Storage for Arc<S> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        (**self).read_at(offset, buf)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        (**self).len()
     }
 }
 
@@ -154,6 +169,24 @@ pub struct FaultPlan {
     /// File-offset range where every read fails permanently, regardless of
     /// `max_faults` — models an unreadable disk region.
     pub dead_range: Option<Range<u64>>,
+    /// Every `stall_every_n`-th read (1 = every read; 0 = never) sleeps
+    /// `stall_ms` on the storage's clock before proceeding — models a
+    /// degraded device or remote backend. Against a
+    /// [`crate::resilience::MockClock`] the stall costs zero wall time
+    /// while still exceeding mock deadlines, so deadline and cancellation
+    /// paths are testable without wall-clock flakiness. Stalls are
+    /// unconditional: they ignore `skip_reads` counting for fault budget
+    /// purposes but respect `skip_reads` passthrough, and do not consume
+    /// `max_faults`.
+    pub stall_every_n: u64,
+    /// Stall duration, milliseconds.
+    pub stall_ms: u64,
+    /// Probability that a read *succeeds* but only a pseudorandom prefix of
+    /// the buffer holds real data — the tail is filled with garbage, as a
+    /// torn page from an interrupted write would read. Unlike `short_read`
+    /// (which errors), a torn read looks healthy to the I/O layer; only the
+    /// CRC layer above can detect it.
+    pub torn_read: f64,
 }
 
 impl Default for FaultPlan {
@@ -166,6 +199,9 @@ impl Default for FaultPlan {
             skip_reads: 0,
             max_faults: None,
             dead_range: None,
+            stall_every_n: 0,
+            stall_ms: 0,
+            torn_read: 0.0,
         }
     }
 }
@@ -183,12 +219,21 @@ pub struct FaultStats {
     pub bit_flips: u64,
     /// Reads refused inside the dead range.
     pub dead_reads: u64,
+    /// Latency stalls injected (not counted as faults: the read succeeds).
+    pub stalls: u64,
+    /// Torn reads injected (Ok-returning partial data).
+    pub torn_reads: u64,
 }
 
 impl FaultStats {
-    /// Total injected faults of every kind.
+    /// Total injected faults of every kind (stalls excluded — a stalled
+    /// read still returns correct data).
     pub fn total(&self) -> u64 {
-        self.transient_errors + self.short_reads + self.bit_flips + self.dead_reads
+        self.transient_errors
+            + self.short_reads
+            + self.bit_flips
+            + self.dead_reads
+            + self.torn_reads
     }
 }
 
@@ -201,6 +246,7 @@ struct FaultState {
 pub struct FaultyStorage<S> {
     inner: S,
     plan: FaultPlan,
+    clock: Arc<dyn Clock>,
     state: Mutex<FaultState>,
 }
 
@@ -215,13 +261,21 @@ impl<S: fmt::Debug> fmt::Debug for FaultyStorage<S> {
 }
 
 impl<S> FaultyStorage<S> {
-    /// Wraps `inner` with the given fault plan.
+    /// Wraps `inner` with the given fault plan (stalls, if any, sleep on
+    /// the system clock).
     pub fn new(inner: S, plan: FaultPlan) -> FaultyStorage<S> {
+        FaultyStorage::with_clock(inner, plan, system_clock())
+    }
+
+    /// Wraps `inner` with the given fault plan, stalling against `clock` —
+    /// pass a [`crate::resilience::MockClock`] for zero-wall-time stalls.
+    pub fn with_clock(inner: S, plan: FaultPlan, clock: Arc<dyn Clock>) -> FaultyStorage<S> {
         // xorshift64* must not start at 0.
         let rng = plan.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         FaultyStorage {
             inner,
             plan,
+            clock,
             state: Mutex::new(FaultState {
                 rng,
                 stats: FaultStats::default(),
@@ -263,6 +317,13 @@ impl<S: Storage> Storage for FaultyStorage<S> {
         state.stats.reads += 1;
         if state.stats.reads <= self.plan.skip_reads {
             return self.inner.read_at(offset, buf);
+        }
+
+        if self.plan.stall_every_n > 0 && state.stats.reads % self.plan.stall_every_n == 0 {
+            state.stats.stalls += 1;
+            // Slept with the state lock held: concurrent readers queue
+            // behind the stall, as they would behind a single busy device.
+            self.clock.sleep(Duration::from_millis(self.plan.stall_ms));
         }
 
         if let Some(dead) = &self.plan.dead_range {
@@ -307,6 +368,24 @@ impl<S: Storage> Storage for FaultyStorage<S> {
                 let byte = (xorshift(&mut state.rng) as usize) % buf.len();
                 let bit = (xorshift(&mut state.rng) % 8) as u8;
                 buf[byte] ^= 1 << bit;
+                return Ok(());
+            }
+            // Gated on the rate so a zero-rate plan consumes no generator
+            // draws here and legacy fault schedules stay bit-identical.
+            if self.plan.torn_read > 0.0
+                && !buf.is_empty()
+                && unit(&mut state.rng) < self.plan.torn_read
+            {
+                self.inner.read_at(offset, buf)?;
+                state.stats.torn_reads += 1;
+                // Torn page: a pseudorandom prefix is real, the tail is
+                // garbage, and the read *succeeds* — only the CRC layer
+                // above can tell.
+                let cut = (xorshift(&mut state.rng) as usize) % buf.len();
+                for b in &mut buf[cut..] {
+                    // Xor with an odd byte so every tail byte really changes.
+                    *b ^= ((xorshift(&mut state.rng) >> 56) as u8) | 1;
+                }
                 return Ok(());
             }
         }
@@ -427,6 +506,84 @@ mod tests {
             .map(|(a, b)| (a ^ b).count_ones())
             .sum();
         assert_eq!(diff_bits, 1);
+    }
+
+    #[test]
+    fn stalls_advance_the_mock_clock_only() {
+        use crate::resilience::MockClock;
+        let clock = Arc::new(MockClock::new());
+        let plan = FaultPlan {
+            stall_every_n: 2,
+            stall_ms: 10,
+            skip_reads: 1,
+            ..FaultPlan::default()
+        };
+        let s = FaultyStorage::with_clock(mem(256), plan, clock.clone());
+        let mut buf = [0u8; 8];
+        let wall = std::time::Instant::now();
+        for i in 0..6 {
+            s.read_at(i * 8, &mut buf).unwrap();
+        }
+        // Reads 2, 4, 6 stall (read 1 is skipped-through but still counted).
+        assert_eq!(s.stats().stalls, 3);
+        assert_eq!(clock.now(), Duration::from_millis(30));
+        assert!(
+            wall.elapsed() < Duration::from_millis(10),
+            "mock stalls must not burn wall time"
+        );
+        assert_eq!(s.stats().total(), 0, "stalled reads still succeed");
+    }
+
+    #[test]
+    fn torn_read_succeeds_with_corrupt_tail() {
+        let plan = FaultPlan {
+            seed: 11,
+            torn_read: 1.0,
+            max_faults: Some(1),
+            ..FaultPlan::default()
+        };
+        let s = FaultyStorage::new(mem(1024), plan);
+        let mut torn = [0u8; 64];
+        s.read_at(0, &mut torn).unwrap(); // Ok despite corruption
+        let mut clean = [0u8; 64];
+        s.read_at(0, &mut clean).unwrap(); // budget exhausted: clean read
+        assert_eq!(s.stats().torn_reads, 1);
+        assert_ne!(torn[..], clean[..], "tail must be corrupted");
+        // The corruption is a contiguous tail: find the cut and check the
+        // prefix survived.
+        let cut = torn
+            .iter()
+            .zip(&clean)
+            .position(|(a, b)| a != b)
+            .unwrap_or(torn.len());
+        assert_eq!(torn[..cut], clean[..cut]);
+        assert_ne!(torn[torn.len() - 1], clean[clean.len() - 1]);
+    }
+
+    #[test]
+    fn torn_schedule_is_deterministic() {
+        let plan = FaultPlan {
+            seed: 9,
+            torn_read: 0.5,
+            stall_every_n: 3,
+            stall_ms: 1,
+            ..FaultPlan::default()
+        };
+        let run = || {
+            use crate::resilience::MockClock;
+            let s = FaultyStorage::with_clock(mem(4096), plan.clone(), Arc::new(MockClock::new()));
+            let mut out = Vec::new();
+            for i in 0..40u64 {
+                let mut buf = [0u8; 32];
+                out.push((s.read_at(i * 64, &mut buf).is_ok(), buf));
+            }
+            (out, s.stats())
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert!(sa.torn_reads > 0, "schedule never tore: {sa:?}");
     }
 
     #[test]
