@@ -1,13 +1,36 @@
-//! Metrics-snapshot benchmark: runs the full pipeline — extraction,
-//! indexing, pseudo-disk batched statistical queries — and saves the
-//! populated s3-obs registry as `BENCH_PR2.json`, so regressions in counter
-//! coverage or latency distributions are visible in CI artifacts.
+//! Metrics + observability-overhead benchmark.
+//!
+//! Runs the full pipeline — extraction, indexing, pseudo-disk batched
+//! statistical queries — and saves the populated s3-obs registry as
+//! `BENCH_PR2.json`, so regressions in counter coverage or latency
+//! distributions are visible in CI artifacts.
+//!
+//! It then measures what observability itself costs: the same query batch
+//! is timed with no span sink (production default), with a RingCollector
+//! sink installed (tracing on), and with per-query EXPLAIN reports. The
+//! comparison lands in `BENCH_PR5.json` together with hard invariants
+//! checked inline:
+//!   - with no sink, spans allocate nothing (`fields_allocated` stays false);
+//!   - sink on/off produces bit-identical match sets;
+//!   - every clean EXPLAIN report reconciles (per-block scanned/matched sums
+//!     equal the query totals) and its plan mass reaches the requested α.
+//!
 //! `--scale quick|full`.
 
 use s3_bench::{results_dir, workload, Scale};
-use s3_core::pseudo_disk::DiskIndex;
+use s3_core::pseudo_disk::{BatchResult, DiskIndex};
 use s3_core::{IsotropicNormal, S3Index, StatQueryOpts};
 use s3_hilbert::HilbertCurve;
+use std::time::Instant;
+
+/// Flattens a batch's matches to a comparable (query, record, id) list.
+fn match_key(res: &BatchResult) -> Vec<(usize, usize, u32)> {
+    res.matches
+        .iter()
+        .enumerate()
+        .flat_map(|(qi, ms)| ms.iter().map(move |m| (qi, m.index, m.id)))
+        .collect()
+}
 
 fn main() {
     let scale = Scale::from_args();
@@ -36,20 +59,115 @@ fn main() {
     let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
     let model = IsotropicNormal::new(20, 15.0);
     let opts = StatQueryOpts::for_db_size(0.8, index.len());
-    let res = disk
-        .stat_query_batch(&qrefs, &model, &opts, 8 << 20)
-        .expect("batch query");
+    let mem = 8u64 << 20;
+
+    // --- Phase 1: observability off (no sink installed). The zero-cost
+    // claim is checked directly: a span entered with no sink must not have
+    // allocated its field buffer.
+    s3_obs::clear_span_sink();
+    {
+        let probe = s3_obs::Span::enter("bench.probe");
+        assert!(
+            !probe.fields_allocated(),
+            "span allocated fields with no sink installed"
+        );
+    }
+    let t = Instant::now();
+    let res_off = disk
+        .stat_query_batch(&qrefs, &model, &opts, mem)
+        .expect("batch query (no sink)");
+    let off_ns = t.elapsed().as_nanos() as u64;
     eprintln!(
-        "queried {} probes: {} sections, {:?} per query",
+        "queried {} probes: {} sections, {:?} per query (no sink)",
         n_queries,
-        res.sections,
-        res.timing.per_query(n_queries)
+        res_off.sections,
+        res_off.timing.per_query(n_queries)
     );
+
+    // --- Phase 2: tracing on (RingCollector sink). Results must be
+    // bit-identical — observability must never change answers.
+    let collector = s3_obs::RingCollector::new(1 << 16);
+    s3_obs::set_span_sink(Box::new(std::sync::Arc::clone(&collector)));
+    let t = Instant::now();
+    let res_on = disk
+        .stat_query_batch(&qrefs, &model, &opts, mem)
+        .expect("batch query (sink)");
+    let on_ns = t.elapsed().as_nanos() as u64;
+    assert_eq!(
+        match_key(&res_off),
+        match_key(&res_on),
+        "installing a span sink changed query results"
+    );
+    let spans_captured = collector.len();
+    let spans_dropped = collector.dropped();
+
+    // --- Phase 3: EXPLAIN on. Reports must reconcile exactly on a clean
+    // run and the plan mass must reach the requested α.
+    let t = Instant::now();
+    let (res_explain, reports) = disk
+        .stat_query_batch_explain(&qrefs, &model, &opts, mem, None)
+        .expect("batch query (explain)");
+    let explain_ns = t.elapsed().as_nanos() as u64;
+    assert_eq!(
+        match_key(&res_off),
+        match_key(&res_explain),
+        "explain mode changed query results"
+    );
+    assert_eq!(reports.len(), n_queries, "one report per query");
+    for r in &reports {
+        assert!(
+            r.reconciles(),
+            "clean explain must reconcile: blocks scanned={} matched={} vs totals {}/{}",
+            r.block_scanned(),
+            r.block_matched(),
+            r.entries_scanned,
+            r.matches
+        );
+        assert!(
+            r.predicted_mass >= opts.alpha - 1e-9 || r.degraded(),
+            "plan mass {} below α {} without an annotation",
+            r.predicted_mass,
+            opts.alpha
+        );
+    }
+    s3_obs::clear_span_sink();
     let _ = std::fs::remove_file(&path);
 
-    // Snapshot everything the run recorded.
-    let out = results_dir().join("BENCH_PR2.json");
+    let per = |total: u64| total / n_queries as u64;
+    let overhead = |ns: u64| (ns as f64 / off_ns as f64 - 1.0) * 100.0;
+    eprintln!(
+        "overhead: sink {:+.2}% explain {:+.2}% ({} spans captured, {} dropped)",
+        overhead(on_ns),
+        overhead(explain_ns),
+        spans_captured,
+        spans_dropped
+    );
+
     std::fs::create_dir_all(results_dir()).expect("create results dir");
+
+    // Snapshot everything the run recorded (counter-coverage artifact).
+    let out = results_dir().join("BENCH_PR2.json");
     std::fs::write(&out, s3_obs::registry().snapshot().to_json()).expect("write snapshot");
     eprintln!("metrics snapshot written to {}", out.display());
+
+    // Observability-overhead comparison artifact.
+    let out = results_dir().join("BENCH_PR5.json");
+    let json = format!(
+        "{{\n  \"queries\": {},\n  \"db_records\": {},\n  \"ns_per_query_no_sink\": {},\n  \
+         \"ns_per_query_sink\": {},\n  \"ns_per_query_explain\": {},\n  \
+         \"sink_overhead_pct\": {:.3},\n  \"explain_overhead_pct\": {:.3},\n  \
+         \"spans_captured\": {},\n  \"spans_dropped\": {},\n  \
+         \"results_identical\": true,\n  \"explain_reconciles\": true\n}}\n",
+        n_queries,
+        index.len(),
+        per(off_ns),
+        per(on_ns),
+        per(explain_ns),
+        overhead(on_ns),
+        overhead(explain_ns),
+        spans_captured,
+        spans_dropped,
+    );
+    std::fs::write(&out, json).expect("write overhead comparison");
+    eprintln!("overhead comparison written to {}", out.display());
 }

@@ -9,7 +9,10 @@
 use crate::registry::ReferenceDb;
 use crate::spatial::{vote_spatial, SpatialCandidateVotes, SpatialDetection, SpatialVoteParams};
 use crate::voting::{vote, CandidateVotes, Detection, VoteParams};
-use s3_core::{parallel, system_clock, IsotropicNormal, QueryCtx, QueryResult, StatQueryOpts};
+use s3_core::{
+    next_query_id, parallel, system_clock, IsotropicNormal, QueryCtx, QueryResult, StatQueryOpts,
+};
+use s3_obs::ExplainReport;
 use s3_video::{extract_fingerprints, LocalFingerprint, VideoSource};
 use std::time::Duration;
 
@@ -154,6 +157,50 @@ impl<'a> Detector<'a> {
         (vote(&buffer, &self.config.vote), health)
     }
 
+    /// As [`Detector::detect_fingerprints_checked`], additionally returning
+    /// one [`ExplainReport`] per candidate fingerprint.
+    ///
+    /// The explain path searches sequentially (per-query plan accounting
+    /// requires attributing every scanned record to its p-block), so it is a
+    /// diagnostic mode, not the production search path.
+    pub fn detect_fingerprints_explained(
+        &self,
+        fps: &[LocalFingerprint],
+    ) -> (Vec<Detection>, SearchHealth, Vec<ExplainReport>) {
+        let _scope = s3_obs::QueryScope::enter_inherit(next_query_id());
+        let _sp = s3_obs::span!(
+            "detect.search",
+            "queries" => fps.len() as f64,
+            "query" => s3_obs::current_query() as f64,
+        );
+        let ctx = self
+            .config
+            .deadline
+            .map(|budget| QueryCtx::with_deadline(system_clock(), budget));
+        let mut results = Vec::with_capacity(fps.len());
+        let mut reports = Vec::with_capacity(fps.len());
+        for f in fps {
+            let (res, rep) = self.db.index().stat_query_explained(
+                &f.fingerprint,
+                &self.model,
+                &self.config.query,
+                ctx.as_ref(),
+            );
+            results.push(res);
+            reports.push(rep);
+        }
+        let health = SearchHealth::of(&results);
+        let buffer: Vec<CandidateVotes> = fps
+            .iter()
+            .zip(&results)
+            .map(|(f, res)| CandidateVotes {
+                tc: f64::from(f.tc),
+                refs: res.matches.iter().map(|m| (m.id, m.tc)).collect(),
+            })
+            .collect();
+        (vote(&buffer, &self.config.vote), health, reports)
+    }
+
     /// Detects copies with the spatio-temporal voting extension (§VI future
     /// work): detections must be coherent in time *and* in interest-point
     /// position, which suppresses temporally-coincidental junk.
@@ -180,7 +227,12 @@ impl<'a> Detector<'a> {
         &self,
         fps: &[LocalFingerprint],
     ) -> (Vec<SpatialCandidateVotes>, SearchHealth) {
-        let mut sp = s3_obs::span!("detect.search", "queries" => fps.len() as f64);
+        let _scope = s3_obs::QueryScope::enter_inherit(next_query_id());
+        let mut sp = s3_obs::span!(
+            "detect.search",
+            "queries" => fps.len() as f64,
+            "query" => s3_obs::current_query() as f64,
+        );
         let queries: Vec<&[u8]> = fps.iter().map(|f| f.fingerprint.as_slice()).collect();
         let results = self.run_search(&queries);
         let health = SearchHealth::of(&results);
@@ -217,7 +269,12 @@ impl<'a> Detector<'a> {
         &self,
         fps: &[LocalFingerprint],
     ) -> (Vec<CandidateVotes>, SearchHealth) {
-        let _sp = s3_obs::span!("detect.search", "queries" => fps.len() as f64);
+        let _scope = s3_obs::QueryScope::enter_inherit(next_query_id());
+        let _sp = s3_obs::span!(
+            "detect.search",
+            "queries" => fps.len() as f64,
+            "query" => s3_obs::current_query() as f64,
+        );
         let queries: Vec<&[u8]> = fps.iter().map(|f| f.fingerprint.as_slice()).collect();
         let results = self.run_search(&queries);
         let health = SearchHealth::of(&results);

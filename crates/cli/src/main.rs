@@ -60,7 +60,8 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "build" => cmd_build(rest),
         "info" => cmd_info(rest),
-        "query" => cmd_query(rest),
+        "query" => cmd_query(rest, false),
+        "explain" => cmd_query(rest, true),
         "detect" => cmd_detect(rest),
         "monitor" => cmd_monitor(rest),
         "metrics" => cmd_metrics(rest),
@@ -89,11 +90,16 @@ USAGE:
   s3cbcd info <index-file>
       Print header information of an index file.
   s3cbcd query <index-file> [--alpha A] [--sigma S] [--queries N] [--mem MB]
-                [--strict]
+                [--strict] [--explain]
       Run distorted self-queries through the pseudo-disk engine and report
       retrieval rate and timing. By default unreadable index sections are
       retried then skipped (degraded results); --strict makes that a hard
       error instead.
+  s3cbcd explain <index-file> [query flags]
+      Shorthand for `query --explain`: per query, print the plan the
+      statistical filter chose (selected p-blocks with predicted mass),
+      what refinement actually scanned and matched per block, per-phase
+      timings, and every degradation annotation.
   s3cbcd detect [ref.y4m ...] [--candidate FILE] [--videos N] [--frames N]
                 [--seed S] [--attack NAME]
       Build an in-memory reference DB (from .y4m files or a synthetic
@@ -120,6 +126,13 @@ USAGE:
                               reject | degrade-alpha | oldest
       --metrics-json <path>   write a JSON metrics snapshot on exit
       --metrics-every <secs>  print a metrics table to stderr periodically
+
+  query/detect also accept:
+      --explain               print per-query EXPLAIN reports (plan vs.
+                              actual work, with degradation annotations)
+      --trace-out <path>      capture all spans of the run and write them
+                              as Chrome trace-event JSON (load the file in
+                              Perfetto or chrome://tracing)
 
 EXIT CODES:
   0  complete results
@@ -176,6 +189,55 @@ fn query_ctx(a: &Args) -> Result<QueryCtx, String> {
 /// Default worker-thread count: every available core.
 fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Applies `--trace-out FILE`: installs a ring collector as the global span
+/// sink so every span of the run is captured. Returns the output path and
+/// the collector to drain after the workload; [`trace_write`] finishes the
+/// job. `None` when the flag is absent (spans then stay allocation-free).
+fn trace_setup(a: &Args) -> Option<(String, std::sync::Arc<s3_obs::RingCollector>)> {
+    let path = a.get("trace-out")?.to_string();
+    let collector = s3_obs::RingCollector::new(1 << 16);
+    s3_obs::set_span_sink(Box::new(std::sync::Arc::clone(&collector)));
+    Some((path, collector))
+}
+
+/// Drains the collector installed by [`trace_setup`] and writes the spans
+/// as a Chrome trace-event JSON file (loadable in Perfetto or
+/// `chrome://tracing`).
+fn trace_write(tr: Option<(String, std::sync::Arc<s3_obs::RingCollector>)>) -> Result<(), String> {
+    let Some((path, collector)) = tr else {
+        return Ok(());
+    };
+    let spans = collector.drain();
+    let json = s3_obs::to_chrome_trace(&spans);
+    std::fs::write(&path, json).map_err(|e| format!("writing trace to {path}: {e}"))?;
+    eprintln!(
+        "chrome trace written to {path} ({} spans, {} dropped)",
+        spans.len(),
+        collector.dropped()
+    );
+    Ok(())
+}
+
+/// Prints explain reports (bounded — a big batch would swamp the terminal),
+/// first stamping the admission-degradation annotation the index layer
+/// cannot see.
+fn print_explains(reports: &mut [s3_obs::ExplainReport], admission_degraded: bool) {
+    if admission_degraded {
+        for r in reports.iter_mut() {
+            r.annotations
+                .push("admission over capacity — searched at reduced alpha".into());
+        }
+    }
+    const SHOW: usize = 16;
+    let shown = reports.len().min(SHOW);
+    for r in &reports[..shown] {
+        println!("{}", r.to_text());
+    }
+    if shown < reports.len() {
+        println!("... {} more explain reports omitted", reports.len() - shown);
+    }
 }
 
 fn cmd_build(rest: Vec<String>) -> Result<CmdStatus, String> {
@@ -240,7 +302,7 @@ fn cmd_info(rest: Vec<String>) -> Result<CmdStatus, String> {
     Ok(CmdStatus::Clean)
 }
 
-fn cmd_query(rest: Vec<String>) -> Result<CmdStatus, String> {
+fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String> {
     let a = Args::parse_with_switches(
         rest,
         &[
@@ -256,9 +318,12 @@ fn cmd_query(rest: Vec<String>) -> Result<CmdStatus, String> {
             "shed-policy",
             "metrics-json",
             "metrics-every",
+            "trace-out",
         ],
-        &["strict"],
+        &["strict", "explain"],
     )?;
+    let explain = force_explain || a.has("explain");
+    let trace = trace_setup(&a);
     let (metrics_json, _ticker) = metrics::shared_flags(&a)?;
     let path = a.positional(0).ok_or("query needs an index path")?;
     let mut alpha: f64 = a.get_parsed("alpha", 0.8)?;
@@ -312,9 +377,17 @@ fn cmd_query(rest: Vec<String>) -> Result<CmdStatus, String> {
         depth,
         ..StatQueryOpts::new(alpha, depth)
     };
-    let batch = disk
-        .stat_query_batch_ctx(&qrefs, &model, &opts, mem_mb << 20, &ctx)
-        .map_err(|e| e.to_string())?;
+    let (batch, reports) = if explain {
+        let (b, r) = disk
+            .stat_query_batch_explain(&qrefs, &model, &opts, mem_mb << 20, Some(&ctx))
+            .map_err(|e| e.to_string())?;
+        (b, Some(r))
+    } else {
+        let b = disk
+            .stat_query_batch_ctx(&qrefs, &model, &opts, mem_mb << 20, &ctx)
+            .map_err(|e| e.to_string())?;
+        (b, None)
+    };
 
     let total_matches: usize = batch.matches.iter().map(Vec::len).sum();
     let total_scanned: usize = batch.stats.iter().map(|st| st.entries_scanned).sum();
@@ -357,10 +430,14 @@ fn cmd_query(rest: Vec<String>) -> Result<CmdStatus, String> {
             }
         );
     }
+    let admission_degraded = admission.is_some_and(|(_, degraded)| degraded);
+    if let Some(mut reports) = reports {
+        print_explains(&mut reports, admission_degraded);
+    }
+    trace_write(trace)?;
     if let Some(path) = metrics_json {
         metrics::dump_json(&path)?;
     }
-    let admission_degraded = admission.is_some_and(|(_, degraded)| degraded);
     if batch.timing.degraded || admission_degraded {
         Ok(CmdStatus::Degraded)
     } else {
@@ -369,7 +446,7 @@ fn cmd_query(rest: Vec<String>) -> Result<CmdStatus, String> {
 }
 
 fn cmd_detect(rest: Vec<String>) -> Result<CmdStatus, String> {
-    let a = Args::parse(
+    let a = Args::parse_with_switches(
         rest,
         &[
             "videos",
@@ -383,8 +460,11 @@ fn cmd_detect(rest: Vec<String>) -> Result<CmdStatus, String> {
             "shed-policy",
             "metrics-json",
             "metrics-every",
+            "trace-out",
         ],
+        &["explain"],
     )?;
+    let trace = trace_setup(&a);
     let admission = admit_batch(&a)?;
     let (metrics_json, _ticker) = metrics::shared_flags(&a)?;
     let n_videos: usize = a.get_parsed("videos", 6)?;
@@ -472,7 +552,13 @@ fn cmd_detect(rest: Vec<String>) -> Result<CmdStatus, String> {
         config.query.alpha = s3_core::resilience::degraded_alpha(config.query.alpha);
     }
     let detector = Detector::new(&db, config);
-    let (detections, health) = detector.detect_fingerprints_checked(&candidate_fps);
+    let (detections, health, reports) = if a.has("explain") {
+        let (d, h, r) = detector.detect_fingerprints_explained(&candidate_fps);
+        (d, h, Some(r))
+    } else {
+        let (d, h) = detector.detect_fingerprints_checked(&candidate_fps);
+        (d, h, None)
+    };
     if detections.is_empty() {
         println!("no detection");
     }
@@ -495,10 +581,14 @@ fn cmd_detect(rest: Vec<String>) -> Result<CmdStatus, String> {
             d.ncand
         );
     }
+    let admission_degraded = admission.is_some_and(|(_, degraded)| degraded);
+    if let Some(mut reports) = reports {
+        print_explains(&mut reports, admission_degraded);
+    }
+    trace_write(trace)?;
     if let Some(path) = metrics_json {
         metrics::dump_json(&path)?;
     }
-    let admission_degraded = admission.is_some_and(|(_, degraded)| degraded);
     let status = if health.degraded_queries > 0 || admission_degraded {
         CmdStatus::Degraded
     } else {

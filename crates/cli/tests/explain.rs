@@ -1,0 +1,152 @@
+//! End-to-end contract of the EXPLAIN and tracing surface: `--explain`
+//! prints per-query plan reports (with degradation annotations on degraded
+//! runs, which still exit 2), the `explain` subcommand is a shorthand for
+//! it, and `--trace-out` writes a Chrome trace-event JSON file.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn s3cbcd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_s3cbcd"))
+        .args(args)
+        .output()
+        .expect("failed to spawn s3cbcd")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("killed by signal")
+}
+
+/// Builds a small synthetic index under the target tmp dir.
+fn build_index(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    let path = dir.join(name);
+    let out = s3cbcd(&[
+        "build",
+        path.to_str().expect("utf-8 path"),
+        "--videos",
+        "2",
+        "--frames",
+        "30",
+        "--seed",
+        "1",
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "build failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+#[test]
+fn clean_explain_reports_plan_and_exits_zero() {
+    let idx = build_index("explain0.s3i");
+    let out = s3cbcd(&[
+        "query",
+        idx.to_str().expect("utf-8 path"),
+        "--queries",
+        "4",
+        "--threads",
+        "2",
+        "--explain",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        code(&out),
+        0,
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("EXPLAIN query"), "{stdout}");
+    assert!(stdout.contains("predicted mass"), "{stdout}");
+    assert!(stdout.contains("degradation: none"), "{stdout}");
+    assert!(stdout.contains("reconciles: true"), "{stdout}");
+}
+
+#[test]
+fn explain_subcommand_matches_query_explain() {
+    let idx = build_index("explain-sub.s3i");
+    let out = s3cbcd(&[
+        "explain",
+        idx.to_str().expect("utf-8 path"),
+        "--queries",
+        "2",
+        "--threads",
+        "1",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        code(&out),
+        0,
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("EXPLAIN query"), "{stdout}");
+}
+
+#[test]
+fn degraded_explain_annotates_deadline_and_exits_two() {
+    let idx = build_index("explain2.s3i");
+    // An already-expired deadline: partial results, exit 2, and the explain
+    // output must say *why* each query degraded.
+    let out = s3cbcd(&[
+        "query",
+        idx.to_str().expect("utf-8 path"),
+        "--queries",
+        "4",
+        "--threads",
+        "2",
+        "--deadline-ms",
+        "0",
+        "--explain",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        code(&out),
+        2,
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("EXPLAIN query"), "{stdout}");
+    assert!(stdout.contains("degradation:"), "{stdout}");
+    assert!(
+        stdout.contains("deadline exceeded") || stdout.contains("cancelled"),
+        "expected a deadline/cancellation annotation, got: {stdout}"
+    );
+}
+
+#[test]
+fn trace_out_writes_chrome_trace_json() {
+    let idx = build_index("trace.s3i");
+    let trace = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("trace.json");
+    let out = s3cbcd(&[
+        "query",
+        idx.to_str().expect("utf-8 path"),
+        "--queries",
+        "4",
+        "--threads",
+        "2",
+        "--trace-out",
+        trace.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    assert!(json.contains("\"ph\":\"X\""), "complete events: {json}");
+    assert!(
+        json.contains("query.filter"),
+        "filter spans present: {json}"
+    );
+    assert!(json.contains("\"pid\":"), "{json}");
+    // Every span of the batch should carry a real (non-zero) query id.
+    assert!(json.contains("\"name\":\"query "), "{json}");
+}

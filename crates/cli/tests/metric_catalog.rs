@@ -1,0 +1,99 @@
+//! Executable documentation: after a smoke workload that exercises every
+//! pipeline stage, every metric the registry contains must be named in
+//! `docs/observability.md`. Adding instrumentation without documenting it
+//! fails this test — the catalog cannot silently drift from the code.
+
+use s3_cbcd::{DbBuilder, Detector, DetectorConfig, Monitor, MonitorParams};
+use s3_core::pseudo_disk::DiskIndex;
+use s3_core::{knn, IsotropicNormal, StatQueryOpts};
+use s3_video::{extract_fingerprints, ExtractorParams, ProceduralVideo};
+
+const DOC: &str = include_str!("../../../docs/observability.md");
+
+/// Runs a small workload that touches every instrumented subsystem:
+/// extraction, in-memory detection + voting, the monitor loop, k-NN, and a
+/// pseudo-disk round trip with batched statistical queries, EXPLAIN and a
+/// span sink installed (so sink-side metrics register too).
+fn smoke_workload() {
+    let collector = s3_obs::RingCollector::new(256);
+    s3_obs::set_span_sink(Box::new(std::sync::Arc::clone(&collector)));
+
+    let mut builder = DbBuilder::new(ExtractorParams::default());
+    for i in 0..2u64 {
+        let v = ProceduralVideo::new(96, 72, 30, 0xCA7 ^ (i << 20));
+        builder.add_video(&format!("video-{i}"), &v);
+    }
+    let db = builder.build();
+
+    // Detection + voting (detect.*, vote.*, video.*).
+    let candidate = ProceduralVideo::new(96, 72, 20, 0xCA7);
+    let fps = extract_fingerprints(&candidate, db.extractor_params());
+    let detector = Detector::new(&db, DetectorConfig::default());
+    let _ = detector.detect_fingerprints_checked(&fps);
+    let _ = detector.detect_fingerprints_explained(&fps[..fps.len().min(2)]);
+
+    // Monitor loop (monitor.*).
+    let mut monitor = Monitor::new(&detector, MonitorParams::default());
+    for chunk in fps.chunks(8) {
+        let _ = monitor.push(chunk);
+    }
+    let _ = monitor.finish();
+
+    // k-NN (query.knn span/histogram).
+    if let Some(f) = fps.first() {
+        let _ = knn::knn(db.index(), &f.fingerprint, 3, 8);
+    }
+
+    // Pseudo-disk round trip with a tight memory budget so sections stream
+    // (disk.*, io.*, storage.*, scheduler.*, calibration.*).
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    let path = dir.join("metric_catalog.s3i");
+    DiskIndex::write(db.index(), &path).expect("write index");
+    let disk = DiskIndex::open(&path).expect("open index");
+    let queries: Vec<&[u8]> = fps
+        .iter()
+        .take(4)
+        .map(|f| f.fingerprint.as_slice())
+        .collect();
+    let model = IsotropicNormal::new(20, 15.0);
+    let opts = StatQueryOpts::for_db_size(0.8, disk.len() as usize);
+    let (_batch, reports) = disk
+        .stat_query_batch_explain(&queries, &model, &opts, 1 << 20, None)
+        .expect("explain batch");
+    assert!(!reports.is_empty(), "smoke produced no explain reports");
+    let _ = std::fs::remove_file(&path);
+
+    // Events (events.*) — emit one of each level through the sink API.
+    s3_obs::event::info("catalog", "smoke info");
+    s3_obs::event::warn("catalog", "smoke warn");
+
+    s3_obs::clear_span_sink();
+}
+
+#[test]
+fn every_registered_metric_is_documented() {
+    smoke_workload();
+    let snap = s3_obs::registry().snapshot();
+    let names: Vec<&str> = snap
+        .counters
+        .iter()
+        .map(|(id, _)| id.name)
+        .chain(snap.gauges.iter().map(|(id, _)| id.name))
+        .chain(snap.histograms.iter().map(|(id, _)| id.name))
+        .collect();
+    assert!(
+        names.len() > 30,
+        "smoke workload registered suspiciously few metrics: {names:?}"
+    );
+    let mut missing: Vec<&str> = names
+        .into_iter()
+        .filter(|name| !DOC.contains(name))
+        .collect();
+    missing.sort_unstable();
+    missing.dedup();
+    assert!(
+        missing.is_empty(),
+        "metrics registered but not documented in docs/observability.md: {missing:?}"
+    );
+}

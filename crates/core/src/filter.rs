@@ -54,20 +54,27 @@ pub struct FilterOutcome {
     pub nodes_expanded: usize,
     /// The threshold `t_max` found (threshold filter only).
     pub tmax: Option<f64>,
+    /// Bisection iterations spent locating `t_max` (threshold filter only;
+    /// 0 for the other algorithms).
+    pub iterations: u32,
+    /// Which filter algorithm produced this outcome (stamped at the
+    /// instrumented return site; `""` only for hand-built outcomes).
+    pub algo: &'static str,
     /// True if the block budget truncated the selection before reaching α.
     pub truncated: bool,
 }
 
-/// Bumps the per-algorithm filter counters and returns the outcome —
-/// applied at every filter's return site so block selection is measured
-/// no matter which query engine invoked it.
-fn observed(outcome: FilterOutcome, algo: &'static str) -> FilterOutcome {
+/// Bumps the per-algorithm filter counters, stamps the algorithm name into
+/// the outcome and returns it — applied at every filter's return site so
+/// block selection is measured no matter which query engine invoked it.
+fn observed(mut outcome: FilterOutcome, algo: &'static str) -> FilterOutcome {
     let r = s3_obs::registry();
     r.counter_with("filter.runs", Some(("algo", algo))).inc();
     r.counter("filter.nodes_expanded")
         .add(outcome.nodes_expanded as u64);
     r.counter("filter.blocks_selected")
         .add(outcome.blocks.len() as u64);
+    outcome.algo = algo;
     outcome
 }
 
@@ -392,6 +399,8 @@ fn best_first_impl(
         mass: acc,
         nodes_expanded: nodes,
         tmax: None,
+        iterations: 0,
+        algo: "",
         truncated,
     }
 }
@@ -558,6 +567,8 @@ fn threshold_impl(
         blocks: best.blocks,
         nodes_expanded: nodes_total,
         tmax: Some(tmax),
+        iterations: u32::try_from(iterations).unwrap_or(u32::MAX),
+        algo: "",
         truncated,
     }
 }
@@ -613,6 +624,8 @@ pub fn select_blocks_range(
             mass: f64::NAN,
             nodes_expanded: nodes,
             tmax: None,
+            iterations: 0,
+            algo: "",
             truncated,
         },
         "range",
@@ -677,6 +690,8 @@ pub fn select_blocks_bbox(
             mass: f64::NAN,
             nodes_expanded: nodes,
             tmax: None,
+            iterations: 0,
+            algo: "",
             truncated,
         },
         "bbox",

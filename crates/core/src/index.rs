@@ -20,9 +20,9 @@ use crate::filter::{
 use crate::fingerprint::{dist_sq, RecordBatch};
 use crate::kernels;
 use crate::metrics::CoreMetrics;
-use crate::resilience::{QueryCtx, REFINE_CHUNK};
+use crate::resilience::{next_query_id, QueryCtx, REFINE_CHUNK};
 use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
-use s3_obs::span;
+use s3_obs::{span, BlockExplain, ExplainPhase, ExplainReport, QueryScope};
 use std::time::Instant;
 
 /// Which algorithm computes the statistical block selection.
@@ -416,6 +416,52 @@ impl S3Index {
         }
     }
 
+    /// The statistical block-selection dispatch shared by every stat entry
+    /// point (spanned; with a `ctx` the best-first descent is interruptible,
+    /// the threshold baseline runs to completion before the check).
+    fn run_stat_filter(
+        &self,
+        q: &[u8],
+        model: &dyn DistortionModel,
+        opts: &StatQueryOpts,
+        ctx: Option<&QueryCtx>,
+    ) -> FilterOutcome {
+        let mut sp = span!("query.filter");
+        let (curve, depth, alpha, max) = (&self.curve, opts.depth, opts.alpha, opts.max_blocks);
+        let outcome = match (opts.algo, ctx) {
+            (FilterAlgo::BestFirst, Some(ctx)) => {
+                crate::filter::select_blocks_best_first_cancellable(
+                    curve,
+                    model,
+                    q,
+                    depth,
+                    alpha,
+                    max,
+                    opts.mass_cache,
+                    ctx,
+                )
+            }
+            (FilterAlgo::BestFirst, None) => {
+                if opts.mass_cache {
+                    select_blocks_best_first(curve, model, q, depth, alpha, max)
+                } else {
+                    select_blocks_best_first_uncached(curve, model, q, depth, alpha, max)
+                }
+            }
+            (FilterAlgo::Threshold { iterations }, _) => {
+                if opts.mass_cache {
+                    select_blocks_threshold(curve, model, q, depth, alpha, max, iterations)
+                } else {
+                    select_blocks_threshold_uncached(curve, model, q, depth, alpha, max, iterations)
+                }
+            }
+        };
+        sp.record("blocks", outcome.blocks.len() as f64);
+        sp.record("nodes", outcome.nodes_expanded as f64);
+        sp.record("mass", outcome.mass);
+        outcome
+    }
+
     /// Statistical query of expectation α (§II, eq. 1).
     pub fn stat_query(
         &self,
@@ -423,31 +469,18 @@ impl S3Index {
         model: &dyn DistortionModel,
         opts: &StatQueryOpts,
     ) -> QueryResult {
+        let _scope = QueryScope::enter_inherit(next_query_id());
         let t0 = Instant::now();
-        let outcome = {
-            let mut sp = span!("query.filter");
-            let (curve, depth, alpha, max) = (&self.curve, opts.depth, opts.alpha, opts.max_blocks);
-            let outcome = match (opts.algo, opts.mass_cache) {
-                (FilterAlgo::BestFirst, true) => {
-                    select_blocks_best_first(curve, model, q, depth, alpha, max)
-                }
-                (FilterAlgo::BestFirst, false) => {
-                    select_blocks_best_first_uncached(curve, model, q, depth, alpha, max)
-                }
-                (FilterAlgo::Threshold { iterations }, true) => {
-                    select_blocks_threshold(curve, model, q, depth, alpha, max, iterations)
-                }
-                (FilterAlgo::Threshold { iterations }, false) => {
-                    select_blocks_threshold_uncached(curve, model, q, depth, alpha, max, iterations)
-                }
-            };
-            sp.record("blocks", outcome.blocks.len() as f64);
-            sp.record("nodes", outcome.nodes_expanded as f64);
-            sp.record("mass", outcome.mass);
-            outcome
-        };
+        let outcome = self.run_stat_filter(q, model, opts, None);
         let res = self.refine_scan(q, &outcome, opts.refine, Some(model), None);
-        CoreMetrics::get().record_query(&res.stats, t0.elapsed());
+        let metrics = CoreMetrics::get();
+        metrics.record_query(&res.stats, t0.elapsed());
+        metrics.record_calibration(
+            res.stats.mass,
+            opts.alpha,
+            res.stats.entries_scanned,
+            self.len(),
+        );
         res
     }
 
@@ -465,6 +498,7 @@ impl S3Index {
         opts: &StatQueryOpts,
         ctx: &QueryCtx,
     ) -> QueryResult {
+        let _scope = QueryScope::enter_inherit(ctx.id());
         let t0 = Instant::now();
         if ctx.should_stop() {
             let res = QueryResult {
@@ -478,34 +512,7 @@ impl S3Index {
             CoreMetrics::get().record_query(&res.stats, t0.elapsed());
             return res;
         }
-        let outcome = {
-            let mut sp = span!("query.filter");
-            let (curve, depth, alpha, max) = (&self.curve, opts.depth, opts.alpha, opts.max_blocks);
-            let outcome = match opts.algo {
-                FilterAlgo::BestFirst => crate::filter::select_blocks_best_first_cancellable(
-                    curve,
-                    model,
-                    q,
-                    depth,
-                    alpha,
-                    max,
-                    opts.mass_cache,
-                    ctx,
-                ),
-                FilterAlgo::Threshold { iterations } => {
-                    if opts.mass_cache {
-                        select_blocks_threshold(curve, model, q, depth, alpha, max, iterations)
-                    } else {
-                        select_blocks_threshold_uncached(
-                            curve, model, q, depth, alpha, max, iterations,
-                        )
-                    }
-                }
-            };
-            sp.record("blocks", outcome.blocks.len() as f64);
-            sp.record("nodes", outcome.nodes_expanded as f64);
-            outcome
-        };
+        let outcome = self.run_stat_filter(q, model, opts, Some(ctx));
         // A stop observed here means the filter may have been cut short:
         // flag conservatively even if refinement completes.
         let filter_stopped = ctx.should_stop();
@@ -514,8 +521,124 @@ impl S3Index {
             res.stats.cancelled = true;
             res.stats.degraded = true;
         }
-        CoreMetrics::get().record_query(&res.stats, t0.elapsed());
+        let metrics = CoreMetrics::get();
+        metrics.record_query(&res.stats, t0.elapsed());
+        metrics.record_calibration(
+            res.stats.mass,
+            opts.alpha,
+            res.stats.entries_scanned,
+            self.len(),
+        );
         res
+    }
+
+    /// As [`S3Index::stat_query`]/[`S3Index::stat_query_ctx`] with per-query
+    /// EXPLAIN capture: the result plus an [`ExplainReport`] pairing each
+    /// selected block's predicted mass with the records refinement actually
+    /// scanned in it and the matches those records produced. The query path
+    /// is identical (same filter, same scan, bit-identical matches);
+    /// explain only adds bookkeeping.
+    pub fn stat_query_explained(
+        &self,
+        q: &[u8],
+        model: &dyn DistortionModel,
+        opts: &StatQueryOpts,
+        ctx: Option<&QueryCtx>,
+    ) -> (QueryResult, ExplainReport) {
+        let query_id = ctx.map(|c| c.id()).unwrap_or_else(next_query_id);
+        let _scope = QueryScope::enter_inherit(query_id);
+        let t0 = Instant::now();
+        let outcome = self.run_stat_filter(q, model, opts, ctx);
+        let filter_ns = t0.elapsed().as_nanos() as u64;
+        let filter_stopped = ctx.is_some_and(|c| c.should_stop());
+        let t1 = Instant::now();
+        let mut res = self.refine_scan(q, &outcome, opts.refine, Some(model), ctx);
+        let refine_ns = t1.elapsed().as_nanos() as u64;
+        if filter_stopped {
+            res.stats.cancelled = true;
+            res.stats.degraded = true;
+        }
+        let metrics = CoreMetrics::get();
+        metrics.record_query(&res.stats, t0.elapsed());
+        metrics.record_calibration(
+            res.stats.mass,
+            opts.alpha,
+            res.stats.entries_scanned,
+            self.len(),
+        );
+
+        // Per-block accounting: each block's key range located against the
+        // sorted record array gives the records scanned for it (depth-p
+        // blocks are disjoint and tile the merged scan ranges); matches are
+        // attributed to the unique block whose record interval holds them.
+        let mut blocks: Vec<BlockExplain> = Vec::with_capacity(outcome.blocks.len());
+        let mut intervals: Vec<(usize, usize, usize)> = Vec::with_capacity(outcome.blocks.len());
+        for (bi, sb) in outcome.blocks.iter().enumerate() {
+            let (lo, hi) = self.locate(&sb.block.key_range(&self.curve));
+            blocks.push(BlockExplain {
+                depth: sb.block.depth(),
+                predicted_mass: sb.score,
+                scanned: (hi - lo) as u64,
+                matched: 0,
+            });
+            if hi > lo {
+                intervals.push((lo, hi, bi));
+            }
+        }
+        intervals.sort_unstable();
+        for m in &res.matches {
+            let p = intervals.partition_point(|&(start, _, _)| start <= m.index);
+            if p > 0 {
+                let (start, end, bi) = intervals[p - 1];
+                if m.index >= start && m.index < end {
+                    blocks[bi].matched += 1;
+                }
+            }
+        }
+
+        let mut rep = ExplainReport {
+            query_id,
+            alpha: opts.alpha,
+            depth: opts.depth,
+            algo: outcome.algo,
+            tmax: outcome.tmax.unwrap_or(0.0),
+            iterations: outcome.iterations,
+            blocks,
+            predicted_mass: outcome.mass,
+            observed_selectivity: if self.is_empty() {
+                0.0
+            } else {
+                res.stats.entries_scanned as f64 / self.len() as f64
+            },
+            entries_scanned: res.stats.entries_scanned as u64,
+            matches: res.matches.len() as u64,
+            phases: vec![
+                ExplainPhase {
+                    name: "filter",
+                    ns: filter_ns,
+                },
+                ExplainPhase {
+                    name: "refine",
+                    ns: refine_ns,
+                },
+            ],
+            annotations: Vec::new(),
+        };
+        if outcome.truncated {
+            rep.annotations
+                .push("block budget truncated selection before reaching α".into());
+        }
+        if outcome.mass.is_finite() && outcome.mass < opts.alpha - 1e-9 {
+            rep.annotations.push(format!(
+                "achieved mass {:.4} below requested α {:.4}",
+                outcome.mass, opts.alpha
+            ));
+        }
+        if res.stats.cancelled {
+            rep.annotations
+                .push("stopped by deadline/cancellation — partial scan".into());
+        }
+        (res, rep)
     }
 
     /// Exact ε-range query through the index: geometric block filter plus

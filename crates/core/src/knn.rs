@@ -116,6 +116,13 @@ fn knn_impl(
         scan_depth >= 1 && scan_depth <= curve.key_bits(),
         "scan depth out of range"
     );
+    // Spans emitted by this search carry the ctx's query id (or a fresh
+    // one), like every other query engine.
+    let _scope = s3_obs::QueryScope::enter_inherit(
+        ctx.map(|c| c.id())
+            .unwrap_or_else(crate::resilience::next_query_id),
+    );
+    let mut sp = s3_obs::span!("query.knn", "k" => k as f64);
 
     let qf: Vec<f64> = q.iter().map(|&c| f64::from(c)).collect();
     let mut frontier = BinaryHeap::new();
@@ -198,6 +205,8 @@ fn knn_impl(
             dist_sq: Some(c.dist_sq as f64),
         })
         .collect();
+    sp.record("nodes", nodes as f64);
+    sp.record("entries", scanned as f64);
     KnnResult {
         neighbors,
         nodes_expanded: nodes,

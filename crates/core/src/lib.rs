@@ -81,7 +81,7 @@ pub use kernels::{dist_sq_within, KernelTier};
 pub use metrics::CoreMetrics;
 pub use pseudo_disk::{DiskIndex, RetryPolicy, WriteOpts};
 pub use resilience::{
-    system_clock, Admission, AdmissionController, BreakerConfig, CancelCause, CancelToken, Clock,
-    Deadline, MockClock, Permit, QueryCtx, SectionBreakers, Shed, SystemClock,
+    next_query_id, system_clock, Admission, AdmissionController, BreakerConfig, CancelCause,
+    CancelToken, Clock, Deadline, MockClock, Permit, QueryCtx, SectionBreakers, Shed, SystemClock,
 };
 pub use storage::{FaultPlan, FaultStats, FaultyStorage, FileStorage, MemStorage, Storage};

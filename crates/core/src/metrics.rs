@@ -92,6 +92,20 @@ pub struct CoreMetrics {
     pub query_cancelled: Counter,
     /// `resilience.cancel_latency` — token fire → batch return, ns.
     pub cancel_latency: Histogram,
+    /// `calibration.predicted_mass` — per-query probability mass the filter
+    /// predicted its block set captures, in basis points (α·10⁴).
+    pub calibration_predicted: Histogram,
+    /// `calibration.observed_selectivity` — per-query fraction of the
+    /// database actually scanned by refinement, in basis points.
+    pub calibration_observed: Histogram,
+    /// `calibration.drift` — last predicted−observed gap, basis points
+    /// (large positive drift ⇒ the distortion model over-estimates how much
+    /// data the blocks hold; negative ⇒ the blocks are denser than modeled).
+    pub calibration_drift: Gauge,
+    /// `calibration.alpha_violations` — queries whose *achieved* predicted
+    /// mass fell below the requested α (the paper's capture invariant,
+    /// violated by truncation or degradation).
+    pub calibration_alpha_violations: Counter,
 }
 
 static CORE: OnceLock<CoreMetrics> = OnceLock::new();
@@ -133,8 +147,38 @@ impl CoreMetrics {
                 breaker_skips: r.counter("resilience.breaker_skips"),
                 query_cancelled: r.counter("resilience.query_cancelled"),
                 cancel_latency: r.histogram("resilience.cancel_latency"),
+                calibration_predicted: r.histogram("calibration.predicted_mass"),
+                calibration_observed: r.histogram("calibration.observed_selectivity"),
+                calibration_drift: r.gauge("calibration.drift"),
+                calibration_alpha_violations: r.counter("calibration.alpha_violations"),
             }
         })
+    }
+
+    /// Records one query's selectivity calibration: the filter's achieved
+    /// predicted mass vs. the fraction of the database refinement actually
+    /// scanned, both in basis points (the registry's histograms are u64).
+    /// `requested_alpha` is the α the caller asked for; achieving less
+    /// counts an `calibration.alpha_violations`.
+    pub fn record_calibration(
+        &self,
+        predicted_mass: f64,
+        requested_alpha: f64,
+        entries_scanned: usize,
+        db_records: usize,
+    ) {
+        if !predicted_mass.is_finite() || db_records == 0 {
+            return; // geometric filters and empty databases don't calibrate
+        }
+        let pred_bp = (predicted_mass.clamp(0.0, 1.0) * 10_000.0).round() as u64;
+        let observed = entries_scanned as f64 / db_records as f64;
+        let obs_bp = (observed.clamp(0.0, 1.0) * 10_000.0).round() as u64;
+        self.calibration_predicted.record(pred_bp);
+        self.calibration_observed.record(obs_bp);
+        self.calibration_drift.set(pred_bp as f64 - obs_bp as f64);
+        if predicted_mass < requested_alpha - 1e-9 {
+            self.calibration_alpha_violations.inc();
+        }
     }
 
     /// Folds one query's work counters (and its latency) into the registry.

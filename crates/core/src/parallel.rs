@@ -105,9 +105,13 @@ where
     metrics.workers_spawned.add(workers as u64);
     let slots: Vec<Slot<T>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
     let cursor = AtomicUsize::new(0);
+    // Spawned workers start with a blank thread-local query scope; re-enter
+    // the spawning thread's scope so their spans stay in the query's tree.
+    let qid = s3_obs::current_query();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                let _scope = s3_obs::QueryScope::enter(qid);
                 let mut claimed = 0u64;
                 loop {
                     if ctx.is_some_and(|c| c.should_stop()) {
@@ -180,9 +184,11 @@ pub fn stat_query_batch_with(
         Schedule::Static => {
             let chunk = queries.len().div_ceil(workers);
             let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+            let qid = s3_obs::current_query();
             std::thread::scope(|scope| {
                 for (qs, rs) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
                     scope.spawn(move || {
+                        let _scope = s3_obs::QueryScope::enter(qid);
                         for (q, slot) in qs.iter().zip(rs.iter_mut()) {
                             *slot = Some(index.stat_query(q, model, opts));
                         }
@@ -214,6 +220,7 @@ pub fn stat_query_batch_ctx(
     ctx: &QueryCtx,
 ) -> Vec<QueryResult> {
     assert!(threads > 0, "need at least one thread");
+    let _scope = s3_obs::QueryScope::enter_inherit(ctx.id());
     let _sp = s3_obs::span!(
         "query.batch",
         "queries" => queries.len() as f64,

@@ -57,16 +57,16 @@ use crate::distortion::DistortionModel;
 use crate::error::IndexError;
 use crate::filter::{
     merge_block_ranges, select_blocks_best_first, select_blocks_best_first_cancellable,
-    select_blocks_best_first_uncached, select_blocks_range,
+    select_blocks_best_first_uncached, select_blocks_range, FilterOutcome,
 };
 use crate::fingerprint::dist_sq;
 use crate::index::{Match, QueryStats, Refine, S3Index, StatQueryOpts};
 use crate::kernels;
 use crate::metrics::CoreMetrics;
-use crate::resilience::{CancelCause, QueryCtx, SectionBreakers, REFINE_CHUNK};
+use crate::resilience::{next_query_id, CancelCause, QueryCtx, SectionBreakers, REFINE_CHUNK};
 use crate::storage::{FileStorage, Storage};
 use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
-use s3_obs::{event, span, LocalHistogram};
+use s3_obs::{event, span, BlockExplain, ExplainPhase, ExplainReport, LocalHistogram, QueryScope};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
@@ -733,37 +733,8 @@ impl DiskIndex {
         opts: &StatQueryOpts,
         mem_budget: u64,
     ) -> Result<BatchResult, IndexError> {
-        self.query_batch_inner(queries, mem_budget, opts.refine, Some(model), None, |q| {
-            let outcome = if opts.mass_cache {
-                select_blocks_best_first(
-                    &self.curve,
-                    model,
-                    q,
-                    opts.depth,
-                    opts.alpha,
-                    opts.max_blocks,
-                )
-            } else {
-                select_blocks_best_first_uncached(
-                    &self.curve,
-                    model,
-                    q,
-                    opts.depth,
-                    opts.alpha,
-                    opts.max_blocks,
-                )
-            };
-            let stats = QueryStats {
-                nodes_expanded: outcome.nodes_expanded,
-                blocks_selected: outcome.blocks.len(),
-                mass: outcome.mass,
-                tmax: outcome.tmax,
-                truncated: outcome.truncated,
-                ..QueryStats::default()
-            };
-            let ranges = merge_block_ranges(&self.curve, &outcome);
-            (ranges, stats)
-        })
+        self.stat_query_batch_inner(queries, model, opts, mem_budget, None, false)
+            .map(|(batch, _)| batch)
     }
 
     /// As [`DiskIndex::stat_query_batch`] under a [`QueryCtx`]: the batch
@@ -780,23 +751,80 @@ impl DiskIndex {
         mem_budget: u64,
         ctx: &QueryCtx,
     ) -> Result<BatchResult, IndexError> {
+        self.stat_query_batch_inner(queries, model, opts, mem_budget, Some(ctx), false)
+            .map(|(batch, _)| batch)
+    }
+
+    /// As [`DiskIndex::stat_query_batch_ctx`] with per-query EXPLAIN
+    /// capture: alongside the batch result, returns one [`ExplainReport`]
+    /// per query — the selected blocks with their predicted mass vs. the
+    /// records actually scanned vs. the matches produced, per-phase timing,
+    /// and degradation annotations. The query path is identical to the
+    /// non-explain entry points (same filter, same refinement, bit-identical
+    /// matches); explain only adds bookkeeping.
+    pub fn stat_query_batch_explain(
+        &self,
+        queries: &[&[u8]],
+        model: &dyn DistortionModel,
+        opts: &StatQueryOpts,
+        mem_budget: u64,
+        ctx: Option<&QueryCtx>,
+    ) -> Result<(BatchResult, Vec<ExplainReport>), IndexError> {
+        let (batch, reports) =
+            self.stat_query_batch_inner(queries, model, opts, mem_budget, ctx, true)?;
+        Ok((batch, reports.unwrap_or_default()))
+    }
+
+    fn stat_query_batch_inner(
+        &self,
+        queries: &[&[u8]],
+        model: &dyn DistortionModel,
+        opts: &StatQueryOpts,
+        mem_budget: u64,
+        ctx: Option<&QueryCtx>,
+        explain: bool,
+    ) -> Result<(BatchResult, Option<Vec<ExplainReport>>), IndexError> {
+        let stat = StatInfo {
+            alpha: opts.alpha,
+            depth: opts.depth,
+            explain,
+        };
         self.query_batch_inner(
             queries,
             mem_budget,
             opts.refine,
             Some(model),
-            Some(ctx),
+            ctx,
+            Some(stat),
             |q| {
-                let outcome = select_blocks_best_first_cancellable(
-                    &self.curve,
-                    model,
-                    q,
-                    opts.depth,
-                    opts.alpha,
-                    opts.max_blocks,
-                    opts.mass_cache,
-                    ctx,
-                );
+                let outcome = match ctx {
+                    Some(ctx) => select_blocks_best_first_cancellable(
+                        &self.curve,
+                        model,
+                        q,
+                        opts.depth,
+                        opts.alpha,
+                        opts.max_blocks,
+                        opts.mass_cache,
+                        ctx,
+                    ),
+                    None if opts.mass_cache => select_blocks_best_first(
+                        &self.curve,
+                        model,
+                        q,
+                        opts.depth,
+                        opts.alpha,
+                        opts.max_blocks,
+                    ),
+                    None => select_blocks_best_first_uncached(
+                        &self.curve,
+                        model,
+                        q,
+                        opts.depth,
+                        opts.alpha,
+                        opts.max_blocks,
+                    ),
+                };
                 let stats = QueryStats {
                     nodes_expanded: outcome.nodes_expanded,
                     blocks_selected: outcome.blocks.len(),
@@ -805,8 +833,7 @@ impl DiskIndex {
                     truncated: outcome.truncated,
                     ..QueryStats::default()
                 };
-                let ranges = merge_block_ranges(&self.curve, &outcome);
-                (ranges, stats)
+                (outcome, stats)
             },
         )
     }
@@ -845,19 +872,28 @@ impl DiskIndex {
         mem_budget: u64,
         ctx: Option<&QueryCtx>,
     ) -> Result<BatchResult, IndexError> {
-        self.query_batch_inner(queries, mem_budget, Refine::Range(eps), None, ctx, |q| {
-            let outcome = select_blocks_range(&self.curve, q, depth, eps, usize::MAX);
-            let stats = QueryStats {
-                nodes_expanded: outcome.nodes_expanded,
-                blocks_selected: outcome.blocks.len(),
-                mass: f64::NAN,
-                ..QueryStats::default()
-            };
-            let ranges = merge_block_ranges(&self.curve, &outcome);
-            (ranges, stats)
-        })
+        self.query_batch_inner(
+            queries,
+            mem_budget,
+            Refine::Range(eps),
+            None,
+            ctx,
+            None,
+            |q| {
+                let outcome = select_blocks_range(&self.curve, q, depth, eps, usize::MAX);
+                let stats = QueryStats {
+                    nodes_expanded: outcome.nodes_expanded,
+                    blocks_selected: outcome.blocks.len(),
+                    mass: f64::NAN,
+                    ..QueryStats::default()
+                };
+                (outcome, stats)
+            },
+        )
+        .map(|(batch, _)| batch)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn query_batch_inner(
         &self,
         queries: &[&[u8]],
@@ -865,8 +901,9 @@ impl DiskIndex {
         refine: Refine,
         model: Option<&dyn DistortionModel>,
         ctx: Option<&QueryCtx>,
-        filter: impl Fn(&[u8]) -> (Vec<KeyRange>, QueryStats),
-    ) -> Result<BatchResult, IndexError> {
+        stat: Option<StatInfo>,
+        filter: impl Fn(&[u8]) -> (FilterOutcome, QueryStats),
+    ) -> Result<(BatchResult, Option<Vec<ExplainReport>>), IndexError> {
         let r = self
             .pick_sections(mem_budget)
             .ok_or_else(|| IndexError::BudgetTooSmall {
@@ -875,13 +912,23 @@ impl DiskIndex {
             })?;
         let n_sections = 1usize << r;
         let should_stop = || ctx.is_some_and(|c| c.should_stop());
+        // Every span emitted while this batch runs carries one query id —
+        // the ctx's if the caller provided one, a fresh one otherwise —
+        // so sinked span streams regroup into per-batch trees.
+        let batch_id = ctx.map(|c| c.id()).unwrap_or_else(next_query_id);
+        let _scope = QueryScope::enter_inherit(batch_id);
+        let want_explain = stat.as_ref().is_some_and(|s| s.explain);
 
         // Stage 1: database-independent filtering for every query.
         let metrics = CoreMetrics::get();
         let t0 = Instant::now();
         let mut per_query_ranges: Vec<Vec<KeyRange>> = Vec::with_capacity(queries.len());
         let mut stats: Vec<QueryStats> = Vec::with_capacity(queries.len());
-        for q in queries {
+        // Explain-only bookkeeping (None on the production path, so the
+        // block lists drop right after range merging as before).
+        let mut outcomes: Vec<Option<FilterOutcome>> = Vec::new();
+        let mut filter_ns: Vec<u64> = Vec::new();
+        for (qi, q) in queries.iter().enumerate() {
             if q.len() != self.curve.dims() {
                 return Err(IndexError::QueryDims {
                     expected: self.curve.dims(),
@@ -896,21 +943,44 @@ impl DiskIndex {
                     cancelled: true,
                     ..QueryStats::default()
                 });
+                if want_explain {
+                    outcomes.push(None);
+                    filter_ns.push(0);
+                }
                 continue;
             }
-            let (ranges, mut st) = {
-                let _sp = span!("query.filter");
-                filter(q)
+            let tq = Instant::now();
+            let (outcome, mut st) = {
+                let mut sp = span!("query.filter", "qi" => qi as f64);
+                let (outcome, st) = filter(q);
+                sp.record("blocks", outcome.blocks.len() as f64);
+                sp.record("mass", outcome.mass);
+                (outcome, st)
             };
             // Conservative: if the token fired while this filter ran, its
             // selection may be partial — flag it even if it just finished.
             if should_stop() {
                 st.cancelled = true;
             }
-            per_query_ranges.push(ranges);
+            per_query_ranges.push(merge_block_ranges(&self.curve, &outcome));
             stats.push(st);
+            if want_explain {
+                filter_ns.push(tq.elapsed().as_nanos() as u64);
+                outcomes.push(Some(outcome));
+            }
         }
         let filter_time = t0.elapsed();
+        // Per-query (scanned, matched) accumulators parallel to each
+        // outcome's block list.
+        let mut block_acc: Vec<Vec<(u64, u64)>> = if want_explain {
+            outcomes
+                .iter()
+                .map(|o| vec![(0, 0); o.as_ref().map_or(0, |o| o.blocks.len())])
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut refine_ns: Vec<u64> = vec![0; if want_explain { queries.len() } else { 0 }];
 
         // Assign each (query, range) to the sections it intersects.
         let mut section_work: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_sections];
@@ -988,9 +1058,11 @@ impl DiskIndex {
                     continue;
                 }
             }
+            let mut sec_span = span!("disk.section", "section" => s as f64);
             let t_load = Instant::now();
             let loaded = self.load_section_retrying(a, b, &mut section, ctx);
             let load_time = t_load.elapsed();
+            sec_span.record("entries", (b - a) as f64);
             timing.load += load_time;
             timing.section_load.record_duration(load_time);
             metrics.section_load.record_duration(load_time);
@@ -1054,15 +1126,18 @@ impl DiskIndex {
                 let (lo_w, hi_w) = groups[g];
                 let qi = work[lo_w].0 as usize;
                 let q = queries[qi];
+                let t_group = Instant::now();
+                let mut sp = span!("query.refine", "qi" => qi as f64);
                 let mut out = GroupResult {
                     qi,
                     matches: Vec::new(),
                     ranges: 0,
                     entries: 0,
+                    elapsed_ns: 0,
                     cancelled: false,
                 };
                 let mut since_check = 0usize;
-                for &(_, ri) in &work[lo_w..hi_w] {
+                'scan: for &(_, ri) in &work[lo_w..hi_w] {
                     let range = &per_query_ranges[qi][ri as usize];
                     let (lo, hi) = section_ref.locate(range);
                     out.ranges += 1;
@@ -1074,7 +1149,7 @@ impl DiskIndex {
                             since_check = 0;
                             if should_stop() {
                                 out.cancelled = true;
-                                return out;
+                                break 'scan;
                             }
                         }
                         out.entries += 1;
@@ -1107,6 +1182,9 @@ impl DiskIndex {
                         }
                     }
                 }
+                out.elapsed_ns = t_group.elapsed().as_nanos() as u64;
+                sp.record("ranges", out.ranges as f64);
+                sp.record("entries", out.entries as f64);
                 out
             };
             let results: Vec<Option<GroupResult>> = if self.threads > 1 && groups.len() > 1 {
@@ -1122,6 +1200,11 @@ impl DiskIndex {
                 }
                 out
             };
+            let lens_before: Vec<usize> = if want_explain {
+                matches.iter().map(Vec::len).collect()
+            } else {
+                Vec::new()
+            };
             for (g, gr) in results.into_iter().enumerate() {
                 match gr {
                     Some(gr) => {
@@ -1130,6 +1213,9 @@ impl DiskIndex {
                         if gr.cancelled {
                             stats[gr.qi].cancelled = true;
                         }
+                        if want_explain {
+                            refine_ns[gr.qi] += gr.elapsed_ns;
+                        }
                         matches[gr.qi].extend(gr.matches);
                     }
                     // A group never claimed past the stop: its query keeps
@@ -1137,6 +1223,44 @@ impl DiskIndex {
                     None => {
                         let qi = work[groups[g].0].0 as usize;
                         stats[qi].cancelled = true;
+                    }
+                }
+            }
+            if want_explain {
+                // Per-block accounting for this section: locating each
+                // selected block's key range against the loaded keys gives
+                // the records refinement scanned for it (blocks tile the
+                // merged scan ranges exactly); new matches are attributed
+                // to the unique block whose global record interval contains
+                // them (depth-p blocks are disjoint).
+                let mut prev = u32::MAX;
+                for &(qi0, _) in work {
+                    if qi0 == prev {
+                        continue;
+                    }
+                    prev = qi0;
+                    let qi = qi0 as usize;
+                    let Some(outcome) = outcomes[qi].as_ref() else {
+                        continue;
+                    };
+                    let mut intervals: Vec<(usize, usize, usize)> =
+                        Vec::with_capacity(outcome.blocks.len());
+                    for (bi, sb) in outcome.blocks.iter().enumerate() {
+                        let (lo, hi) = section.locate(&sb.block.key_range(&self.curve));
+                        if hi > lo {
+                            block_acc[qi][bi].0 += (hi - lo) as u64;
+                            intervals.push((a as usize + lo, a as usize + hi, bi));
+                        }
+                    }
+                    intervals.sort_unstable();
+                    for m in &matches[qi][lens_before[qi]..] {
+                        let p = intervals.partition_point(|&(start, _, _)| start <= m.index);
+                        if p > 0 {
+                            let (start, end, bi) = intervals[p - 1];
+                            if m.index >= start && m.index < end {
+                                block_acc[qi][bi].1 += 1;
+                            }
+                        }
                     }
                 }
             }
@@ -1169,13 +1293,117 @@ impl DiskIndex {
         for st in &stats {
             metrics.record_query(st, per_query);
         }
+        // Always-on selectivity calibration for statistical queries: the
+        // filter's achieved mass vs. the database fraction refinement
+        // actually visited — the paper's capture invariant, live.
+        if let Some(si) = &stat {
+            for st in &stats {
+                metrics.record_calibration(st.mass, si.alpha, st.entries_scanned, self.n as usize);
+            }
+        }
 
-        Ok(BatchResult {
-            matches,
-            stats,
-            timing,
-            sections: n_sections,
-        })
+        let reports = if want_explain {
+            let Some(si) = &stat else {
+                unreachable!("explain implies stat info")
+            };
+            let load_ns = (timing.load.as_nanos() / queries.len().max(1) as u128) as u64;
+            let mut reports = Vec::with_capacity(queries.len());
+            for (qi, st) in stats.iter().enumerate() {
+                let mut rep = ExplainReport {
+                    query_id: batch_id,
+                    alpha: si.alpha,
+                    depth: si.depth,
+                    entries_scanned: st.entries_scanned as u64,
+                    matches: matches[qi].len() as u64,
+                    observed_selectivity: if self.n > 0 {
+                        st.entries_scanned as f64 / self.n as f64
+                    } else {
+                        0.0
+                    },
+                    phases: vec![
+                        ExplainPhase {
+                            name: "filter",
+                            ns: filter_ns[qi],
+                        },
+                        ExplainPhase {
+                            name: "load",
+                            ns: load_ns,
+                        },
+                        ExplainPhase {
+                            name: "refine",
+                            ns: refine_ns[qi],
+                        },
+                    ],
+                    ..ExplainReport::default()
+                };
+                if let Some(outcome) = &outcomes[qi] {
+                    rep.algo = outcome.algo;
+                    rep.tmax = outcome.tmax.unwrap_or(0.0);
+                    rep.iterations = outcome.iterations;
+                    rep.predicted_mass = outcome.mass;
+                    rep.blocks = outcome
+                        .blocks
+                        .iter()
+                        .zip(&block_acc[qi])
+                        .map(|(sb, &(scanned, matched))| BlockExplain {
+                            depth: sb.block.depth(),
+                            predicted_mass: sb.score,
+                            scanned,
+                            matched,
+                        })
+                        .collect();
+                    if outcome.truncated {
+                        rep.annotations
+                            .push("block budget truncated selection before reaching α".into());
+                    }
+                    if outcome.mass.is_finite() && outcome.mass < si.alpha - 1e-9 {
+                        rep.annotations.push(format!(
+                            "achieved mass {:.4} below requested α {:.4}",
+                            outcome.mass, si.alpha
+                        ));
+                    }
+                } else {
+                    rep.annotations
+                        .push("cancelled before filtering — empty plan".into());
+                }
+                if st.sections_skipped > 0 {
+                    rep.annotations.push(format!(
+                        "{} section(s) skipped — per-block counts may not reconcile",
+                        st.sections_skipped
+                    ));
+                }
+                if timing.breaker_skips > 0 {
+                    rep.annotations.push(format!(
+                        "circuit breaker skipped {} section load(s) in this batch",
+                        timing.breaker_skips
+                    ));
+                }
+                if st.cancelled {
+                    rep.annotations
+                        .push(match ctx.and_then(|c| c.stop_cause()) {
+                            Some(CancelCause::DeadlineExceeded) => {
+                                "deadline exceeded — partial scan".into()
+                            }
+                            Some(cause) => format!("cancelled ({cause:?}) — partial scan"),
+                            None => "cancelled — partial scan".into(),
+                        });
+                }
+                reports.push(rep);
+            }
+            Some(reports)
+        } else {
+            None
+        };
+
+        Ok((
+            BatchResult {
+                matches,
+                stats,
+                timing,
+                sections: n_sections,
+            },
+            reports,
+        ))
     }
 
     /// Loads a section, retrying transient failures with bounded backoff.
@@ -1284,6 +1512,15 @@ impl DiskIndex {
     }
 }
 
+/// Statistical-query parameters the batch engine needs beyond the filter
+/// closure itself: α and depth feed calibration telemetry and (when
+/// `explain` is set) the per-query [`ExplainReport`]s.
+struct StatInfo {
+    alpha: f64,
+    depth: u32,
+    explain: bool,
+}
+
 /// Refinement output of one query's contiguous run of ranges within a
 /// section — the unit merged back into per-query results in input order.
 struct GroupResult {
@@ -1291,6 +1528,8 @@ struct GroupResult {
     matches: Vec<Match>,
     ranges: usize,
     entries: usize,
+    /// Wall-clock the group spent scanning, ns (explain phase accounting).
+    elapsed_ns: u64,
     /// The group stopped on a fired token mid-scan; `matches` covers the
     /// records visited up to the stop.
     cancelled: bool,

@@ -280,12 +280,32 @@ impl Deadline {
     }
 }
 
-/// The resilience context threaded through a batched query: a cancellation
-/// token plus an optional deadline that fires it.
-#[derive(Clone, Debug, Default)]
+/// Draws a fresh process-unique query id (1-based, monotonically
+/// increasing). Every [`QueryCtx`] gets one at construction; spans emitted
+/// while the query runs carry it (see [`s3_obs::QueryScope`]), which is
+/// what lets a flat span stream be regrouped into per-query trees.
+pub fn next_query_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The resilience context threaded through a batched query: a process-unique
+/// id, a cancellation token, plus an optional deadline that fires it.
+#[derive(Clone, Debug)]
 pub struct QueryCtx {
+    id: u64,
     cancel: CancelToken,
     deadline: Option<Deadline>,
+}
+
+impl Default for QueryCtx {
+    fn default() -> QueryCtx {
+        QueryCtx {
+            id: next_query_id(),
+            cancel: CancelToken::default(),
+            deadline: None,
+        }
+    }
 }
 
 impl QueryCtx {
@@ -299,6 +319,7 @@ impl QueryCtx {
     /// remote cancellation).
     pub fn with_token(cancel: CancelToken) -> QueryCtx {
         QueryCtx {
+            id: next_query_id(),
             cancel,
             deadline: None,
         }
@@ -309,6 +330,7 @@ impl QueryCtx {
         let cancel = CancelToken::new();
         let deadline = Deadline::after(clock, budget, cancel.clone());
         QueryCtx {
+            id: next_query_id(),
             cancel,
             deadline: Some(deadline),
         }
@@ -318,6 +340,12 @@ impl QueryCtx {
     pub fn and_deadline(mut self, clock: Arc<dyn Clock>, budget: Duration) -> QueryCtx {
         self.deadline = Some(Deadline::after(clock, budget, self.cancel.clone()));
         self
+    }
+
+    /// The process-unique query (or batch) id — what spans emitted under
+    /// this context are tagged with.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// The context's token.

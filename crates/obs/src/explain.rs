@@ -1,0 +1,319 @@
+//! Per-query EXPLAIN reports: the plan the statistical filter chose, what
+//! refinement actually did with it, and any degradation along the way.
+//!
+//! The S³ filter *predicts* — it selects the minimal block set `B_α^min`
+//! whose modeled probability mass reaches `α`. An [`ExplainReport`] puts
+//! that prediction next to ground truth for one query: per selected block,
+//! the predicted mass vs. the records the refinement phase actually
+//! scanned vs. the matches those records produced, plus per-phase
+//! nanoseconds and annotations for every way the query degraded
+//! (breaker skips, deadline hits, admission shedding, truncation).
+//!
+//! This crate only defines the carrier types and renderers; `s3-core`
+//! fills them in (see `stat_query_batch_explain` /
+//! `S3Index::stat_query_explained`).
+
+use std::fmt::Write as _;
+
+use crate::export::json_escape;
+
+/// One selected p-block of the plan: prediction vs. outcome.
+#[derive(Clone, Debug, Default)]
+pub struct BlockExplain {
+    /// Partition depth of the block (the paper's `p`).
+    pub depth: u32,
+    /// Probability mass the distortion model assigned to this block.
+    pub predicted_mass: f64,
+    /// Records actually scanned for this block during refinement.
+    pub scanned: u64,
+    /// Matches produced from this block's records.
+    pub matched: u64,
+}
+
+/// Wall-clock spent in one phase of the query, in nanoseconds.
+#[derive(Clone, Debug)]
+pub struct ExplainPhase {
+    /// Phase name (`filter`, `load`, `refine`, ...).
+    pub name: &'static str,
+    /// Nanoseconds attributed to the phase.
+    pub ns: u64,
+}
+
+/// The full per-query EXPLAIN report.
+#[derive(Clone, Debug, Default)]
+pub struct ExplainReport {
+    /// Query id (matches span `query_id`s and trace process ids).
+    pub query_id: u64,
+    /// Requested probability mass α.
+    pub alpha: f64,
+    /// Maximum partition depth the filter was allowed.
+    pub depth: u32,
+    /// Filter algorithm that produced the plan (`best_first`,
+    /// `threshold`, ...).
+    pub algo: &'static str,
+    /// Final threshold `t_max` (threshold algorithm; 0 otherwise).
+    pub tmax: f64,
+    /// Bisection iterations spent finding `t_max` (threshold algorithm).
+    pub iterations: u32,
+    /// Selected blocks, in plan order.
+    pub blocks: Vec<BlockExplain>,
+    /// Total predicted mass actually achieved by the plan (≥ α unless
+    /// truncated/degraded).
+    pub predicted_mass: f64,
+    /// Observed selectivity: `entries_scanned / db_records` (0..=1).
+    pub observed_selectivity: f64,
+    /// Records scanned during refinement (must equal the sum of
+    /// per-block `scanned` on a clean run).
+    pub entries_scanned: u64,
+    /// Matches returned (must equal the sum of per-block `matched` on a
+    /// clean run).
+    pub matches: u64,
+    /// Per-phase wall-clock.
+    pub phases: Vec<ExplainPhase>,
+    /// Degradation annotations, empty on a clean run (e.g.
+    /// `deadline exceeded after 2/4 sections`, `breaker skipped section 3`,
+    /// `admission shed: alpha degraded`).
+    pub annotations: Vec<String>,
+}
+
+impl ExplainReport {
+    /// Sum of per-block predicted mass.
+    pub fn block_mass(&self) -> f64 {
+        self.blocks.iter().map(|b| b.predicted_mass).sum()
+    }
+
+    /// Sum of per-block scanned records.
+    pub fn block_scanned(&self) -> u64 {
+        self.blocks.iter().map(|b| b.scanned).sum()
+    }
+
+    /// Sum of per-block matches.
+    pub fn block_matched(&self) -> u64 {
+        self.blocks.iter().map(|b| b.matched).sum()
+    }
+
+    /// Whether the query degraded (any annotation present).
+    pub fn degraded(&self) -> bool {
+        !self.annotations.is_empty()
+    }
+
+    /// Whether per-block accounting reconciles exactly with the query
+    /// totals. Guaranteed on clean runs; a degraded run that stopped
+    /// mid-scan may not reconcile (and says so in its annotations).
+    pub fn reconciles(&self) -> bool {
+        self.block_scanned() == self.entries_scanned && self.block_matched() == self.matches
+    }
+
+    /// Renders a human-readable multi-line report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "EXPLAIN query {} · algo={} depth={} alpha={:.4}",
+            self.query_id, self.algo, self.depth, self.alpha
+        );
+        if self.algo.starts_with("threshold") {
+            let _ = writeln!(
+                out,
+                "  t_max={:.6} ({} bisection iterations)",
+                self.tmax, self.iterations
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  plan: {} blocks, predicted mass {:.4} ({} requested {:.4})",
+            self.blocks.len(),
+            self.predicted_mass,
+            if self.predicted_mass >= self.alpha {
+                "meets"
+            } else {
+                "BELOW"
+            },
+            self.alpha
+        );
+        let _ = writeln!(
+            out,
+            "  scanned {} records (selectivity {:.4}%) -> {} matches",
+            self.entries_scanned,
+            self.observed_selectivity * 100.0,
+            self.matches
+        );
+        if !self.blocks.is_empty() {
+            let _ = writeln!(out, "  blocks (depth  pred.mass    scanned  matched):");
+            let shown = self.blocks.len().min(32);
+            for b in &self.blocks[..shown] {
+                let _ = writeln!(
+                    out,
+                    "    p={:<3}  {:>9.6}  {:>9}  {:>7}",
+                    b.depth, b.predicted_mass, b.scanned, b.matched
+                );
+            }
+            if shown < self.blocks.len() {
+                let _ = writeln!(out, "    ... {} more blocks", self.blocks.len() - shown);
+            }
+        }
+        for p in &self.phases {
+            let _ = writeln!(out, "  phase {:<7} {:>12} ns", p.name, p.ns);
+        }
+        let _ = writeln!(
+            out,
+            "  reconciles: {} (blocks scanned={} matched={})",
+            self.reconciles(),
+            self.block_scanned(),
+            self.block_matched()
+        );
+        if self.annotations.is_empty() {
+            let _ = writeln!(out, "  degradation: none");
+        } else {
+            for a in &self.annotations {
+                let _ = writeln!(out, "  degradation: {a}");
+            }
+        }
+        out
+    }
+
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"query_id\":{},\"algo\":\"{}\",\"alpha\":{},\"depth\":{},\
+             \"tmax\":{},\"iterations\":{},\"predicted_mass\":{},\
+             \"observed_selectivity\":{},\"entries_scanned\":{},\"matches\":{},\
+             \"reconciles\":{},\"degraded\":{}",
+            self.query_id,
+            json_escape(self.algo),
+            num(self.alpha),
+            self.depth,
+            num(self.tmax),
+            self.iterations,
+            num(self.predicted_mass),
+            num(self.observed_selectivity),
+            self.entries_scanned,
+            self.matches,
+            self.reconciles(),
+            self.degraded(),
+        );
+        out.push_str(",\"blocks\":[");
+        for (i, b) in self.blocks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"depth\":{},\"predicted_mass\":{},\"scanned\":{},\"matched\":{}}}",
+                if i == 0 { "" } else { "," },
+                b.depth,
+                num(b.predicted_mass),
+                b.scanned,
+                b.matched
+            );
+        }
+        out.push_str("],\"phases\":{");
+        for (i, p) in self.phases.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\":{}",
+                if i == 0 { "" } else { "," },
+                json_escape(p.name),
+                p.ns
+            );
+        }
+        out.push_str("},\"annotations\":[");
+        for (i, a) in self.annotations.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\"",
+                if i == 0 { "" } else { "," },
+                json_escape(a)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExplainReport {
+        ExplainReport {
+            query_id: 3,
+            alpha: 0.9,
+            depth: 6,
+            algo: "threshold",
+            tmax: 0.0125,
+            iterations: 11,
+            blocks: vec![
+                BlockExplain {
+                    depth: 6,
+                    predicted_mass: 0.7,
+                    scanned: 100,
+                    matched: 4,
+                },
+                BlockExplain {
+                    depth: 6,
+                    predicted_mass: 0.25,
+                    scanned: 40,
+                    matched: 1,
+                },
+            ],
+            predicted_mass: 0.95,
+            observed_selectivity: 0.014,
+            entries_scanned: 140,
+            matches: 5,
+            phases: vec![
+                ExplainPhase {
+                    name: "filter",
+                    ns: 10_000,
+                },
+                ExplainPhase {
+                    name: "refine",
+                    ns: 55_000,
+                },
+            ],
+            annotations: vec![],
+        }
+    }
+
+    #[test]
+    fn report_reconciles_and_renders() {
+        let r = sample();
+        assert!(r.reconciles());
+        assert!(!r.degraded());
+        assert!((r.block_mass() - 0.95).abs() < 1e-12);
+        let text = r.to_text();
+        assert!(text.contains("EXPLAIN query 3"), "{text}");
+        assert!(
+            text.contains("t_max=0.012500 (11 bisection iterations)"),
+            "{text}"
+        );
+        assert!(text.contains("degradation: none"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"reconciles\":true"), "{json}");
+        assert!(json.contains("\"entries_scanned\":140"), "{json}");
+        assert!(json.contains("\"filter\":10000"), "{json}");
+    }
+
+    #[test]
+    fn degraded_report_flags_mismatch() {
+        let mut r = sample();
+        r.entries_scanned = 120;
+        r.annotations
+            .push("deadline exceeded after 1/2 sections".into());
+        assert!(!r.reconciles());
+        assert!(r.degraded());
+        let text = r.to_text();
+        assert!(text.contains("degradation: deadline exceeded"), "{text}");
+        assert!(text.contains("reconciles: false"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"degraded\":true"), "{json}");
+        assert!(json.contains("deadline exceeded"), "{json}");
+    }
+}

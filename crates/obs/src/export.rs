@@ -18,7 +18,7 @@ fn fmt_f64(v: f64) -> String {
 }
 
 /// JSON string escaping for metric names / label values.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -36,20 +36,76 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// `query.latency` → `query_latency` (Prometheus metric-name charset).
+/// `query.latency` → `query_latency` (Prometheus metric-name charset:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` — a leading digit gets an underscore prefix).
 fn prom_name(name: &str) -> String {
-    name.chars()
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Label *names* share the metric-name charset minus `:`.
+fn prom_label_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+        .collect();
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Label-value escaping per the exposition format: backslash, double
+/// quote, and line feed must be escaped inside `label="..."`.
+fn prom_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// HELP-text escaping: backslash and line feed (quotes are legal there).
+fn prom_help_text(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_label(k: &str, v: &str) -> String {
+    format!("{}=\"{}\"", prom_label_name(k), prom_label_value(v))
 }
 
 fn prom_id(id: &MetricId, extra: Option<(&str, String)>) -> String {
     let mut labels: Vec<String> = Vec::new();
     if let Some((k, v)) = id.label {
-        labels.push(format!("{k}=\"{v}\""));
+        labels.push(prom_label(k, v));
     }
     if let Some((k, v)) = extra {
-        labels.push(format!("{k}=\"{v}\""));
+        labels.push(prom_label(k, &v));
     }
     if labels.is_empty() {
         prom_name(id.name)
@@ -191,13 +247,17 @@ impl Snapshot {
 
     /// Renders Prometheus text-format exposition: counters as `counter`,
     /// gauges as `gauge`, histograms as cumulative `_bucket{le=...}`
-    /// series plus `_sum` and `_count`.
+    /// series plus `_sum` and `_count`. Each metric name gets one
+    /// `# HELP`/`# TYPE` pair (HELP carries the original dotted name)
+    /// before its first sample; label values are escaped per the
+    /// exposition grammar.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut seen: Vec<&str> = Vec::new();
         let mut type_line = |out: &mut String, name: &'static str, kind: &str| {
             if !seen.contains(&name) {
                 seen.push(name);
+                let _ = writeln!(out, "# HELP {} {}", prom_name(name), prom_help_text(name));
                 let _ = writeln!(out, "# TYPE {} {kind}", prom_name(name));
             }
         };
@@ -237,7 +297,7 @@ impl Snapshot {
 fn prom_suffix(id: &MetricId, le: String) -> String {
     let mut labels: Vec<String> = Vec::new();
     if let Some((k, v)) = id.label {
-        labels.push(format!("{k}=\"{v}\""));
+        labels.push(prom_label(k, v));
     }
     labels.push(format!("le=\"{le}\""));
     format!("{{{}}}", labels.join(","))
@@ -246,7 +306,7 @@ fn prom_suffix(id: &MetricId, le: String) -> String {
 fn prom_plain_labels(id: &MetricId) -> String {
     match id.label {
         None => String::new(),
-        Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
+        Some((k, v)) => format!("{{{}}}", prom_label(k, v)),
     }
 }
 
@@ -281,6 +341,7 @@ mod tests {
         h.record(5);
         h.record(700);
         let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# HELP c c"), "{text}");
         assert!(text.contains("# TYPE c counter"), "{text}");
         assert!(text.contains("c{kind=\"x\"} 2"), "{text}");
         assert!(text.contains("# TYPE lat histogram"), "{text}");
@@ -293,5 +354,26 @@ mod tests {
             .filter(|l| l.starts_with("lat_bucket") && !l.contains("+Inf"))
             .collect();
         assert!(finite.last().is_some_and(|l| l.ends_with(" 2")), "{text}");
+    }
+
+    #[test]
+    fn prometheus_escapes_labels_and_names() {
+        let r = Registry::new();
+        r.counter_with("9weird.name", Some(("kind", "a\"b\\c\nd")))
+            .inc();
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("_9weird_name"), "{text}");
+        assert!(
+            text.contains("kind=\"a\\\"b\\\\c\\nd\""),
+            "label value escaped: {text}"
+        );
+        // No raw newline survives inside a label value: every line is a
+        // complete comment or sample.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "torn line: {line:?}"
+            );
+        }
     }
 }

@@ -16,6 +16,12 @@
 //! Snapshots export as a human-readable table, JSON, or Prometheus text
 //! format (see [`Snapshot`]).
 //!
+//! On top of these, per-query causality: a thread-local [`QueryScope`]
+//! tags finished spans with a query id, [`to_chrome_trace`] renders a
+//! collected span stream as Perfetto-loadable trace-event JSON, and
+//! [`ExplainReport`] carries a per-query plan/outcome breakdown filled in
+//! by `s3-core`.
+//!
 //! ```
 //! use s3_obs::{registry, span};
 //!
@@ -41,13 +47,20 @@
 )]
 
 pub mod event;
+mod explain;
 mod export;
 mod metrics;
 mod span;
+mod trace;
 
 pub use event::{set_event_sink, EventSink, Level, MemEventSink, StderrSink};
+pub use explain::{BlockExplain, ExplainPhase, ExplainReport};
 pub use metrics::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram, MetricId, Registry,
     Snapshot,
 };
-pub use span::{clear_span_sink, set_span_sink, RingCollector, Span, SpanRecord, SpanSink};
+pub use span::{
+    clear_span_sink, current_query, set_span_sink, QueryScope, RingCollector, Span, SpanRecord,
+    SpanSink,
+};
+pub use trace::to_chrome_trace;

@@ -5,12 +5,89 @@
 //! When no sink is installed (the common production case) a span is just a
 //! `Instant::now()` plus one histogram record on drop — no heap allocation.
 //! The sink check is a single relaxed atomic load.
+//!
+//! # Query scoping
+//!
+//! A [`QueryScope`] tags every span finished on the current thread with a
+//! query id, so a flat [`SpanRecord`] stream (e.g. from a [`RingCollector`])
+//! can be regrouped into per-query trees after the fact. The scope is a
+//! thread-local integer — setting it costs nothing on the span hot path and
+//! nothing at all when no sink is installed. Batch drivers that fan work out
+//! to other threads re-enter the scope on each worker.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-use crate::metrics::{registry, Histogram};
+use crate::metrics::{registry, Counter, Histogram};
+
+/// Process-wide epoch for span start timestamps: all [`SpanRecord::start_ns`]
+/// values are nanoseconds since this instant, so records from different
+/// threads share one monotonic timeline (what the Chrome-trace exporter
+/// needs for correct nesting).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Stable small integer identifying the current thread, assigned on first
+/// use. Used as the `tid` of trace events; values start at 1.
+fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(0) };
+    }
+    TID.with(|t| {
+        let mut v = t.get();
+        if v == 0 {
+            v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+        }
+        v
+    })
+}
+
+thread_local! {
+    static CURRENT_QUERY: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The query id spans finished on this thread are currently tagged with
+/// (0 = none).
+pub fn current_query() -> u64 {
+    CURRENT_QUERY.with(Cell::get)
+}
+
+/// RAII guard that tags spans finished on this thread with a query id.
+///
+/// Scopes nest: dropping a guard restores whatever id was active before it.
+/// Worker threads do not inherit the spawning thread's scope — batch drivers
+/// must re-enter it per worker (see `s3_core::parallel`).
+pub struct QueryScope {
+    prev: u64,
+}
+
+impl QueryScope {
+    /// Tags subsequent spans on this thread with `id` until the guard drops.
+    pub fn enter(id: u64) -> QueryScope {
+        let prev = CURRENT_QUERY.with(|c| c.replace(id));
+        QueryScope { prev }
+    }
+
+    /// As [`QueryScope::enter`], but keeps an already-active scope: useful in
+    /// library entry points that want a query id without clobbering one a
+    /// caller higher up the stack already assigned.
+    pub fn enter_inherit(id: u64) -> QueryScope {
+        let prev = CURRENT_QUERY.with(|c| if c.get() == 0 { c.replace(id) } else { c.get() });
+        QueryScope { prev }
+    }
+}
+
+impl Drop for QueryScope {
+    fn drop(&mut self) {
+        CURRENT_QUERY.with(|c| c.set(self.prev));
+    }
+}
 
 /// A finished span as delivered to a [`SpanSink`].
 #[derive(Clone, Debug)]
@@ -19,6 +96,13 @@ pub struct SpanRecord {
     pub name: &'static str,
     /// Wall-clock duration in nanoseconds.
     pub dur_ns: u64,
+    /// Start time, nanoseconds since the process span epoch — one monotonic
+    /// timeline shared by all threads.
+    pub start_ns: u64,
+    /// The [`QueryScope`] id active on the finishing thread (0 = none).
+    pub query_id: u64,
+    /// Stable small id of the thread the span finished on (1-based).
+    pub tid: u64,
     /// Structured fields recorded while the span was open.
     pub fields: Vec<(&'static str, f64)>,
 }
@@ -45,6 +129,8 @@ fn cell() -> &'static SinkCell {
 
 /// Installs a process-wide span sink (replacing any previous one).
 pub fn set_span_sink(sink: Box<dyn SpanSink>) {
+    // Pin the trace epoch no later than the first collected span.
+    let _ = epoch();
     if let Ok(mut s) = cell().sink.lock() {
         *s = Some(sink);
         SINK_INSTALLED.store(true, Ordering::Release);
@@ -104,6 +190,13 @@ impl Span {
         }
     }
 
+    /// Whether this span carries a field buffer — true only when a sink was
+    /// installed at [`Span::enter`]. Exposed so benchmarks can assert the
+    /// no-sink path stays allocation-free.
+    pub fn fields_allocated(&self) -> bool {
+        self.fields.is_some()
+    }
+
     /// Elapsed time since the span opened.
     pub fn elapsed(&self) -> std::time::Duration {
         self.start.elapsed()
@@ -115,9 +208,17 @@ impl Drop for Span {
         let dur = self.start.elapsed();
         self.hist.record_duration(dur);
         if let Some(fields) = self.fields.take() {
+            // Timeline/thread/query stamps are only computed on the
+            // sink-installed path; the production path stops at the
+            // histogram record above.
+            let start_ns = u64::try_from(self.start.saturating_duration_since(epoch()).as_nanos())
+                .unwrap_or(u64::MAX);
             deliver(SpanRecord {
                 name: self.name,
                 dur_ns: u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX),
+                start_ns,
+                query_id: current_query(),
+                tid: current_tid(),
                 fields,
             });
         }
@@ -139,9 +240,14 @@ macro_rules! span {
 }
 
 /// A bounded in-memory span collector: keeps the most recent `capacity`
-/// spans, dropping the oldest when full.
+/// spans, dropping the oldest when full. Drops are counted — both on the
+/// collector ([`RingCollector::dropped`]) and in the global
+/// `obs.spans_dropped` counter — so a drained trace that lost records can
+/// be told apart from a complete one.
 pub struct RingCollector {
     capacity: usize,
+    dropped: AtomicU64,
+    dropped_counter: Counter,
     buf: Mutex<std::collections::VecDeque<SpanRecord>>,
 }
 
@@ -150,6 +256,8 @@ impl RingCollector {
     pub fn new(capacity: usize) -> std::sync::Arc<RingCollector> {
         std::sync::Arc::new(RingCollector {
             capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+            dropped_counter: registry().counter("obs.spans_dropped"),
             buf: Mutex::new(std::collections::VecDeque::new()),
         })
     }
@@ -171,6 +279,12 @@ impl RingCollector {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Spans evicted because the ring was full, over the collector's
+    /// lifetime. Non-zero means drained traces are incomplete.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
 }
 
 impl SpanSink for std::sync::Arc<RingCollector> {
@@ -178,6 +292,8 @@ impl SpanSink for std::sync::Arc<RingCollector> {
         if let Ok(mut b) = self.buf.lock() {
             if b.len() == self.capacity {
                 b.pop_front();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                self.dropped_counter.inc();
             }
             b.push_back(record);
         }
@@ -211,10 +327,85 @@ mod tests {
     }
 
     #[test]
+    fn ring_collector_counts_drops() {
+        let ring = RingCollector::new(2);
+        let before = registry().counter("obs.spans_dropped").get();
+        set_span_sink(Box::new(ring.clone()));
+        for _ in 0..5 {
+            let _s = span!("test.span.overflow");
+        }
+        clear_span_sink();
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3, "5 spans into a 2-slot ring drop 3");
+        assert!(
+            registry().counter("obs.spans_dropped").get() >= before + 3,
+            "global counter tracks drops"
+        );
+        // Draining does not reset the drop count: the evidence of loss
+        // outlives the lost records.
+        ring.drain();
+        assert_eq!(ring.dropped(), 3);
+    }
+
+    #[test]
     fn fields_skipped_without_sink() {
         clear_span_sink();
         let mut s = Span::enter("test.span.nosink");
         assert!(s.fields.is_none(), "no allocation without a sink");
+        assert!(!s.fields_allocated());
         s.record("x", 1.0);
+    }
+
+    #[test]
+    fn spans_carry_query_scope_and_timeline() {
+        let ring = RingCollector::new(16);
+        set_span_sink(Box::new(ring.clone()));
+        {
+            let _scope = QueryScope::enter(42);
+            let _s = span!("test.span.scoped");
+        }
+        {
+            let _s = span!("test.span.unscoped");
+        }
+        clear_span_sink();
+        let spans = ring.drain();
+        let scoped = spans
+            .iter()
+            .find(|r| r.name == "test.span.scoped")
+            .expect("scoped span collected");
+        let unscoped = spans
+            .iter()
+            .find(|r| r.name == "test.span.unscoped")
+            .expect("unscoped span collected");
+        assert_eq!(scoped.query_id, 42);
+        assert_eq!(unscoped.query_id, 0, "scope restored on drop");
+        assert!(scoped.tid >= 1);
+        assert!(
+            unscoped.start_ns >= scoped.start_ns,
+            "shared monotonic timeline"
+        );
+    }
+
+    #[test]
+    fn query_scope_nests_and_inherits() {
+        assert_eq!(current_query(), 0);
+        let outer = QueryScope::enter(7);
+        assert_eq!(current_query(), 7);
+        {
+            let _kept = QueryScope::enter_inherit(9);
+            assert_eq!(current_query(), 7, "inherit keeps the active scope");
+        }
+        {
+            let _inner = QueryScope::enter(8);
+            assert_eq!(current_query(), 8);
+        }
+        assert_eq!(current_query(), 7);
+        drop(outer);
+        assert_eq!(current_query(), 0);
+        {
+            let _fresh = QueryScope::enter_inherit(11);
+            assert_eq!(current_query(), 11, "inherit sets when none active");
+        }
+        assert_eq!(current_query(), 0);
     }
 }
