@@ -1,0 +1,155 @@
+//! Buffer-pool memory-bounding benchmark for the paged storage engine.
+//!
+//! Builds an index far larger than the buffer pool, pages it into a
+//! [`PageStore`], and runs a query batch through a [`DiskIndex`] that
+//! reads via the pool. Two claims are checked and reported:
+//!
+//! * the batch completes (and answers bit-identically to a flat in-memory
+//!   open) even though the pool holds only a small fraction of the index —
+//!   evictions do the rest;
+//! * resident pool memory stays bounded by `pool_pages × page_size`
+//!   regardless of the index size.
+//!
+//! Usage: `bench_pager [--scale quick|full]`. Writes
+//! `results/BENCH_PR6.json` and exits non-zero if answers diverge or the
+//! bound is broken.
+
+use s3_bench::{results_dir, Scale};
+use s3_core::bufferpool::{BufferPool, PooledStorage};
+use s3_core::pager::{DataPages, PageMeta, PageStore};
+use s3_core::pseudo_disk::{DiskIndex, WriteOpts};
+use s3_core::{
+    CoreMetrics, IsotropicNormal, MemStorage, RecordBatch, S3Index, SharedMemStorage, StatQueryOpts,
+};
+use s3_hilbert::HilbertCurve;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DIMS: usize = 6;
+const PAGE_SIZE: u32 = 4096;
+const MEM_BUDGET: u64 = 64 << 10;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (n_records, n_queries, pool_pages) = scale.pick((20_000, 40, 8), (120_000, 120, 16));
+
+    // Build and serialize the index.
+    let mut s = 0xB00C_9E1Du64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut batch = RecordBatch::new(DIMS);
+    for i in 0..n_records {
+        let fp: Vec<u8> = (0..DIMS).map(|_| (next() >> 24) as u8).collect();
+        batch.push(&fp, (i % 97) as u32, i as u32);
+    }
+    let index = S3Index::build(HilbertCurve::new(DIMS, 8).unwrap(), batch);
+    let bytes = DiskIndex::encode_to_vec(
+        &index,
+        WriteOpts {
+            table_depth: 10,
+            block_size: 1024,
+        },
+    )
+    .unwrap();
+    let index_bytes = bytes.len();
+
+    // Page the stream into a store and open the reader through a pool that
+    // is a small fraction of the index.
+    let store = PageStore::create(SharedMemStorage::new(), PAGE_SIZE).unwrap();
+    let cap = store.payload_capacity();
+    for (i, chunk) in bytes.chunks(cap).enumerate() {
+        store.write_page(i as u64 + 1, 0, chunk).unwrap();
+    }
+    store
+        .set_meta(PageMeta {
+            page_size: PAGE_SIZE,
+            data_len: bytes.len() as u64,
+            n_pages: bytes.len().div_ceil(cap) as u64,
+            generation: 0,
+            checkpoint_lsn: 0,
+        })
+        .unwrap();
+    let pool = Arc::new(BufferPool::new(DataPages::new(Arc::new(store)), pool_pages));
+    let pool_bytes = pool_pages * PAGE_SIZE as usize;
+    let disk = DiskIndex::open_storage(Box::new(PooledStorage::new(Arc::clone(&pool)))).unwrap();
+
+    let queries: Vec<Vec<u8>> = (0..n_queries)
+        .map(|i| {
+            index
+                .records()
+                .fingerprint(i * (n_records / n_queries).max(1))
+                .to_vec()
+        })
+        .collect();
+    let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+    let model = IsotropicNormal::new(DIMS, 12.0);
+    let opts = StatQueryOpts::new(0.9, 12);
+
+    let m = CoreMetrics::get();
+    let (hits0, misses0, evict0) = (
+        m.bufferpool_hits.get(),
+        m.bufferpool_misses.get(),
+        m.bufferpool_evictions.get(),
+    );
+    let start = Instant::now();
+    let pooled = disk
+        .stat_query_batch(&qrefs, &model, &opts, MEM_BUDGET)
+        .unwrap();
+    let elapsed = start.elapsed();
+    let hits = m.bufferpool_hits.get() - hits0;
+    let misses = m.bufferpool_misses.get() - misses0;
+    let evictions = m.bufferpool_evictions.get() - evict0;
+
+    // Reference: the same batch over a flat in-memory open.
+    let flat = DiskIndex::open_storage(Box::new(MemStorage::new(bytes.clone()))).unwrap();
+    let reference = flat
+        .stat_query_batch(&qrefs, &model, &opts, MEM_BUDGET)
+        .unwrap();
+
+    let identical = pooled.matches == reference.matches;
+    let resident = pool.resident();
+    let bounded = resident <= pool_pages;
+    let total_matches: usize = pooled.matches.iter().map(Vec::len).sum();
+    println!(
+        "bench_pager: {} records / {} KiB index through a {} KiB pool ({} pages)",
+        n_records,
+        index_bytes / 1024,
+        pool_bytes / 1024,
+        pool_pages
+    );
+    println!(
+        "  {} queries in {:?}: {} matches, hits {}, misses {}, evictions {}, resident {}",
+        n_queries, elapsed, total_matches, hits, misses, evictions, resident
+    );
+    println!("  identical to flat open: {identical}; resident within bound: {bounded}");
+
+    let mut out = String::from("{\n  \"id\": \"bench_pager_pr6\",\n");
+    let _ = writeln!(out, "  \"records\": {n_records},");
+    let _ = writeln!(out, "  \"queries\": {n_queries},");
+    let _ = writeln!(out, "  \"index_bytes\": {index_bytes},");
+    let _ = writeln!(out, "  \"pool_pages\": {pool_pages},");
+    let _ = writeln!(out, "  \"pool_bytes\": {pool_bytes},");
+    let _ = writeln!(out, "  \"elapsed_ms\": {:.3},", elapsed.as_secs_f64() * 1e3);
+    let _ = writeln!(out, "  \"total_matches\": {total_matches},");
+    let _ = writeln!(out, "  \"identical_to_flat\": {identical},");
+    let _ = writeln!(out, "  \"resident_pages\": {resident},");
+    let _ = writeln!(out, "  \"resident_within_bound\": {bounded},");
+    let _ = writeln!(
+        out,
+        "  \"bufferpool\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}}}"
+    );
+    out.push_str("}\n");
+    let path = results_dir().join("BENCH_PR6.json");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, out).unwrap();
+    println!("bench_pager: report at {}", path.display());
+
+    if !identical || !bounded {
+        std::process::exit(1);
+    }
+}

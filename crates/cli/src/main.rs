@@ -28,8 +28,8 @@ use s3_cbcd::{
 };
 use s3_core::pseudo_disk::{DiskIndex, RetryPolicy};
 use s3_core::{
-    system_clock, Admission, AdmissionController, IsotropicNormal, Permit, QueryCtx, RecordBatch,
-    S3Index, Shed, StatQueryOpts,
+    system_clock, Admission, AdmissionController, BlockSource, BufferPool, FileStorage,
+    IsotropicNormal, Permit, PooledStorage, QueryCtx, RecordBatch, S3Index, Shed, StatQueryOpts,
 };
 use s3_hilbert::HilbertCurve;
 use s3_video::{
@@ -37,6 +37,7 @@ use s3_video::{
     TransformedVideo, VideoSource, Y4mVideo,
 };
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How a command finished. Degradation gets its own exit code (2) so
@@ -124,6 +125,10 @@ USAGE:
       --max-inflight N        admission bound on concurrent search batches
       --shed-policy P         what to do over the bound:
                               reject | degrade-alpha | oldest
+      --buffer-pool-pages N   read the index through an LRU-K buffer pool
+                              of N 4 KiB pages, bounding resident index
+                              memory (query; informational for the
+                              in-memory detect/monitor pipelines)
       --metrics-json <path>   write a JSON metrics snapshot on exit
       --metrics-every <secs>  print a metrics table to stderr periodically
 
@@ -319,6 +324,7 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
             "metrics-json",
             "metrics-every",
             "trace-out",
+            "buffer-pool-pages",
         ],
         &["strict", "explain"],
     )?;
@@ -338,7 +344,23 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
     if admission.as_ref().is_some_and(|(_, degraded)| *degraded) {
         alpha = s3_core::resilience::degraded_alpha(alpha);
     }
-    let mut disk = DiskIndex::open(path).map_err(|e| e.to_string())?;
+    // --buffer-pool-pages N bounds resident index memory: the file is read
+    // through an LRU-K buffer pool of N 4 KiB blocks instead of directly.
+    let pool_pages: usize = a.get_parsed("buffer-pool-pages", 0)?;
+    let pool = if pool_pages > 0 {
+        let storage = FileStorage::open(path).map_err(|e| e.to_string())?;
+        let source = BlockSource::new(Box::new(storage), 4096).map_err(|e| e.to_string())?;
+        // Each worker thread pins one page at a time; capacity below the
+        // thread count could exhaust the pool mid-batch.
+        Some(Arc::new(BufferPool::new(source, pool_pages.max(threads))))
+    } else {
+        None
+    };
+    let mut disk = match &pool {
+        Some(pool) => DiskIndex::open_storage(Box::new(PooledStorage::new(Arc::clone(pool))))
+            .map_err(|e| e.to_string())?,
+        None => DiskIndex::open(path).map_err(|e| e.to_string())?,
+    };
     disk.set_retry_policy(RetryPolicy {
         strict: a.has("strict"),
         ..RetryPolicy::default()
@@ -412,6 +434,17 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
         "per query          : {:?}",
         batch.timing.per_query(queries.len())
     );
+    if let Some(pool) = &pool {
+        let m = s3_core::CoreMetrics::get();
+        println!(
+            "buffer pool        : {} / {} pages resident, {} hits, {} misses, {} evictions",
+            pool.resident(),
+            pool.capacity(),
+            m.bufferpool_hits.get(),
+            m.bufferpool_misses.get(),
+            m.bufferpool_evictions.get()
+        );
+    }
     if batch.timing.retries > 0 || batch.timing.degraded {
         println!(
             "health             : {} retries, {} sections skipped ({} breaker){}{}",
@@ -461,9 +494,13 @@ fn cmd_detect(rest: Vec<String>) -> Result<CmdStatus, String> {
             "metrics-json",
             "metrics-every",
             "trace-out",
+            "buffer-pool-pages",
         ],
         &["explain"],
     )?;
+    if a.get("buffer-pool-pages").is_some() {
+        eprintln!("note: --buffer-pool-pages applies to disk-backed indexes; detect builds its database in memory");
+    }
     let trace = trace_setup(&a);
     let admission = admit_batch(&a)?;
     let (metrics_json, _ticker) = metrics::shared_flags(&a)?;
@@ -617,9 +654,13 @@ fn cmd_monitor(rest: Vec<String>) -> Result<CmdStatus, String> {
             "shed-policy",
             "metrics-json",
             "metrics-every",
+            "buffer-pool-pages",
         ],
         &["strict"],
     )?;
+    if a.get("buffer-pool-pages").is_some() {
+        eprintln!("note: --buffer-pool-pages applies to disk-backed indexes; monitor builds its archive in memory");
+    }
     let admission = admit_batch(&a)?;
     let (metrics_json, _ticker) = metrics::shared_flags(&a)?;
     let n_archive: usize = a.get_parsed("archive", 6)?;

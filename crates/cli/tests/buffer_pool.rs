@@ -1,0 +1,133 @@
+//! `--buffer-pool-pages` integration: queries through a bounded buffer
+//! pool must answer exactly like direct reads, and the CLI must report the
+//! pool's activity.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn s3cbcd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_s3cbcd"))
+        .args(args)
+        .output()
+        .expect("failed to spawn s3cbcd")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("killed by signal")
+}
+
+fn build_index(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    let path = dir.join(name);
+    let out = s3cbcd(&[
+        "build",
+        path.to_str().expect("utf-8 path"),
+        "--videos",
+        "2",
+        "--frames",
+        "30",
+        "--seed",
+        "1",
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "build failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+/// Strips the run-specific lines (timings, pool counters) so pooled and
+/// direct runs can be compared on the query results alone.
+fn result_lines(stdout: &[u8]) -> Vec<String> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| {
+            l.starts_with("queries")
+                || l.starts_with("depth")
+                || l.starts_with("matches")
+                || l.starts_with("blocks")
+        })
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn pooled_query_matches_direct_query_and_reports_pool() {
+    let idx = build_index("pool.s3i");
+    let path = idx.to_str().expect("utf-8 path");
+    let common = ["--queries", "12", "--threads", "2", "--seed", "5"];
+
+    let direct = s3cbcd(&[&["query", path], &common[..]].concat());
+    assert_eq!(
+        code(&direct),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&direct.stderr)
+    );
+
+    // A pool of 4 pages is far below the index size: every section load
+    // goes through eviction, yet the answers must be identical.
+    let pooled = s3cbcd(&[&["query", path], &common[..], &["--buffer-pool-pages", "4"]].concat());
+    assert_eq!(
+        code(&pooled),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&pooled.stderr)
+    );
+    assert_eq!(
+        result_lines(&direct.stdout),
+        result_lines(&pooled.stdout),
+        "pooled reads changed the query results"
+    );
+    let text = String::from_utf8_lossy(&pooled.stdout);
+    assert!(
+        text.contains("buffer pool"),
+        "pooled run must report pool activity:\n{text}"
+    );
+}
+
+#[test]
+fn detect_and_monitor_accept_the_flag() {
+    // In-memory pipelines accept the flag (scripts can pass one flag set
+    // everywhere) and say why it does not apply.
+    let out = s3cbcd(&[
+        "detect",
+        "--videos",
+        "2",
+        "--frames",
+        "30",
+        "--seed",
+        "3",
+        "--buffer-pool-pages",
+        "8",
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--buffer-pool-pages"));
+
+    let out = s3cbcd(&[
+        "monitor",
+        "--archive",
+        "2",
+        "--stream-frames",
+        "60",
+        "--seed",
+        "4",
+        "--buffer-pool-pages",
+        "8",
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--buffer-pool-pages"));
+}

@@ -1,0 +1,569 @@
+//! Crash-safe disk-native index: pages + buffer pool + WAL + recovery.
+//!
+//! [`DurableIndex`] composes the durability subsystem into one engine:
+//!
+//! * the main index is the serialized `S3IDX002` byte stream, chunked into
+//!   self-verifying pages of a [`PageStore`] (see [`crate::pager`]);
+//! * queries open the stream through the existing [`DiskIndex`] reader,
+//!   which reads via a bounded [`BufferPool`] — so results are
+//!   *bit-identical* to a flat file, while resident memory is capped by
+//!   the pool, not the index size;
+//! * inserts accumulate in an in-memory overlay (a [`DynamicIndex`] with
+//!   an empty main), and each insert is WAL-logged and fsynced **before**
+//!   it is acknowledged;
+//! * a merge follows the classical redo protocol: log
+//!   `MergeBegin + page images + MergeCommit`, fsync, apply the pages,
+//!   update the meta page, checkpoint the log. A kill at *any* byte of
+//!   that sequence recovers cleanly on reopen:
+//!
+//!   | crash point                        | recovery                        |
+//!   |------------------------------------|---------------------------------|
+//!   | before the commit record is synced | merge rolled back; its inserts  |
+//!   |                                    | replayed from their WAL records |
+//!   | after commit, during/after the     | merge redone idempotently from  |
+//!   | page writes                        | the logged page images          |
+//!   | after the WAL checkpoint           | nothing to do                   |
+//!
+//! Every acknowledged insert survives every crash; unacknowledged tail
+//! records are truncated away by the WAL scanner. The deterministic
+//! crash-point matrix in `s3-bench` (`crash_matrix` bin) kills the engine
+//! at every WAL record boundary and mid-page-write and asserts exactly
+//! this.
+
+use std::sync::Arc;
+
+use crate::bufferpool::{BufferPool, PooledStorage};
+use crate::distortion::DistortionModel;
+use crate::dynamic::{DynamicIndex, MergeOutcome};
+use crate::error::IndexError;
+use crate::fingerprint::RecordBatch;
+use crate::index::{S3Index, StatQueryOpts};
+use crate::metrics::CoreMetrics;
+use crate::pager::{DataPages, PageMeta, PageStore, DEFAULT_PAGE_SIZE};
+use crate::pseudo_disk::{BatchResult, DiskIndex, WriteOpts};
+use crate::storage::WritableStorage;
+use crate::wal::{Wal, WalRecord};
+use s3_hilbert::HilbertCurve;
+
+type DynStorage = Box<dyn WritableStorage>;
+type DynPages = PageStore<DynStorage>;
+type Pool = BufferPool<DataPages<DynStorage>>;
+
+/// Tuning knobs of a [`DurableIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct DurableOptions {
+    /// Page size of the index file.
+    pub page_size: u32,
+    /// Buffer-pool capacity, in pages.
+    pub pool_pages: usize,
+    /// Overlay fraction of the on-disk record count that triggers an
+    /// automatic merge (with a 256-record floor — same rule as
+    /// [`DynamicIndex`]).
+    pub merge_fraction: f64,
+    /// Format options of the serialized index stream.
+    pub write_opts: WriteOpts,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            page_size: DEFAULT_PAGE_SIZE,
+            pool_pages: 64,
+            merge_fraction: 0.1,
+            write_opts: WriteOpts::default(),
+        }
+    }
+}
+
+/// What recovery found and did when the index was opened.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryReport {
+    /// Outcome of the most recent merge, as recovery saw it.
+    pub outcome: MergeOutcome,
+    /// Acknowledged inserts replayed from the WAL into the overlay.
+    pub replayed_inserts: usize,
+    /// Page images re-applied from the WAL (committed-merge redo).
+    pub redone_pages: usize,
+}
+
+/// A crash-safe, insert-capable, larger-than-memory S³ index.
+#[derive(Debug)]
+pub struct DurableIndex {
+    pages: Arc<DynPages>,
+    wal: Wal<DynStorage>,
+    pool: Arc<Pool>,
+    disk: DiskIndex,
+    /// Queryable overlay of unmerged inserts (empty main, same curve).
+    mem: DynamicIndex,
+    /// The same records, in arrival order — the merge source.
+    pending: RecordBatch,
+    opts: DurableOptions,
+    curve: HilbertCurve,
+    recovery: RecoveryReport,
+    merges: usize,
+}
+
+impl DurableIndex {
+    /// Formats `data` as an empty paged index over `curve` and opens it.
+    pub fn create(
+        data: DynStorage,
+        wal: DynStorage,
+        curve: HilbertCurve,
+        opts: DurableOptions,
+    ) -> Result<DurableIndex, IndexError> {
+        let empty = S3Index::build(curve.clone(), RecordBatch::new(curve.dims()));
+        let bytes = DiskIndex::encode_to_vec(&empty, opts.write_opts)?;
+        let pages = PageStore::create(data, opts.page_size)?;
+        let cap = pages.payload_capacity();
+        for (i, chunk) in bytes.chunks(cap).enumerate() {
+            pages.write_page(i as u64 + 1, 0, chunk)?;
+        }
+        pages.set_meta(PageMeta {
+            page_size: opts.page_size,
+            data_len: bytes.len() as u64,
+            n_pages: bytes.len().div_ceil(cap) as u64,
+            generation: 0,
+            checkpoint_lsn: 0,
+        })?;
+        pages.sync()?;
+        let (wal, _) = Wal::open(wal, 0)?;
+        Self::assemble(
+            Arc::new(pages),
+            wal,
+            opts,
+            Vec::new(),
+            RecoveryReport {
+                outcome: MergeOutcome::Completed,
+                replayed_inserts: 0,
+                redone_pages: 0,
+            },
+        )
+    }
+
+    /// Opens an existing paged index, running WAL recovery: a committed
+    /// but unapplied merge is redone from its logged page images; an
+    /// uncommitted merge is rolled back; acknowledged inserts not covered
+    /// by a committed merge are replayed into the overlay. After `open`
+    /// returns, query results are bit-identical to what an uncrashed run
+    /// would produce over the acknowledged writes.
+    pub fn open(
+        data: DynStorage,
+        wal: DynStorage,
+        opts: DurableOptions,
+    ) -> Result<DurableIndex, IndexError> {
+        let (pages, meta_reinit) = PageStore::open_or_reinit(data, opts.page_size)?;
+        let meta = pages.meta();
+        let (mut wal, records) = Wal::open(wal, meta.checkpoint_lsn)?;
+
+        let last_commit = records
+            .iter()
+            .rposition(|(_, r)| matches!(r, WalRecord::MergeCommit { .. }));
+        let last_begin = records
+            .iter()
+            .rposition(|(_, r)| matches!(r, WalRecord::MergeBegin { .. }));
+
+        let mut redone_pages = 0usize;
+        let mut outcome = MergeOutcome::Completed;
+
+        if meta_reinit && last_commit.is_none() {
+            // The meta page is only rewritten after a merge commit is
+            // durable, so a torn meta page without its commit record in
+            // the WAL means the file is corrupt beyond the crash model.
+            return Err(IndexError::Format {
+                detail: "torn meta page but the WAL holds no committed merge".into(),
+            });
+        }
+
+        if let Some(c) = last_commit {
+            let commit_lsn = records[c].0;
+            let WalRecord::MergeCommit { generation } = records[c].1 else {
+                unreachable!("rposition found a MergeCommit");
+            };
+            if commit_lsn > meta.checkpoint_lsn {
+                // Committed but (possibly) not fully applied: redo every
+                // page image of this merge. Whole-page writes make the
+                // redo idempotent — pages already at the image LSN are
+                // simply rewritten with identical bytes.
+                let begin = records[..c]
+                    .iter()
+                    .rposition(|(_, r)| {
+                        matches!(r, WalRecord::MergeBegin { generation: g, .. } if *g == generation)
+                    })
+                    .ok_or_else(|| IndexError::Format {
+                        detail: "WAL holds a MergeCommit without its MergeBegin".into(),
+                    })?;
+                let WalRecord::MergeBegin {
+                    n_pages, data_len, ..
+                } = records[begin].1
+                else {
+                    unreachable!("rposition found a MergeBegin");
+                };
+                for (lsn, r) in &records[begin + 1..c] {
+                    if let WalRecord::PageImage { page_id, payload } = r {
+                        pages.write_page(*page_id, *lsn, payload)?;
+                        redone_pages += 1;
+                    }
+                }
+                pages.set_meta(PageMeta {
+                    page_size: meta.page_size,
+                    data_len,
+                    n_pages,
+                    generation,
+                    checkpoint_lsn: commit_lsn,
+                })?;
+                pages.sync()?;
+                outcome = MergeOutcome::Replayed;
+                CoreMetrics::get().merge_replayed.inc();
+            }
+        }
+        if last_begin.is_some() && last_begin > last_commit {
+            // The most recent merge never committed: the pre-merge
+            // generation stands and its partial log is dead weight.
+            outcome = MergeOutcome::RolledBack;
+            CoreMetrics::get().merge_rolled_back.inc();
+        }
+
+        // Acknowledged inserts not covered by a committed merge: everything
+        // after the last commit record (earlier inserts were merge input).
+        let replay_from = last_commit.map_or(0, |c| c + 1);
+        let inserts: Vec<(Vec<u8>, u32, u32)> = records[replay_from..]
+            .iter()
+            .filter_map(|(_, r)| match r {
+                WalRecord::Insert { fp, id, tc } => Some((fp.clone(), *id, *tc)),
+                _ => None,
+            })
+            .collect();
+
+        if outcome == MergeOutcome::Replayed && inserts.is_empty() {
+            // The redone merge is durable and nothing is pending, so the
+            // interrupted merge's final step — the checkpoint — can run.
+            wal.checkpoint()?;
+        }
+
+        Self::assemble(
+            Arc::new(pages),
+            wal,
+            opts,
+            inserts,
+            RecoveryReport {
+                outcome,
+                replayed_inserts: 0,
+                redone_pages,
+            },
+        )
+    }
+
+    fn assemble(
+        pages: Arc<DynPages>,
+        wal: Wal<DynStorage>,
+        opts: DurableOptions,
+        inserts: Vec<(Vec<u8>, u32, u32)>,
+        mut recovery: RecoveryReport,
+    ) -> Result<DurableIndex, IndexError> {
+        let pool = Arc::new(BufferPool::new(
+            DataPages::new(Arc::clone(&pages)),
+            opts.pool_pages,
+        ));
+        let disk = DiskIndex::open_storage(Box::new(PooledStorage::new(Arc::clone(&pool))))?;
+        let curve = disk.curve().clone();
+        let mut mem = DynamicIndex::empty(curve.clone(), 1.0);
+        let mut pending = RecordBatch::new(curve.dims());
+        recovery.replayed_inserts = inserts.len();
+        for (fp, id, tc) in &inserts {
+            mem.insert(fp, *id, *tc);
+            pending.push(fp, *id, *tc);
+        }
+        Ok(DurableIndex {
+            pages,
+            wal,
+            pool,
+            disk,
+            mem,
+            pending,
+            opts,
+            curve,
+            recovery,
+            merges: 0,
+        })
+    }
+
+    /// Inserts one record. The insert is WAL-logged and fsynced before it
+    /// is acknowledged: once this returns `Ok`, the record survives any
+    /// crash. May trigger an automatic durable merge when the overlay
+    /// outgrows `merge_fraction` of the on-disk index.
+    pub fn insert(&mut self, fingerprint: &[u8], id: u32, tc: u32) -> Result<(), IndexError> {
+        let rec = WalRecord::Insert {
+            fp: fingerprint.to_vec(),
+            id,
+            tc,
+        };
+        self.wal.append(&rec)?;
+        self.wal.sync()?;
+        self.mem.insert(fingerprint, id, tc);
+        self.pending.push(fingerprint, id, tc);
+        let threshold = (self.disk.len() as f64 * self.opts.merge_fraction).max(256.0);
+        if self.pending.len() as f64 > threshold {
+            self.merge()?;
+        }
+        Ok(())
+    }
+
+    /// Merges the overlay into the on-disk index via the WAL redo
+    /// protocol. Crash-safe at every byte: the commit point is the fsync
+    /// of the `MergeCommit` record — before it the merge rolls back on
+    /// reopen, after it the merge is redone from the logged page images.
+    pub fn merge(&mut self) -> Result<MergeOutcome, IndexError> {
+        if self.pending.is_empty() {
+            return Ok(MergeOutcome::Completed);
+        }
+        // Build the merged generation in memory.
+        let mut all = self.disk.to_record_batch()?;
+        for i in 0..self.pending.len() {
+            all.push(
+                self.pending.fingerprint(i),
+                self.pending.id(i),
+                self.pending.tc(i),
+            );
+        }
+        let merged = S3Index::build(self.curve.clone(), all);
+        let bytes = DiskIndex::encode_to_vec(&merged, self.opts.write_opts)?;
+        let cap = self.pages.payload_capacity();
+        let meta = self.pages.meta();
+        let generation = meta.generation + 1;
+        let n_pages = bytes.len().div_ceil(cap) as u64;
+
+        // Log the whole merge, then fsync: the commit point.
+        self.wal.append(&WalRecord::MergeBegin {
+            generation,
+            n_pages,
+            data_len: bytes.len() as u64,
+        })?;
+        let mut image_lsns = Vec::with_capacity(n_pages as usize);
+        for (i, chunk) in bytes.chunks(cap).enumerate() {
+            let lsn = self.wal.append(&WalRecord::PageImage {
+                page_id: i as u64 + 1,
+                payload: chunk.to_vec(),
+            })?;
+            image_lsns.push(lsn);
+        }
+        let commit_lsn = self.wal.append(&WalRecord::MergeCommit { generation })?;
+        self.wal.sync()?;
+
+        // Apply: page writes, then the meta page, then fsync.
+        for (i, chunk) in bytes.chunks(cap).enumerate() {
+            self.pages.write_page(i as u64 + 1, image_lsns[i], chunk)?;
+        }
+        self.pages.set_meta(PageMeta {
+            page_size: meta.page_size,
+            data_len: bytes.len() as u64,
+            n_pages,
+            generation,
+            checkpoint_lsn: commit_lsn,
+        })?;
+        self.pages.sync()?;
+
+        // The merge is durable and applied: swap the reader over the new
+        // generation and retire the log.
+        self.pool.invalidate()?;
+        self.disk = DiskIndex::open_storage(Box::new(PooledStorage::new(Arc::clone(&self.pool))))?;
+        self.wal.checkpoint()?;
+        self.mem = DynamicIndex::empty(self.curve.clone(), 1.0);
+        self.pending = RecordBatch::new(self.curve.dims());
+        self.merges += 1;
+        CoreMetrics::get().merge_ok.inc();
+        Ok(MergeOutcome::Completed)
+    }
+
+    /// Statistical query batch over the on-disk index plus the overlay.
+    /// Overlay matches get indices offset by the on-disk record count so
+    /// they stay unique within a result.
+    pub fn stat_query_batch(
+        &self,
+        queries: &[&[u8]],
+        model: &dyn DistortionModel,
+        opts: &StatQueryOpts,
+        mem_budget: u64,
+    ) -> Result<BatchResult, IndexError> {
+        let mut batch = self
+            .disk
+            .stat_query_batch(queries, model, opts, mem_budget)?;
+        if !self.mem.is_empty() {
+            let base = self.disk.len() as usize;
+            for (i, q) in queries.iter().enumerate() {
+                let r = self.mem.stat_query(q, model, opts);
+                batch.matches[i].extend(r.matches.into_iter().map(|mut m| {
+                    m.index += base;
+                    m
+                }));
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Exact ε-range query batch over the on-disk index plus the overlay.
+    pub fn range_query_batch(
+        &self,
+        queries: &[&[u8]],
+        eps: f64,
+        depth: u32,
+        mem_budget: u64,
+    ) -> Result<BatchResult, IndexError> {
+        let mut batch = self
+            .disk
+            .range_query_batch(queries, eps, depth, mem_budget)?;
+        if !self.mem.is_empty() {
+            let base = self.disk.len() as usize;
+            for (i, q) in queries.iter().enumerate() {
+                let r = self.mem.range_query(q, eps, depth);
+                batch.matches[i].extend(r.matches.into_iter().map(|mut m| {
+                    m.index += base;
+                    m
+                }));
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Total acknowledged records: on-disk plus unmerged overlay.
+    pub fn len(&self) -> u64 {
+        self.disk.len() + self.pending.len() as u64
+    }
+
+    /// True when the index holds no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records merged to disk.
+    pub fn disk_len(&self) -> u64 {
+        self.disk.len()
+    }
+
+    /// Acknowledged records awaiting the next merge.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Durable merges completed by this handle (recovery redo excluded).
+    pub fn merges(&self) -> usize {
+        self.merges
+    }
+
+    /// What recovery found when this handle was opened.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// The buffer pool the reader goes through.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// The Hilbert curve of the index.
+    pub fn curve(&self) -> &HilbertCurve {
+        &self.curve
+    }
+
+    /// Current page-store metadata (generation, page counts, LSNs).
+    pub fn page_meta(&self) -> PageMeta {
+        self.pages.meta()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distortion::IsotropicNormal;
+    use crate::storage::SharedMemStorage;
+
+    fn curve() -> HilbertCurve {
+        HilbertCurve::new(4, 8).unwrap()
+    }
+
+    fn fp(seed: u32) -> Vec<u8> {
+        (0..4).map(|i| ((seed * 37 + i * 11) % 16) as u8).collect()
+    }
+
+    fn opts_small() -> DurableOptions {
+        DurableOptions {
+            page_size: 256,
+            pool_pages: 8,
+            ..DurableOptions::default()
+        }
+    }
+
+    fn boxed(s: &SharedMemStorage) -> Box<dyn WritableStorage> {
+        Box::new(s.clone())
+    }
+
+    #[test]
+    fn create_insert_merge_reopen_round_trips() {
+        let data = SharedMemStorage::new();
+        let wal = SharedMemStorage::new();
+        let mut idx =
+            DurableIndex::create(boxed(&data), boxed(&wal), curve(), opts_small()).unwrap();
+        for i in 0..20 {
+            idx.insert(&fp(i), i, i * 10).unwrap();
+        }
+        assert_eq!(idx.len(), 20);
+        assert_eq!(idx.pending_len(), 20);
+        let outcome = idx.merge().unwrap();
+        assert_eq!(outcome, MergeOutcome::Completed);
+        assert_eq!(idx.disk_len(), 20);
+        assert_eq!(idx.pending_len(), 0);
+        drop(idx);
+
+        let reopened = DurableIndex::open(boxed(&data), boxed(&wal), opts_small()).unwrap();
+        assert_eq!(reopened.len(), 20);
+        assert_eq!(reopened.recovery().outcome, MergeOutcome::Completed);
+        assert_eq!(reopened.recovery().replayed_inserts, 0);
+    }
+
+    #[test]
+    fn unmerged_inserts_replay_from_wal() {
+        let data = SharedMemStorage::new();
+        let wal = SharedMemStorage::new();
+        let mut idx =
+            DurableIndex::create(boxed(&data), boxed(&wal), curve(), opts_small()).unwrap();
+        for i in 0..7 {
+            idx.insert(&fp(i), i, i).unwrap();
+        }
+        // Simulate a crash: drop without merging.
+        drop(idx);
+
+        let reopened = DurableIndex::open(boxed(&data), boxed(&wal), opts_small()).unwrap();
+        assert_eq!(reopened.recovery().replayed_inserts, 7);
+        assert_eq!(reopened.len(), 7);
+        assert_eq!(reopened.disk_len(), 0);
+    }
+
+    #[test]
+    fn queries_see_disk_and_overlay_identically() {
+        let data = SharedMemStorage::new();
+        let wal = SharedMemStorage::new();
+        let mut idx =
+            DurableIndex::create(boxed(&data), boxed(&wal), curve(), opts_small()).unwrap();
+        for i in 0..10 {
+            idx.insert(&fp(i), i, i).unwrap();
+        }
+        idx.merge().unwrap();
+        for i in 10..15 {
+            idx.insert(&fp(i), i, i).unwrap();
+        }
+        let queries: Vec<Vec<u8>> = (0..15).map(fp).collect();
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        let batch = idx.range_query_batch(&refs, 0.5, 8, 1 << 20).unwrap();
+        for (i, matches) in batch.matches.iter().enumerate() {
+            assert!(
+                matches.iter().any(|m| m.id == i as u32),
+                "query {i} must find its own record (got {matches:?})"
+            );
+        }
+        // Statistical path answers too.
+        let model = IsotropicNormal::new(4, 4.0);
+        let stat = idx
+            .stat_query_batch(&refs, &model, &StatQueryOpts::new(0.9, 8), 1 << 20)
+            .unwrap();
+        assert_eq!(stat.matches.len(), 15);
+    }
+}

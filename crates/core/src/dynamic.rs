@@ -18,7 +18,28 @@ use crate::filter::{
 };
 use crate::fingerprint::{dist_sq, RecordBatch};
 use crate::index::{FilterAlgo, Match, QueryResult, QueryStats, Refine, S3Index, StatQueryOpts};
+use crate::metrics::CoreMetrics;
 use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
+
+/// How a merge — or its crash recovery — ended.
+///
+/// In-memory merges always complete; the rolled-back and replayed variants
+/// are produced by [`crate::durable::DurableIndex`] when it reopens after a
+/// crash and finds an interrupted merge in the write-ahead log. Each
+/// outcome is counted as `dynamic.merge.{ok,rolled_back,replayed}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// The merge ran to completion (for durable indexes: committed,
+    /// applied, and checkpointed).
+    Completed,
+    /// An interrupted merge was discarded at recovery: no commit record
+    /// reached the log, so the pre-merge generation stands and the overlay
+    /// records stay pending.
+    RolledBack,
+    /// A committed but incompletely applied merge was re-applied
+    /// idempotently from WAL page images at recovery.
+    Replayed,
+}
 
 /// A static S³ index plus a sorted insert overlay.
 #[derive(Clone, Debug)]
@@ -116,9 +137,14 @@ impl DynamicIndex {
     }
 
     /// Forces the overlay into the main index (one static rebuild).
-    pub fn merge(&mut self) {
+    ///
+    /// Returns the outcome explicitly instead of rebuilding silently. An
+    /// in-memory merge cannot be interrupted, so the outcome is always
+    /// [`MergeOutcome::Completed`]; an empty overlay completes trivially
+    /// without counting a merge.
+    pub fn merge(&mut self) -> MergeOutcome {
         if self.overlay.is_empty() {
-            return;
+            return MergeOutcome::Completed;
         }
         let mut all = RecordBatch::with_capacity(self.overlay.dims(), self.len());
         all.extend_from(self.main.records());
@@ -127,6 +153,8 @@ impl DynamicIndex {
         self.overlay = RecordBatch::new(self.overlay.dims());
         self.overlay_keys.clear();
         self.merges += 1;
+        CoreMetrics::get().merge_ok.inc();
+        MergeOutcome::Completed
     }
 
     /// Statistical query over main + overlay: one filter pass, two scans.
@@ -340,11 +368,15 @@ mod tests {
             dyn_idx.insert(&rand_fp(&mut state), i, 0);
         }
         assert_eq!(dyn_idx.overlay_len(), 50);
-        dyn_idx.merge();
+        let ok_before = CoreMetrics::get().merge_ok.get();
+        assert_eq!(dyn_idx.merge(), MergeOutcome::Completed);
         assert_eq!(dyn_idx.overlay_len(), 0);
         assert_eq!(dyn_idx.main().len(), 50);
         assert_eq!(dyn_idx.merges(), 1);
-        dyn_idx.merge(); // no-op on empty overlay
+        // > : other tests in this binary may merge concurrently.
+        assert!(CoreMetrics::get().merge_ok.get() > ok_before);
+        // No-op on empty overlay: trivially complete, not a counted merge.
+        assert_eq!(dyn_idx.merge(), MergeOutcome::Completed);
         assert_eq!(dyn_idx.merges(), 1);
     }
 

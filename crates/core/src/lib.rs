@@ -57,8 +57,10 @@
 )]
 
 pub mod autotune;
+pub mod bufferpool;
 pub mod crc;
 pub mod distortion;
+pub mod durable;
 pub mod dynamic;
 pub mod error;
 pub mod filter;
@@ -67,21 +69,30 @@ pub mod index;
 pub mod kernels;
 pub mod knn;
 pub mod metrics;
+pub mod pager;
 pub mod parallel;
 pub mod pseudo_disk;
 pub mod resilience;
 pub mod storage;
+pub mod wal;
 
+pub use bufferpool::{BlockSource, BufferPool, PageSource, PinnedPage, PooledStorage};
 pub use distortion::{DiagonalNormal, DistortionModel, IsotropicNormal};
-pub use dynamic::DynamicIndex;
+pub use durable::{DurableIndex, DurableOptions, RecoveryReport};
+pub use dynamic::{DynamicIndex, MergeOutcome};
 pub use error::IndexError;
 pub use fingerprint::{dist, dist_sq, Record, RecordBatch, PAPER_DIMS};
 pub use index::{FilterAlgo, Match, QueryResult, QueryStats, Refine, S3Index, StatQueryOpts};
 pub use kernels::{dist_sq_within, KernelTier};
 pub use metrics::CoreMetrics;
+pub use pager::{DataPages, Page, PageMeta, PageStore, DEFAULT_PAGE_SIZE, PAGE_HEADER_LEN};
 pub use pseudo_disk::{DiskIndex, RetryPolicy, WriteOpts};
 pub use resilience::{
     next_query_id, system_clock, Admission, AdmissionController, BreakerConfig, CancelCause,
     CancelToken, Clock, Deadline, MockClock, Permit, QueryCtx, SectionBreakers, Shed, SystemClock,
 };
-pub use storage::{FaultPlan, FaultStats, FaultyStorage, FileStorage, MemStorage, Storage};
+pub use storage::{
+    CrashSwitch, FaultPlan, FaultStats, FaultyStorage, FileRwStorage, FileStorage, MemStorage,
+    SharedMemStorage, Storage, WritableStorage,
+};
+pub use wal::{Wal, WalRecord};

@@ -106,6 +106,30 @@ pub struct CoreMetrics {
     /// mass fell below the requested α (the paper's capture invariant,
     /// violated by truncation or degradation).
     pub calibration_alpha_violations: Counter,
+    /// `bufferpool.hits` — page requests served from a resident frame.
+    pub bufferpool_hits: Counter,
+    /// `bufferpool.misses` — page requests that had to load from storage.
+    pub bufferpool_misses: Counter,
+    /// `bufferpool.evictions` — frames evicted to make room.
+    pub bufferpool_evictions: Counter,
+    /// `bufferpool.pinned` — frames currently pinned (gauge).
+    pub bufferpool_pinned: Gauge,
+    /// `wal.appends` — records appended to the write-ahead log.
+    pub wal_appends: Counter,
+    /// `wal.fsyncs` — WAL fsync barriers issued.
+    pub wal_fsyncs: Counter,
+    /// `wal.replayed` — records recovered from the WAL at open.
+    pub wal_replayed: Counter,
+    /// `wal.checkpoints` — WAL truncations after a durable checkpoint.
+    pub wal_checkpoints: Counter,
+    /// `dynamic.merge.ok` — overlay merges that completed normally.
+    pub merge_ok: Counter,
+    /// `dynamic.merge.rolled_back` — interrupted merges discarded at
+    /// recovery (the WAL held no commit record).
+    pub merge_rolled_back: Counter,
+    /// `dynamic.merge.replayed` — committed merges re-applied from WAL page
+    /// images at recovery.
+    pub merge_replayed: Counter,
 }
 
 static CORE: OnceLock<CoreMetrics> = OnceLock::new();
@@ -151,6 +175,17 @@ impl CoreMetrics {
                 calibration_observed: r.histogram("calibration.observed_selectivity"),
                 calibration_drift: r.gauge("calibration.drift"),
                 calibration_alpha_violations: r.counter("calibration.alpha_violations"),
+                bufferpool_hits: r.counter("bufferpool.hits"),
+                bufferpool_misses: r.counter("bufferpool.misses"),
+                bufferpool_evictions: r.counter("bufferpool.evictions"),
+                bufferpool_pinned: r.gauge("bufferpool.pinned"),
+                wal_appends: r.counter("wal.appends"),
+                wal_fsyncs: r.counter("wal.fsyncs"),
+                wal_replayed: r.counter("wal.replayed"),
+                wal_checkpoints: r.counter("wal.checkpoints"),
+                merge_ok: r.counter("dynamic.merge.ok"),
+                merge_rolled_back: r.counter("dynamic.merge.rolled_back"),
+                merge_replayed: r.counter("dynamic.merge.replayed"),
             }
         })
     }

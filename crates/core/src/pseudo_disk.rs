@@ -59,7 +59,7 @@ use crate::filter::{
     merge_block_ranges, select_blocks_best_first, select_blocks_best_first_cancellable,
     select_blocks_best_first_uncached, select_blocks_range, FilterOutcome,
 };
-use crate::fingerprint::dist_sq;
+use crate::fingerprint::{dist_sq, RecordBatch};
 use crate::index::{Match, QueryStats, Refine, S3Index, StatQueryOpts};
 use crate::kernels;
 use crate::metrics::CoreMetrics;
@@ -388,9 +388,34 @@ impl DiskIndex {
         Self::write_with(index, path, WriteOpts::default())
     }
 
+    /// Serialises a built index into the complete `S3IDX002` byte stream —
+    /// exactly the bytes [`DiskIndex::write_with`] puts in a file. The
+    /// paged storage engine chunks this stream into pages; opening the
+    /// chunked stream through a pooled [`Storage`] yields bit-identical
+    /// query results by construction, because the reader is the same.
+    pub fn encode_to_vec(index: &S3Index, opts: WriteOpts) -> io::Result<Vec<u8>> {
+        assert!(opts.block_size > 0, "block size must be positive");
+        let meta = encode_meta(index, opts, MAGIC_V2);
+        let mut out = Vec::with_capacity(meta.len() + 4 + index.len() * 48);
+        out.extend_from_slice(&meta);
+        out.extend_from_slice(&crc32(&meta).to_le_bytes());
+
+        let mut blocks = BlockCrcs::new(opts.block_size);
+        write_data_region(&mut out, index, Some(&mut blocks))?;
+
+        let block_crcs = blocks.finish();
+        let mut tail = Crc32::new();
+        for crc in &block_crcs {
+            let raw = crc.to_le_bytes();
+            out.extend_from_slice(&raw);
+            tail.update(&raw);
+        }
+        out.extend_from_slice(&tail.finalize().to_le_bytes());
+        Ok(out)
+    }
+
     /// As [`DiskIndex::write`], with explicit format options.
     pub fn write_with(index: &S3Index, path: impl AsRef<Path>, opts: WriteOpts) -> io::Result<()> {
-        assert!(opts.block_size > 0, "block size must be positive");
         let path = path.as_ref();
         let tmp = {
             let mut name = path.file_name().unwrap_or_default().to_os_string();
@@ -398,24 +423,10 @@ impl DiskIndex {
             path.with_file_name(name)
         };
 
+        let bytes = Self::encode_to_vec(index, opts)?;
         let file = File::create(&tmp)?;
         let mut w = BufWriter::new(file);
-        let meta = encode_meta(index, opts, MAGIC_V2);
-        w.write_all(&meta)?;
-        w.write_all(&crc32(&meta).to_le_bytes())?;
-
-        let mut blocks = BlockCrcs::new(opts.block_size);
-        write_data_region(&mut w, index, Some(&mut blocks))?;
-
-        let block_crcs = blocks.finish();
-        let mut tail = Crc32::new();
-        for crc in &block_crcs {
-            let raw = crc.to_le_bytes();
-            w.write_all(&raw)?;
-            tail.update(&raw);
-        }
-        w.write_all(&tail.finalize().to_le_bytes())?;
-
+        w.write_all(&bytes)?;
         let file = w.into_inner().map_err(io::IntoInnerError::into_error)?;
         file.sync_all()?;
         drop(file);
@@ -659,6 +670,33 @@ impl DiskIndex {
             }
         }
         Ok(())
+    }
+
+    /// Reads every stored record back into memory, CRC-verified — the
+    /// source side of a durable merge: the merged index is rebuilt from
+    /// `main.to_record_batch() + overlay` rather than from scratch.
+    pub fn to_record_batch(&self) -> Result<RecordBatch, IndexError> {
+        let dims = self.curve.dims();
+        let n = usize::try_from(self.n)
+            .map_err(|_| bad_format("record count exceeds the address space"))?;
+        let mut scratch = Vec::new();
+        let fps_rel = self.n * KEY_LEN;
+        let ids_rel = fps_rel + self.n * dims as u64;
+        let tcs_rel = ids_rel + self.n * 4;
+
+        let mut fps = vec![0u8; n * dims];
+        self.read_verified(fps_rel, &mut fps, &mut scratch)?;
+        let mut raw = vec![0u8; n * 4];
+        self.read_verified(ids_rel, &mut raw, &mut scratch)?;
+        let ids: Vec<u32> = raw.chunks_exact(4).map(le_u32).collect();
+        self.read_verified(tcs_rel, &mut raw, &mut scratch)?;
+        let tcs: Vec<u32> = raw.chunks_exact(4).map(le_u32).collect();
+
+        let mut batch = RecordBatch::with_capacity(dims, n);
+        for i in 0..n {
+            batch.push(&fps[i * dims..(i + 1) * dims], ids[i], tcs[i]);
+        }
+        Ok(batch)
     }
 
     /// Chooses the section split `r`: the smallest `r ≤ table_depth` whose

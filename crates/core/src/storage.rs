@@ -9,8 +9,8 @@
 //! reproducibly without root privileges or kernel fault-injection machinery.
 
 use std::fmt;
-use std::fs::File;
-use std::io::{self, Read, Seek, SeekFrom};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -39,14 +39,239 @@ pub trait Storage: fmt::Debug + Send + Sync {
 }
 
 // Lets a test hand `Arc<FaultyStorage<_>>` to the index while keeping a
-// clone for reading `FaultStats` afterwards.
-impl<S: Storage> Storage for Arc<S> {
+// clone for reading `FaultStats` afterwards. `?Sized` admits trait objects
+// (`Arc<dyn WritableStorage>`), which the durable engine uses to mix
+// backends.
+impl<S: Storage + ?Sized> Storage for Arc<S> {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         (**self).read_at(offset, buf)
     }
 
     fn len(&self) -> io::Result<u64> {
         (**self).len()
+    }
+}
+
+impl<S: Storage + ?Sized> Storage for Box<S> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        (**self).read_at(offset, buf)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        (**self).len()
+    }
+}
+
+/// Random-access byte storage that can also be mutated and made durable —
+/// the contract the paged storage engine ([`crate::pager::PageStore`]) and
+/// the write-ahead log ([`crate::wal::Wal`]) write through.
+///
+/// Like [`Storage`], methods take `&self`: writers are serialized above
+/// this layer (the pager and WAL each own their storage), so backends only
+/// need interior mutability, not `&mut`.
+pub trait WritableStorage: Storage {
+    /// Writes `buf` at `offset`, extending the storage if the range ends
+    /// past the current length. A short write is an error: either every
+    /// byte lands or the call fails.
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<()>;
+
+    /// Forces all previous writes to durable media (fsync).
+    fn sync(&self) -> io::Result<()>;
+
+    /// Truncates (or extends with zeros) the storage to `len` bytes.
+    fn truncate(&self, len: u64) -> io::Result<()>;
+}
+
+impl<S: WritableStorage + ?Sized> WritableStorage for Arc<S> {
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        (**self).write_at(offset, buf)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        (**self).sync()
+    }
+
+    fn truncate(&self, len: u64) -> io::Result<()> {
+        (**self).truncate(len)
+    }
+}
+
+impl<S: WritableStorage + ?Sized> WritableStorage for Box<S> {
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        (**self).write_at(offset, buf)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        (**self).sync()
+    }
+
+    fn truncate(&self, len: u64) -> io::Result<()> {
+        (**self).truncate(len)
+    }
+}
+
+/// Production read-write storage: a file opened (and created if absent)
+/// for positioned reads and writes. The durable counterpart of
+/// [`FileStorage`], used by the pager and the WAL.
+pub struct FileRwStorage {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+impl fmt::Debug for FileRwStorage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileRwStorage")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FileRwStorage {
+    /// Opens (creating if absent) a file for positioned reads and writes.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<FileRwStorage> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        Ok(FileRwStorage {
+            file: Mutex::new(file),
+            path,
+        })
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, File> {
+        match self.file.lock() {
+            Ok(f) => f,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl Storage for FileRwStorage {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let mut file = self.lock();
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(buf)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.lock().metadata()?.len())
+    }
+}
+
+impl WritableStorage for FileRwStorage {
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        let mut file = self.lock();
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(buf)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.lock().sync_all()
+    }
+
+    fn truncate(&self, len: u64) -> io::Result<()> {
+        self.lock().set_len(len)
+    }
+}
+
+/// In-memory writable storage backed by a shared buffer.
+///
+/// Clones share the same bytes, which is exactly what crash tests need: the
+/// harness keeps one clone, lets a [`FaultyStorage`] wrapper "crash" the
+/// writer mid-operation, drops the crashed engine, and reopens a fresh
+/// engine over the surviving bytes — the moral equivalent of rebooting the
+/// machine and reading back the disk.
+#[derive(Clone, Debug, Default)]
+pub struct SharedMemStorage {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedMemStorage {
+    /// Creates empty shared storage.
+    pub fn new() -> SharedMemStorage {
+        SharedMemStorage::default()
+    }
+
+    /// Wraps an existing byte buffer.
+    pub fn from_bytes(bytes: Vec<u8>) -> SharedMemStorage {
+        SharedMemStorage {
+            bytes: Arc::new(Mutex::new(bytes)),
+        }
+    }
+
+    /// A snapshot of the current contents.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.lock().clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<u8>> {
+        match self.bytes.lock() {
+            Ok(b) => b,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl Storage for SharedMemStorage {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let bytes = self.lock();
+        let start = usize::try_from(offset)
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "offset beyond storage"))?;
+        let end = start.checked_add(buf.len()).filter(|&e| e <= bytes.len());
+        match end {
+            Some(end) => {
+                buf.copy_from_slice(&bytes[start..end]);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "read past end of storage",
+            )),
+        }
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.lock().len() as u64)
+    }
+}
+
+impl WritableStorage for SharedMemStorage {
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        let mut bytes = self.lock();
+        let start = usize::try_from(offset)
+            .map_err(|_| io::Error::other("offset beyond addressable memory"))?;
+        let end = start
+            .checked_add(buf.len())
+            .ok_or_else(|| io::Error::other("write range overflows"))?;
+        if bytes.len() < end {
+            bytes.resize(end, 0);
+        }
+        bytes[start..end].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn truncate(&self, len: u64) -> io::Result<()> {
+        let len = usize::try_from(len).map_err(|_| io::Error::other("length beyond memory"))?;
+        let mut bytes = self.lock();
+        if len <= bytes.len() {
+            bytes.truncate(len);
+        } else {
+            bytes.resize(len, 0);
+        }
+        Ok(())
     }
 }
 
@@ -187,6 +412,17 @@ pub struct FaultPlan {
     /// (which errors), a torn read looks healthy to the I/O layer; only the
     /// CRC layer above can detect it.
     pub torn_read: f64,
+    /// Probability that a write is torn: a pseudorandom *prefix* of the
+    /// buffer reaches the inner storage, then the call fails — a partial
+    /// write followed by a simulated crash of that operation. The bytes
+    /// that landed stay landed, exactly as after a power cut mid-write.
+    pub torn_write: f64,
+    /// Deterministic process-death switch, shared across every storage the
+    /// simulated process writes (index file + WAL): once the cumulative
+    /// write budget is spent, the crossing write lands only its prefix and
+    /// every subsequent operation on every wrapped storage fails. `None`
+    /// disables crash injection entirely.
+    pub crash: Option<CrashSwitch>,
 }
 
 impl Default for FaultPlan {
@@ -202,6 +438,97 @@ impl Default for FaultPlan {
             stall_every_n: 0,
             stall_ms: 0,
             torn_read: 0.0,
+            torn_write: 0.0,
+            crash: None,
+        }
+    }
+}
+
+/// Deterministic "the process died here" switch for crash testing.
+///
+/// The switch carries a byte budget. Each write admitted through a
+/// [`FaultyStorage`] holding a clone of the switch consumes budget equal to
+/// its length; the write that crosses zero lands only the prefix that fits,
+/// the switch trips, and from then on *every* operation on *every* storage
+/// sharing the switch fails — process-death semantics, not a single flaky
+/// device. Because clones share state, one switch can span the index file
+/// and the WAL in global write order, which is what a real kill does.
+///
+/// Crash points are expressed in cumulative written bytes, so a harness
+/// that records the write boundaries of a clean run can replay a kill at
+/// every record boundary (budget = cumulative total after each write) and
+/// mid-write (any budget strictly inside a write's range).
+#[derive(Clone, Debug)]
+pub struct CrashSwitch {
+    state: Arc<Mutex<CrashSwitchState>>,
+}
+
+#[derive(Debug)]
+struct CrashSwitchState {
+    remaining: u64,
+    tripped: bool,
+}
+
+enum CrashVerdict {
+    /// The whole write lands; budget remains.
+    Pass,
+    /// Only the first `n` bytes land, then the switch trips.
+    Cut(u64),
+    /// The switch already tripped: nothing lands, the op fails.
+    Dead,
+}
+
+impl CrashSwitch {
+    /// A switch that trips once `budget` cumulative bytes have been
+    /// written through storages sharing it. A budget of 0 kills the very
+    /// first write before any byte lands.
+    pub fn after_bytes(budget: u64) -> CrashSwitch {
+        CrashSwitch {
+            state: Arc::new(Mutex::new(CrashSwitchState {
+                remaining: budget,
+                tripped: false,
+            })),
+        }
+    }
+
+    /// True once the budget has been spent and the simulated process is
+    /// dead.
+    pub fn tripped(&self) -> bool {
+        self.lock().tripped
+    }
+
+    fn admit(&self, len: u64) -> CrashVerdict {
+        let mut s = self.lock();
+        if s.tripped {
+            return CrashVerdict::Dead;
+        }
+        if len < s.remaining {
+            s.remaining -= len;
+            CrashVerdict::Pass
+        } else if len == s.remaining && len > 0 {
+            // The write exactly exhausting the budget lands in full; the
+            // *next* operation finds the switch tripped. So "budget =
+            // cumulative bytes after write k" means "crash at the boundary
+            // after write k" — the contract the crash matrix relies on.
+            s.remaining = 0;
+            s.tripped = true;
+            CrashVerdict::Pass
+        } else {
+            let cut = s.remaining;
+            s.remaining = 0;
+            s.tripped = true;
+            CrashVerdict::Cut(cut)
+        }
+    }
+
+    fn dead_err() -> io::Error {
+        io::Error::other("injected crash: process is dead")
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CrashSwitchState> {
+        match self.state.lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
         }
     }
 }
@@ -223,17 +550,27 @@ pub struct FaultStats {
     pub stalls: u64,
     /// Torn reads injected (Ok-returning partial data).
     pub torn_reads: u64,
+    /// Total `write_at` calls.
+    pub writes: u64,
+    /// Torn writes injected (partial write landed, then the call failed).
+    pub torn_writes: u64,
+    /// Operations refused because the [`CrashSwitch`] had tripped —
+    /// includes the tripping write itself.
+    pub crashed_ops: u64,
 }
 
 impl FaultStats {
-    /// Total injected faults of every kind (stalls excluded — a stalled
-    /// read still returns correct data).
+    /// Total injected probabilistic/range faults (stalls excluded — a
+    /// stalled read still returns correct data; `crashed_ops` excluded —
+    /// the crash switch is a deterministic process death, not a device
+    /// fault, and must not consume the `max_faults` budget).
     pub fn total(&self) -> u64 {
         self.transient_errors
             + self.short_reads
             + self.bit_flips
             + self.dead_reads
             + self.torn_reads
+            + self.torn_writes
     }
 }
 
@@ -315,6 +652,14 @@ impl<S: Storage> Storage for FaultyStorage<S> {
             Err(poisoned) => poisoned.into_inner(),
         };
         state.stats.reads += 1;
+        // A dead process reads nothing. Checked before skip_reads: process
+        // death outranks every other schedule rule.
+        if let Some(crash) = &self.plan.crash {
+            if crash.tripped() {
+                state.stats.crashed_ops += 1;
+                return Err(CrashSwitch::dead_err());
+            }
+        }
         if state.stats.reads <= self.plan.skip_reads {
             return self.inner.read_at(offset, buf);
         }
@@ -393,7 +738,92 @@ impl<S: Storage> Storage for FaultyStorage<S> {
     }
 
     fn len(&self) -> io::Result<u64> {
+        if let Some(crash) = &self.plan.crash {
+            if crash.tripped() {
+                return Err(CrashSwitch::dead_err());
+            }
+        }
         self.inner.len()
+    }
+}
+
+impl<S: WritableStorage> WritableStorage for FaultyStorage<S> {
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        let mut state = match self.state.lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.stats.writes += 1;
+
+        // Deterministic process death first: the write crossing the byte
+        // budget lands only the prefix that fits, then the process is gone.
+        if let Some(crash) = &self.plan.crash {
+            match crash.admit(buf.len() as u64) {
+                CrashVerdict::Pass => {}
+                CrashVerdict::Cut(n) => {
+                    state.stats.crashed_ops += 1;
+                    let n = n as usize;
+                    if n > 0 {
+                        self.inner.write_at(offset, &buf[..n])?;
+                    }
+                    return Err(CrashSwitch::dead_err());
+                }
+                CrashVerdict::Dead => {
+                    state.stats.crashed_ops += 1;
+                    return Err(CrashSwitch::dead_err());
+                }
+            }
+        }
+
+        // Gated on the rate so zero-rate plans consume no generator draws
+        // and read-fault schedules stay bit-identical when writes happen.
+        let budget_left = self
+            .plan
+            .max_faults
+            .is_none_or(|max| state.stats.total() < max);
+        if budget_left
+            && self.plan.torn_write > 0.0
+            && !buf.is_empty()
+            && unit(&mut state.rng) < self.plan.torn_write
+        {
+            state.stats.torn_writes += 1;
+            // Torn write: a pseudorandom prefix reaches the device, then
+            // the operation "crashes". The landed prefix is permanent.
+            let cut = (xorshift(&mut state.rng) as usize) % buf.len();
+            if cut > 0 {
+                self.inner.write_at(offset, &buf[..cut])?;
+            }
+            return Err(io::Error::other("injected torn write"));
+        }
+        self.inner.write_at(offset, buf)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        if let Some(crash) = &self.plan.crash {
+            if crash.tripped() {
+                let mut state = match self.state.lock() {
+                    Ok(s) => s,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                state.stats.crashed_ops += 1;
+                return Err(CrashSwitch::dead_err());
+            }
+        }
+        self.inner.sync()
+    }
+
+    fn truncate(&self, len: u64) -> io::Result<()> {
+        if let Some(crash) = &self.plan.crash {
+            if crash.tripped() {
+                let mut state = match self.state.lock() {
+                    Ok(s) => s,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                state.stats.crashed_ops += 1;
+                return Err(CrashSwitch::dead_err());
+            }
+        }
+        self.inner.truncate(len)
     }
 }
 
@@ -584,6 +1014,129 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(sa, sb);
         assert!(sa.torn_reads > 0, "schedule never tore: {sa:?}");
+    }
+
+    #[test]
+    fn shared_mem_round_trips_and_extends() {
+        let s = SharedMemStorage::new();
+        s.write_at(4, &[1, 2, 3]).unwrap();
+        assert_eq!(s.len().unwrap(), 7);
+        assert_eq!(s.snapshot(), vec![0, 0, 0, 0, 1, 2, 3]);
+        let clone = s.clone();
+        clone.write_at(0, &[9]).unwrap();
+        assert_eq!(s.snapshot()[0], 9, "clones share bytes");
+        s.truncate(2).unwrap();
+        assert_eq!(s.snapshot(), vec![9, 0]);
+    }
+
+    #[test]
+    fn torn_write_lands_prefix_then_fails() {
+        let inner = SharedMemStorage::from_bytes(vec![0u8; 64]);
+        let plan = FaultPlan {
+            seed: 13,
+            torn_write: 1.0,
+            max_faults: Some(1),
+            ..FaultPlan::default()
+        };
+        let s = FaultyStorage::new(inner.clone(), plan);
+        let payload = [0xABu8; 32];
+        let err = s.write_at(0, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert_eq!(s.stats().torn_writes, 1);
+        let bytes = inner.snapshot();
+        // A strict prefix landed; the rest of the range stayed untouched.
+        let landed = bytes.iter().take(32).filter(|&&b| b == 0xAB).count();
+        assert!(landed < 32, "torn write must not complete");
+        assert!(bytes[..landed].iter().all(|&b| b == 0xAB));
+        assert!(bytes[landed..32].iter().all(|&b| b == 0));
+        // Budget exhausted: the retry goes through whole.
+        s.write_at(0, &payload).unwrap();
+        assert_eq!(inner.snapshot()[..32], payload[..]);
+    }
+
+    #[test]
+    fn crash_switch_spans_storages_in_write_order() {
+        let data = SharedMemStorage::new();
+        let wal = SharedMemStorage::new();
+        // Budget: 8 (write 1, data) + 4 (write 2, wal) = 12 → crash at the
+        // boundary after the second write.
+        let crash = CrashSwitch::after_bytes(12);
+        let plan = FaultPlan {
+            crash: Some(crash.clone()),
+            ..FaultPlan::default()
+        };
+        let fd = FaultyStorage::new(data.clone(), plan.clone());
+        let fw = FaultyStorage::new(wal.clone(), plan);
+        fd.write_at(0, &[1u8; 8]).unwrap();
+        fw.write_at(0, &[2u8; 4]).unwrap();
+        assert!(crash.tripped(), "budget spent exactly at a boundary");
+        // Everything after the kill fails, on both storages, reads included.
+        assert!(fd.write_at(8, &[3u8; 4]).is_err());
+        assert!(fw.write_at(4, &[4u8; 4]).is_err());
+        assert!(fd.sync().is_err());
+        assert!(fw.truncate(0).is_err());
+        let mut buf = [0u8; 1];
+        assert!(fd.read_at(0, &mut buf).is_err());
+        // The surviving bytes are exactly the pre-kill writes.
+        assert_eq!(data.snapshot(), vec![1u8; 8]);
+        assert_eq!(wal.snapshot(), vec![2u8; 4]);
+        assert!(fd.stats().crashed_ops >= 2);
+    }
+
+    #[test]
+    fn crash_switch_cuts_mid_write() {
+        let data = SharedMemStorage::new();
+        let crash = CrashSwitch::after_bytes(5);
+        let plan = FaultPlan {
+            crash: Some(crash.clone()),
+            ..FaultPlan::default()
+        };
+        let s = FaultyStorage::new(data.clone(), plan);
+        let err = s.write_at(0, &[7u8; 16]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(crash.tripped());
+        assert_eq!(data.snapshot(), vec![7u8; 5], "only the prefix landed");
+        assert_eq!(s.stats().crashed_ops, 1);
+    }
+
+    #[test]
+    fn crash_budget_zero_kills_first_write() {
+        let data = SharedMemStorage::new();
+        let crash = CrashSwitch::after_bytes(0);
+        let plan = FaultPlan {
+            crash: Some(crash.clone()),
+            ..FaultPlan::default()
+        };
+        let s = FaultyStorage::new(data.clone(), plan);
+        assert!(s.write_at(0, &[1u8; 4]).is_err());
+        assert!(data.snapshot().is_empty(), "no byte may land");
+        assert!(crash.tripped());
+    }
+
+    #[test]
+    fn write_faults_do_not_perturb_read_schedules() {
+        // A legacy read-fault plan must inject the same read schedule
+        // whether or not interleaved writes happen — write-path draws are
+        // gated on torn_write > 0.
+        let plan = FaultPlan {
+            seed: 42,
+            transient_error: 0.3,
+            bit_flip: 0.2,
+            ..FaultPlan::default()
+        };
+        let run = |with_writes: bool| {
+            let s = FaultyStorage::new(SharedMemStorage::from_bytes(vec![5u8; 4096]), plan.clone());
+            let mut outcomes = Vec::new();
+            for i in 0..50u64 {
+                if with_writes {
+                    s.write_at(i, &[9]).unwrap();
+                }
+                let mut buf = [0u8; 16];
+                outcomes.push(s.read_at(i * 64, &mut buf).is_ok());
+            }
+            outcomes
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]
