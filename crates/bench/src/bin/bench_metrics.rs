@@ -7,9 +7,10 @@
 //!
 //! It then measures what observability itself costs: the same query batch
 //! is timed with no span sink (production default), with a RingCollector
-//! sink installed (tracing on), and with per-query EXPLAIN reports. The
-//! comparison lands in `BENCH_PR5.json` together with hard invariants
-//! checked inline:
+//! sink installed (tracing on), with per-query EXPLAIN reports, and with
+//! the flight recorder armed but idle. The sink/EXPLAIN comparison lands
+//! in `BENCH_PR5.json`, the recorder comparison in `BENCH_PR7.json`,
+//! together with hard invariants checked inline:
 //!   - with no sink, spans allocate nothing (`fields_allocated` stays false);
 //!   - sink on/off produces bit-identical match sets;
 //!   - every clean EXPLAIN report reconciles (per-block scanned/matched sums
@@ -131,14 +132,45 @@ fn main() {
         );
     }
     s3_obs::clear_span_sink();
+
+    // --- Phase 4: flight recorder armed, no span sink. The black box
+    // (event tee + attached windows, ready to dump incidents) must cost
+    // nothing on the query path while no incident fires: events are not
+    // emitted per query and spans stay allocation-free without a sink.
+    let recorder = std::sync::Arc::new(s3_obs::FlightRecorder::new(
+        s3_obs::RecorderConfig::default(),
+    ));
+    let windows = std::sync::Arc::new(s3_obs::MetricWindows::new(64));
+    recorder.set_windows(std::sync::Arc::clone(&windows));
+    s3_obs::install_event_tee(&recorder, None);
+    let wall = s3_obs::WallTime::new();
+    windows.tick(&wall);
+    let t = Instant::now();
+    let res_armed = disk
+        .stat_query_batch(&qrefs, &model, &opts, mem)
+        .expect("batch query (recorder armed)");
+    let armed_ns = t.elapsed().as_nanos() as u64;
+    windows.tick(&wall);
+    assert_eq!(
+        match_key(&res_off),
+        match_key(&res_armed),
+        "arming the flight recorder changed query results"
+    );
+    assert_eq!(
+        recorder.incident_count(),
+        0,
+        "a clean benchmark run must not dump incidents"
+    );
     let _ = std::fs::remove_file(&path);
 
     let per = |total: u64| total / n_queries as u64;
     let overhead = |ns: u64| (ns as f64 / off_ns as f64 - 1.0) * 100.0;
     eprintln!(
-        "overhead: sink {:+.2}% explain {:+.2}% ({} spans captured, {} dropped)",
+        "overhead: sink {:+.2}% explain {:+.2}% recorder-armed {:+.2}% \
+         ({} spans captured, {} dropped)",
         overhead(on_ns),
         overhead(explain_ns),
+        overhead(armed_ns),
         spans_captured,
         spans_dropped
     );
@@ -170,4 +202,21 @@ fn main() {
     );
     std::fs::write(&out, json).expect("write overhead comparison");
     eprintln!("overhead comparison written to {}", out.display());
+
+    // Flight-recorder overhead artifact: armed (windows + event tee, no
+    // span sink, no incident) vs. disarmed must be ~free.
+    let out = results_dir().join("BENCH_PR7.json");
+    let json = format!(
+        "{{\n  \"queries\": {},\n  \"db_records\": {},\n  \"ns_per_query_no_recorder\": {},\n  \
+         \"ns_per_query_recorder_armed\": {},\n  \"recorder_overhead_pct\": {:.3},\n  \
+         \"window_frames\": {},\n  \"incidents\": 0,\n  \"results_identical\": true\n}}\n",
+        n_queries,
+        index.len(),
+        per(off_ns),
+        per(armed_ns),
+        overhead(armed_ns),
+        windows.frames(),
+    );
+    std::fs::write(&out, json).expect("write recorder overhead");
+    eprintln!("recorder overhead written to {}", out.display());
 }

@@ -21,6 +21,7 @@
 
 mod args;
 mod metrics;
+mod watch;
 
 use args::Args;
 use s3_cbcd::{
@@ -66,6 +67,8 @@ fn main() -> ExitCode {
         "detect" => cmd_detect(rest),
         "monitor" => cmd_monitor(rest),
         "metrics" => cmd_metrics(rest),
+        "watch" => watch::cmd_watch(rest),
+        "incident" => watch::cmd_incident(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(CmdStatus::Clean)
@@ -115,6 +118,21 @@ USAGE:
   s3cbcd metrics [--format table|json|prom] [--queries N]
       Run a small self-contained extract+index+query workload and print
       the populated metrics registry in the chosen exporter format.
+  s3cbcd watch [--ticks N] [--interval-ms MS] [--fault none|torn|stall|mixed]
+               [--queries N] [--videos N] [--frames N] [--seed S]
+               [--incident-dir DIR] [--pool-pages N] [--top N]
+               [--deadline-ms MS] [--plain]
+      Live ops dashboard: run a self-contained query workload (optionally
+      with injected storage faults) and redraw windowed rates, rolling
+      latency quantiles, per-rule health verdicts and the buffer pool's
+      hottest pages every tick. When health leaves Healthy, the flight
+      recorder dumps an incident report JSON into --incident-dir and the
+      command exits 2. --plain appends frames instead of clearing the
+      screen (pipe/CI friendly).
+  s3cbcd incident <report.json>
+      Pretty-print a flight-recorder incident dump (s3.incident.v1):
+      trigger, health rules, windowed rates, slowest spans, recent events
+      and component state.
 
   query/detect/monitor also accept:
       --threads N             worker threads for the search stage

@@ -68,6 +68,18 @@ fn smoke_workload() {
     s3_obs::event::info("catalog", "smoke info");
     s3_obs::event::warn("catalog", "smoke warn");
 
+    // Health engine + flight recorder (health, health.rule,
+    // health.transitions, recorder.incidents): tick a window ring and
+    // evaluate the stock rules once so their gauges register.
+    let windows = s3_obs::MetricWindows::new(8);
+    let time = s3_obs::ManualTime::new();
+    windows.tick(&time);
+    time.advance(std::time::Duration::from_secs(1));
+    windows.tick(&time);
+    let engine = s3_obs::HealthEngine::new(s3_core::default_health_rules());
+    let _ = engine.evaluate(&windows);
+    let _ = s3_obs::FlightRecorder::new(s3_obs::RecorderConfig::default());
+
     s3_obs::clear_span_sink();
 }
 

@@ -31,6 +31,11 @@ use crate::storage::Storage;
 /// Number of access timestamps LRU-K keeps per frame.
 const LRU_K: usize = 2;
 
+/// Distinct pages the access heatmap tracks before decaying: counts are
+/// halved (and zeros dropped) when the map grows past this, so the
+/// heatmap stays bounded and biased toward recent traffic.
+const HEAT_CAP: usize = 65_536;
+
 /// Where the pool's pages come from: a logical byte stream chopped into
 /// fixed-size pages (the last one may be short).
 pub trait PageSource: fmt::Debug + Send + Sync {
@@ -56,6 +61,10 @@ struct PoolState {
     frames: HashMap<u64, Frame>,
     tick: u64,
     pinned: u64,
+    /// Per-page access counts (hits *and* misses) — the heatmap behind
+    /// [`BufferPool::hottest`]. Survives eviction: it tracks traffic,
+    /// not residency.
+    heat: HashMap<u64, u64>,
 }
 
 /// Bounded page cache over a [`PageSource`].
@@ -84,6 +93,7 @@ impl<P: PageSource> BufferPool<P> {
                 frames: HashMap::new(),
                 tick: 0,
                 pinned: 0,
+                heat: HashMap::new(),
             }),
         }
     }
@@ -111,6 +121,13 @@ impl<P: PageSource> BufferPool<P> {
         let mut s = self.lock();
         s.tick += 1;
         let tick = s.tick;
+        *s.heat.entry(page_no).or_insert(0) += 1;
+        if s.heat.len() > HEAT_CAP {
+            s.heat.retain(|_, c| {
+                *c /= 2;
+                *c > 0
+            });
+        }
         if let Some(frame) = s.frames.get_mut(&page_no) {
             frame.history.rotate_right(1);
             frame.history[0] = tick;
@@ -171,6 +188,19 @@ impl<P: PageSource> BufferPool<P> {
             state: &self.state,
             page_no,
         })
+    }
+
+    /// The `n` most-accessed pages as `(page_no, access_count)`, hottest
+    /// first (ties broken by page number for a stable dashboard order).
+    /// Counts cover hits and misses alike and decay by halving once the
+    /// heatmap tracks more than 65 536 distinct pages.
+    pub fn hottest(&self, n: usize) -> Vec<(u64, u64)> {
+        let s = self.lock();
+        let mut all: Vec<(u64, u64)> = s.heat.iter().map(|(&p, &c)| (p, c)).collect();
+        drop(s);
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
     }
 
     /// Drops every unpinned frame — called after a merge replaces the
@@ -447,6 +477,27 @@ mod tests {
         drop(g);
         pool.invalidate().unwrap();
         assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn heatmap_ranks_hot_pages_across_evictions() {
+        // Capacity 2, but the heatmap must still rank page 0 hottest even
+        // after it gets evicted by the sweep.
+        let pool = pool_over(flat(64 * 10), 64, 2);
+        for _ in 0..5 {
+            pool.get(0).unwrap();
+        }
+        for p in [1u64, 2, 3, 4] {
+            pool.get(p).unwrap();
+        }
+        pool.get(3).unwrap();
+        let top = pool.hottest(3);
+        assert_eq!(top[0], (0, 5));
+        assert_eq!(top[1], (3, 2));
+        assert_eq!(top.len(), 3);
+        // Ties break by page number.
+        assert_eq!(top[2].1, 1);
+        assert_eq!(top[2].0, 1);
     }
 
     #[test]

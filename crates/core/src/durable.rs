@@ -468,6 +468,93 @@ impl DurableIndex {
     pub fn page_meta(&self) -> PageMeta {
         self.pages.meta()
     }
+
+    /// A point-in-time snapshot of the whole engine's observable state —
+    /// what the flight recorder stamps into incident dumps.
+    pub fn engine_state(&self) -> EngineState {
+        let meta = self.pages.meta();
+        EngineState {
+            generation: meta.generation,
+            checkpoint_lsn: meta.checkpoint_lsn,
+            n_pages: meta.n_pages,
+            data_len: meta.data_len,
+            page_size: meta.page_size,
+            wal_len: self.wal.len(),
+            wal_next_lsn: self.wal.next_lsn(),
+            pending: self.pending.len(),
+            disk_records: self.disk.len(),
+            merges: self.merges,
+            pool_resident: self.pool.resident(),
+            pool_capacity: self.pool.capacity(),
+            recovery: self.recovery,
+        }
+    }
+}
+
+/// Observable storage-engine state (see [`DurableIndex::engine_state`]).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineState {
+    /// Pager generation (bumped per applied merge).
+    pub generation: u64,
+    /// Durable checkpoint LSN from the meta page.
+    pub checkpoint_lsn: u64,
+    /// Data pages in the paged file.
+    pub n_pages: u64,
+    /// Logical bytes of the serialized index stream.
+    pub data_len: u64,
+    /// Page size of the file.
+    pub page_size: u32,
+    /// WAL tail: bytes appended since the last checkpoint.
+    pub wal_len: u64,
+    /// LSN the next WAL append will carry.
+    pub wal_next_lsn: u64,
+    /// Acknowledged records awaiting the next merge.
+    pub pending: usize,
+    /// Records merged to disk.
+    pub disk_records: u64,
+    /// Merges completed by this handle.
+    pub merges: usize,
+    /// Buffer-pool frames currently resident.
+    pub pool_resident: usize,
+    /// Buffer-pool frame capacity.
+    pub pool_capacity: usize,
+    /// What recovery found when the handle was opened.
+    pub recovery: RecoveryReport,
+}
+
+impl EngineState {
+    /// Renders the state as ordered key/value pairs, ready for
+    /// [`s3_obs::FlightRecorder::observe_state`].
+    pub fn to_fields(&self) -> Vec<(String, String)> {
+        let outcome = match self.recovery.outcome {
+            MergeOutcome::Completed => "completed",
+            MergeOutcome::RolledBack => "rolled_back",
+            MergeOutcome::Replayed => "replayed",
+        };
+        vec![
+            ("generation".into(), self.generation.to_string()),
+            ("checkpoint_lsn".into(), self.checkpoint_lsn.to_string()),
+            ("n_pages".into(), self.n_pages.to_string()),
+            ("data_len".into(), self.data_len.to_string()),
+            ("page_size".into(), self.page_size.to_string()),
+            ("wal_len".into(), self.wal_len.to_string()),
+            ("wal_next_lsn".into(), self.wal_next_lsn.to_string()),
+            ("pending".into(), self.pending.to_string()),
+            ("disk_records".into(), self.disk_records.to_string()),
+            ("merges".into(), self.merges.to_string()),
+            ("pool_resident".into(), self.pool_resident.to_string()),
+            ("pool_capacity".into(), self.pool_capacity.to_string()),
+            ("recovery_outcome".into(), outcome.into()),
+            (
+                "recovery_replayed_inserts".into(),
+                self.recovery.replayed_inserts.to_string(),
+            ),
+            (
+                "recovery_redone_pages".into(),
+                self.recovery.redone_pages.to_string(),
+            ),
+        ]
+    }
 }
 
 #[cfg(test)]

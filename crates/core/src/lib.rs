@@ -78,13 +78,13 @@ pub mod wal;
 
 pub use bufferpool::{BlockSource, BufferPool, PageSource, PinnedPage, PooledStorage};
 pub use distortion::{DiagonalNormal, DistortionModel, IsotropicNormal};
-pub use durable::{DurableIndex, DurableOptions, RecoveryReport};
+pub use durable::{DurableIndex, DurableOptions, EngineState, RecoveryReport};
 pub use dynamic::{DynamicIndex, MergeOutcome};
 pub use error::IndexError;
 pub use fingerprint::{dist, dist_sq, Record, RecordBatch, PAPER_DIMS};
 pub use index::{FilterAlgo, Match, QueryResult, QueryStats, Refine, S3Index, StatQueryOpts};
 pub use kernels::{dist_sq_within, KernelTier};
-pub use metrics::CoreMetrics;
+pub use metrics::{default_health_rules, CoreMetrics};
 pub use pager::{DataPages, Page, PageMeta, PageStore, DEFAULT_PAGE_SIZE, PAGE_HEADER_LEN};
 pub use pseudo_disk::{DiskIndex, RetryPolicy, WriteOpts};
 pub use resilience::{

@@ -122,6 +122,11 @@ pub struct CoreMetrics {
     pub wal_replayed: Counter,
     /// `wal.checkpoints` — WAL truncations after a durable checkpoint.
     pub wal_checkpoints: Counter,
+    /// `wal.checkpoint_lag_bytes` — bytes of WAL accumulated since the
+    /// last checkpoint (the redo work a crash would replay).
+    pub wal_lag_bytes: Gauge,
+    /// `pager.file_bytes` — size of the paged storage file.
+    pub pager_file_bytes: Gauge,
     /// `dynamic.merge.ok` — overlay merges that completed normally.
     pub merge_ok: Counter,
     /// `dynamic.merge.rolled_back` — interrupted merges discarded at
@@ -183,6 +188,8 @@ impl CoreMetrics {
                 wal_fsyncs: r.counter("wal.fsyncs"),
                 wal_replayed: r.counter("wal.replayed"),
                 wal_checkpoints: r.counter("wal.checkpoints"),
+                wal_lag_bytes: r.gauge("wal.checkpoint_lag_bytes"),
+                pager_file_bytes: r.gauge("pager.file_bytes"),
                 merge_ok: r.counter("dynamic.merge.ok"),
                 merge_rolled_back: r.counter("dynamic.merge.rolled_back"),
                 merge_replayed: r.counter("dynamic.merge.replayed"),
@@ -245,9 +252,123 @@ impl CoreMetrics {
     }
 }
 
+/// The stock health-rule set covering the metrics this crate records.
+///
+/// Tuned for the continuous-monitoring deployment: a rule only trips on
+/// sustained windowed evidence (`min_count` floors filter out idle or
+/// barely-started systems), and every ceiling has headroom over the
+/// values a healthy run produces. Callers can extend or replace the set
+/// before handing it to [`s3_obs::HealthEngine`].
+pub fn default_health_rules() -> Vec<s3_obs::HealthRule> {
+    use s3_obs::{Bounds, HealthRule, Signal};
+    vec![
+        // The pool thrashing (hit rate below 50 %) degrades every read
+        // path; below 20 % the working set clearly does not fit.
+        HealthRule::new(
+            "bufferpool-hit-rate",
+            Signal::Ratio {
+                num: "bufferpool.hits",
+                den: &["bufferpool.hits", "bufferpool.misses"],
+            },
+            Duration::from_secs(60),
+            Bounds::at_least(0.5),
+        )
+        .critical(Bounds::at_least(0.2))
+        .min_count(64),
+        // Un-checkpointed WAL is crash-recovery debt: replay time grows
+        // linearly with it.
+        HealthRule::new(
+            "wal-checkpoint-lag",
+            Signal::GaugeValue("wal.checkpoint_lag_bytes"),
+            Duration::from_secs(60),
+            Bounds::at_most(16.0 * 1024.0 * 1024.0),
+        )
+        .critical(Bounds::at_most(64.0 * 1024.0 * 1024.0)),
+        // Storage faults (CRC mismatches) should be rare events, not a
+        // steady stream.
+        HealthRule::new(
+            "storage-fault-rate",
+            Signal::Rate("storage.crc_failures"),
+            Duration::from_secs(60),
+            Bounds::at_most(0.5),
+        )
+        .critical(Bounds::at_most(5.0))
+        .min_count(2),
+        // Breakers opening mean whole sections are being skipped.
+        HealthRule::new(
+            "breaker-open-rate",
+            Signal::Rate("resilience.breaker_open"),
+            Duration::from_secs(60),
+            Bounds::at_most(0.2),
+        )
+        .min_count(2),
+        // Load shedding at a sustained clip means admission capacity is
+        // undersized for the offered load.
+        HealthRule::new(
+            "shed-rate",
+            Signal::Rate("resilience.shed"),
+            Duration::from_secs(60),
+            Bounds::at_most(1.0),
+        )
+        .min_count(4),
+        // Deadlines expiring continuously: queries cannot finish in
+        // their budget.
+        HealthRule::new(
+            "deadline-rate",
+            Signal::Rate("resilience.deadline_exceeded"),
+            Duration::from_secs(60),
+            Bounds::at_most(0.5),
+        )
+        .min_count(2),
+        // Calibration drift (predicted − observed selectivity, basis
+        // points): the distortion model drifting far from reality breaks
+        // the paper's α capture guarantee in either direction.
+        HealthRule::new(
+            "calibration-drift",
+            Signal::GaugeValue("calibration.drift"),
+            Duration::from_secs(300),
+            Bounds::within(-2500.0, 2500.0),
+        )
+        .critical(Bounds::within(-6000.0, 6000.0)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_rules_cover_registered_metrics() {
+        let rules = default_health_rules();
+        assert!(rules.len() >= 6);
+        // Every rule references a metric name CoreMetrics registers.
+        let _ = CoreMetrics::get();
+        let snap = registry().snapshot();
+        let known: Vec<&str> = snap
+            .counters
+            .iter()
+            .map(|(id, _)| id.name)
+            .chain(snap.gauges.iter().map(|(id, _)| id.name))
+            .collect();
+        for rule in &rules {
+            let names: Vec<&str> = match rule.signal {
+                s3_obs::Signal::Rate(n) | s3_obs::Signal::GaugeValue(n) => vec![n],
+                s3_obs::Signal::Ratio { num, den } => {
+                    let mut v = vec![num];
+                    v.extend_from_slice(den);
+                    v
+                }
+                s3_obs::Signal::QuantileNs { histogram, .. } => vec![histogram],
+            };
+            for n in names {
+                assert!(
+                    known.contains(&n),
+                    "rule {} references unregistered {n}",
+                    rule.name
+                );
+            }
+        }
+    }
 
     #[test]
     fn record_query_updates_counters() {

@@ -206,7 +206,9 @@ impl<S: WritableStorage> Wal<S> {
             // record boundary.
             storage.truncate(off)?;
         }
-        CoreMetrics::get().wal_replayed.add(records.len() as u64);
+        let m = CoreMetrics::get();
+        m.wal_replayed.add(records.len() as u64);
+        m.wal_lag_bytes.set(off as f64);
         Ok((
             Wal {
                 storage,
@@ -234,7 +236,9 @@ impl<S: WritableStorage> Wal<S> {
         self.storage.write_at(self.end, &frame)?;
         self.end += frame.len() as u64;
         self.next_lsn += 1;
-        CoreMetrics::get().wal_appends.inc();
+        let m = CoreMetrics::get();
+        m.wal_appends.inc();
+        m.wal_lag_bytes.set(self.end as f64);
         Ok(lsn)
     }
 
@@ -251,7 +255,9 @@ impl<S: WritableStorage> Wal<S> {
         self.storage.truncate(0)?;
         self.storage.sync()?;
         self.end = 0;
-        CoreMetrics::get().wal_checkpoints.inc();
+        let m = CoreMetrics::get();
+        m.wal_checkpoints.inc();
+        m.wal_lag_bytes.set(0.0);
         Ok(())
     }
 

@@ -22,6 +22,14 @@
 //! [`ExplainReport`] carries a per-query plan/outcome breakdown filled in
 //! by `s3-core`.
 //!
+//! Continuous operation builds on those primitives: [`MetricWindows`]
+//! turns cumulative registry snapshots into windowed rates and rolling
+//! quantiles, a [`HealthEngine`] evaluates declarative [`HealthRule`]s
+//! over the windows into `Healthy/Degraded/Critical` [`Verdict`]s with
+//! hysteresis, and a [`FlightRecorder`] black-box retains recent spans,
+//! events and component state, dumping an [`IncidentReport`] JSON
+//! document (readable back with [`JsonValue`]) when something trips.
+//!
 //! ```
 //! use s3_obs::{registry, span};
 //!
@@ -49,18 +57,29 @@
 pub mod event;
 mod explain;
 mod export;
+mod health;
+mod json;
 mod metrics;
+mod recorder;
 mod span;
 mod trace;
+mod window;
 
 pub use event::{set_event_sink, EventSink, Level, MemEventSink, StderrSink};
 pub use explain::{BlockExplain, ExplainPhase, ExplainReport};
+pub use health::{Bounds, HealthEngine, HealthReport, HealthRule, RuleOutcome, Signal, Verdict};
+pub use json::{JsonError, JsonValue};
 pub use metrics::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram, MetricId, Registry,
     Snapshot,
+};
+pub use recorder::{
+    install_event_tee, install_panic_hook, EventRecord, FlightRecorder, HistogramSummary,
+    IncidentReport, IncidentTrigger, RecorderConfig,
 };
 pub use span::{
     clear_span_sink, current_query, set_span_sink, QueryScope, RingCollector, Span, SpanRecord,
     SpanSink,
 };
 pub use trace::to_chrome_trace;
+pub use window::{ManualTime, MetricWindows, TimeSource, WallTime, WindowFrame};

@@ -407,6 +407,62 @@ impl HistogramSnapshot {
             })
             .collect()
     }
+
+    /// The distribution of samples recorded *after* `earlier` was taken
+    /// from the same histogram (per-bucket saturating difference).
+    ///
+    /// This is what turns cumulative histograms into windowed ones: the
+    /// delta between two snapshots of `query.latency` taken 60 s apart is
+    /// the latency distribution of the last 60 s. The exact min/max of the
+    /// window are unrecoverable from cumulative state, so the delta's
+    /// min/max are bucket bounds (lowest/highest non-empty delta bucket) —
+    /// quantiles keep their usual ≤ 12.5 % relative error.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Box::new([0u64; NBUCKETS]);
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        let count = buckets.iter().sum();
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for (i, &c) in buckets.iter().enumerate() {
+            if c > 0 {
+                let (lo, hi) = bucket_bounds(i);
+                min = min.min(lo);
+                max = max.max(hi.saturating_sub(1));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min,
+            max,
+            buckets,
+        }
+    }
+
+    /// Merges another snapshot's samples into this one (bucket-wise sum,
+    /// saturating). Min/max take the more extreme of the two.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst = dst.saturating_add(*src);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// An empty snapshot (identity element of [`HistogramSnapshot::merge`]).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Box::new([0u64; NBUCKETS]),
+        }
+    }
 }
 
 enum Slot {
@@ -485,8 +541,17 @@ impl Registry {
 
     /// Returns (registering on first use) the gauge `name`.
     pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauge_with(name, None)
+    }
+
+    /// Returns the gauge `name{label}`.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        label: Option<(&'static str, &'static str)>,
+    ) -> Gauge {
         self.lookup(
-            MetricId { name, label: None },
+            MetricId { name, label },
             |s| match s {
                 Slot::Gauge(g) => Some(g.clone()),
                 _ => None,

@@ -1,0 +1,633 @@
+//! The flight recorder: a bounded, pre-allocated black box.
+//!
+//! A [`FlightRecorder`] continuously captures the most recent spans (via
+//! a [`RingCollector`]), events (via a tee [`EventSink`]), metric-window
+//! state and caller-reported component state (e.g. the storage engine's
+//! pager generation / checkpoint LSN / WAL tail), all in fixed-size
+//! rings. It costs nothing on the query hot path: spans are only
+//! captured when the caller opts in with [`FlightRecorder::attach_spans`]
+//! (the span fast path stays allocation-free otherwise), events are rare
+//! by construction, and state observations happen on the ticking loop.
+//!
+//! When something goes wrong — the health engine trips, the process
+//! panics (see [`install_panic_hook`]), or an operator asks — the
+//! recorder freezes everything it holds into an [`IncidentReport`] and
+//! writes it to disk as a self-describing JSON document
+//! (`schema = "s3.incident.v1"`) for post-mortem analysis with the CLI
+//! `incident` subcommand.
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::event::{set_event_sink, EventSink, Level};
+use crate::export::json_escape;
+use crate::health::HealthReport;
+use crate::metrics::{registry, Counter, MetricId};
+use crate::span::{set_span_sink, RingCollector, SpanRecord};
+use crate::window::MetricWindows;
+
+/// Capacities of the recorder's rings.
+#[derive(Clone, Copy, Debug)]
+pub struct RecorderConfig {
+    /// Spans retained when [`FlightRecorder::attach_spans`] is used.
+    pub span_capacity: usize,
+    /// Events retained from the tee sink.
+    pub event_capacity: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            span_capacity: 512,
+            event_capacity: 256,
+        }
+    }
+}
+
+/// An event as retained by the recorder.
+#[derive(Clone, Debug)]
+pub struct EventRecord {
+    /// Severity name (`info` / `warn` / `error`).
+    pub level: &'static str,
+    /// Emitting subsystem.
+    pub target: &'static str,
+    /// Message text.
+    pub message: String,
+}
+
+/// What caused an incident dump.
+#[derive(Clone, Debug)]
+pub struct IncidentTrigger {
+    /// Trigger class: `health`, `panic` or `manual`.
+    pub kind: &'static str,
+    /// The health rule that tripped, when `kind == "health"`.
+    pub rule: Option<String>,
+    /// Free-form explanation.
+    pub detail: String,
+}
+
+/// A summarised cumulative histogram for the incident dump.
+#[derive(Clone, Debug)]
+pub struct HistogramSummary {
+    /// Metric id.
+    pub id: MetricId,
+    /// Total samples.
+    pub count: u64,
+    /// p50 estimate (None when empty).
+    pub p50: Option<u64>,
+    /// p99 estimate (None when empty).
+    pub p99: Option<u64>,
+    /// Exact maximum (None when empty).
+    pub max: Option<u64>,
+}
+
+/// Everything the recorder knew at the moment of an incident.
+#[derive(Clone, Debug)]
+pub struct IncidentReport {
+    /// Milliseconds since the Unix epoch at dump time.
+    pub unix_ms: u64,
+    /// Per-recorder incident sequence number (1-based).
+    pub seq: u64,
+    /// What caused the dump.
+    pub trigger: IncidentTrigger,
+    /// The most recent health evaluation, if the recorder saw one.
+    pub health: Option<HealthReport>,
+    /// Time span covered by the metric windows at dump time.
+    pub window_covered: Duration,
+    /// Lookback used for the windowed rates below.
+    pub window_lookback: Duration,
+    /// Windowed per-second counter rates (`<counter>_rate` ids).
+    pub rates: Vec<(MetricId, f64)>,
+    /// Recent spans, oldest first (empty unless spans were attached).
+    pub spans: Vec<SpanRecord>,
+    /// Recent events, oldest first.
+    pub events: Vec<EventRecord>,
+    /// Latest reported state per component, e.g. the storage engine.
+    pub state: Vec<(String, Vec<(String, String)>)>,
+    /// Cumulative counters at dump time.
+    pub counters: Vec<(MetricId, u64)>,
+    /// Gauges at dump time.
+    pub gauges: Vec<(MetricId, f64)>,
+    /// Cumulative histogram summaries at dump time.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+struct RecorderInner {
+    events: VecDeque<EventRecord>,
+    state: Vec<(String, Vec<(String, String)>)>,
+    windows: Option<Arc<MetricWindows>>,
+    last_health: Option<HealthReport>,
+}
+
+/// The black box itself (see module docs). Cheap to share via `Arc`.
+pub struct FlightRecorder {
+    config: RecorderConfig,
+    spans: Arc<RingCollector>,
+    inner: Mutex<RecorderInner>,
+    seq: AtomicU64,
+    incidents: Counter,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(RecorderConfig::default())
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with the given ring capacities.
+    pub fn new(config: RecorderConfig) -> FlightRecorder {
+        FlightRecorder {
+            config,
+            spans: RingCollector::new(config.span_capacity),
+            inner: Mutex::new(RecorderInner {
+                events: VecDeque::with_capacity(config.event_capacity),
+                state: Vec::new(),
+                windows: None,
+                last_health: None,
+            }),
+            seq: AtomicU64::new(0),
+            incidents: registry().counter("recorder.incidents"),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RecorderInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The recorder's span ring (install it elsewhere, or inspect it).
+    pub fn spans(&self) -> &Arc<RingCollector> {
+        &self.spans
+    }
+
+    /// Installs the recorder's span ring as the process-wide span sink.
+    /// This turns on span-field allocation; leave it off for zero-cost
+    /// arming (events/state/windows are still captured).
+    pub fn attach_spans(&self) {
+        set_span_sink(Box::new(Arc::clone(&self.spans)));
+    }
+
+    /// Points the recorder at the window ring to snapshot on incidents.
+    pub fn set_windows(&self, windows: Arc<MetricWindows>) {
+        self.lock().windows = Some(windows);
+    }
+
+    /// Stores the latest health evaluation for inclusion in dumps.
+    pub fn observe_health(&self, report: &HealthReport) {
+        self.lock().last_health = Some(report.clone());
+    }
+
+    /// Records (replacing any previous value) a component's current
+    /// state as key/value pairs — e.g. `storage_engine` with pager
+    /// generation, checkpoint LSN, WAL tail and recovery outcome.
+    pub fn observe_state(&self, component: &str, fields: Vec<(String, String)>) {
+        let mut inner = self.lock();
+        match inner.state.iter_mut().find(|(c, _)| c == component) {
+            Some((_, f)) => *f = fields,
+            None => inner.state.push((component.to_owned(), fields)),
+        }
+    }
+
+    /// Appends an event to the bounded event ring. Usually called via
+    /// the tee sink installed by [`install_event_tee`].
+    pub fn record_event(&self, level: Level, target: &'static str, message: &str) {
+        let mut inner = self.lock();
+        if inner.events.len() == self.config.event_capacity {
+            inner.events.pop_front();
+        }
+        let level = match level {
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        };
+        inner.events.push_back(EventRecord {
+            level,
+            target,
+            message: message.to_owned(),
+        });
+    }
+
+    /// Incidents dumped so far by this recorder.
+    pub fn incident_count(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the recorder's current contents into an [`IncidentReport`].
+    pub fn incident(&self, trigger: IncidentTrigger) -> IncidentReport {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.incidents.inc();
+        let inner = self.lock();
+        let (covered, lookback, rates) = match &inner.windows {
+            Some(w) => {
+                let covered = w.covered();
+                // Prefer the last minute; shrink to what the ring
+                // actually covers when it is younger than that.
+                let lookback = if covered > Duration::ZERO {
+                    covered.min(Duration::from_secs(60))
+                } else {
+                    Duration::from_secs(60)
+                };
+                (covered, lookback, w.rate_gauges(lookback, "rate"))
+            }
+            None => (Duration::ZERO, Duration::ZERO, Vec::new()),
+        };
+        let health = inner.last_health.clone();
+        let events = inner.events.iter().cloned().collect();
+        let state = inner.state.clone();
+        drop(inner);
+        let snap = registry().snapshot();
+        let histograms = snap
+            .histograms
+            .iter()
+            .map(|(id, h)| HistogramSummary {
+                id: *id,
+                count: h.count,
+                p50: h.quantile(0.5),
+                p99: h.quantile(0.99),
+                max: if h.count > 0 { Some(h.max) } else { None },
+            })
+            .collect();
+        IncidentReport {
+            unix_ms: unix_ms_now(),
+            seq,
+            trigger,
+            health,
+            window_covered: covered,
+            window_lookback: lookback,
+            rates,
+            spans: self.spans.peek(),
+            events,
+            state,
+            counters: snap.counters,
+            gauges: snap.gauges,
+            histograms,
+        }
+    }
+
+    /// [`FlightRecorder::incident`] + [`IncidentReport::write_to_dir`].
+    pub fn dump_incident(&self, trigger: IncidentTrigger, dir: &Path) -> io::Result<PathBuf> {
+        self.incident(trigger).write_to_dir(dir)
+    }
+}
+
+fn unix_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+fn json_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        // JSON has no NaN/Inf; null is the honest encoding.
+        out.push_str("null");
+    }
+}
+
+fn json_id(out: &mut String, id: &MetricId) {
+    out.push_str(&format!("\"name\": \"{}\"", json_escape(id.name)));
+    if let Some((k, v)) = id.label {
+        out.push_str(&format!(
+            ", \"label\": {{\"{}\": \"{}\"}}",
+            json_escape(k),
+            json_escape(v)
+        ));
+    }
+}
+
+fn json_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => out.push_str(&v.to_string()),
+        None => out.push_str("null"),
+    }
+}
+
+impl IncidentReport {
+    /// Renders the report as a self-describing JSON document
+    /// (`"schema": "s3.incident.v1"`).
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(4096);
+        o.push_str("{\n  \"schema\": \"s3.incident.v1\",\n");
+        o.push_str(&format!("  \"unix_ms\": {},\n", self.unix_ms));
+        o.push_str(&format!("  \"seq\": {},\n", self.seq));
+        // Trigger.
+        o.push_str(&format!(
+            "  \"trigger\": {{\"kind\": \"{}\", \"rule\": ",
+            json_escape(self.trigger.kind)
+        ));
+        match &self.trigger.rule {
+            Some(r) => o.push_str(&format!("\"{}\"", json_escape(r))),
+            None => o.push_str("null"),
+        }
+        o.push_str(&format!(
+            ", \"detail\": \"{}\"}},\n",
+            json_escape(&self.trigger.detail)
+        ));
+        // Health.
+        match &self.health {
+            Some(h) => {
+                o.push_str(&format!(
+                    "  \"health\": {{\"verdict\": \"{}\", \"previous\": \"{}\", \"rules\": [",
+                    h.verdict.as_str(),
+                    h.previous.as_str()
+                ));
+                for (i, r) in h.rules.iter().enumerate() {
+                    if i > 0 {
+                        o.push_str(", ");
+                    }
+                    o.push_str(&format!(
+                        "{{\"name\": \"{}\", \"level\": \"{}\", \"value\": ",
+                        json_escape(r.name),
+                        r.level.as_str()
+                    ));
+                    match r.value {
+                        Some(v) => json_num(&mut o, v),
+                        None => o.push_str("null"),
+                    }
+                    o.push_str(&format!(", \"detail\": \"{}\"}}", json_escape(&r.detail)));
+                }
+                o.push_str("]},\n");
+            }
+            None => o.push_str("  \"health\": null,\n"),
+        }
+        // Windows.
+        o.push_str("  \"windows\": {");
+        o.push_str(&format!(
+            "\"covered_s\": {}, \"lookback_s\": {}, \"rates\": [",
+            self.window_covered.as_secs_f64(),
+            self.window_lookback.as_secs_f64()
+        ));
+        for (i, (id, v)) in self.rates.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push('{');
+            json_id(&mut o, id);
+            o.push_str(", \"per_s\": ");
+            json_num(&mut o, *v);
+            o.push('}');
+        }
+        o.push_str("]},\n");
+        // Spans.
+        o.push_str("  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push_str(&format!(
+                "{{\"name\": \"{}\", \"start_ns\": {}, \"dur_ns\": {}, \"query_id\": {}, \"tid\": {}, \"fields\": {{",
+                json_escape(s.name),
+                s.start_ns,
+                s.dur_ns,
+                s.query_id,
+                s.tid
+            ));
+            for (j, (k, v)) in s.fields.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                o.push_str(&format!("\"{}\": ", json_escape(k)));
+                json_num(&mut o, *v);
+            }
+            o.push_str("}}");
+        }
+        o.push_str("],\n");
+        // Events.
+        o.push_str("  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push_str(&format!(
+                "{{\"level\": \"{}\", \"target\": \"{}\", \"message\": \"{}\"}}",
+                e.level,
+                json_escape(e.target),
+                json_escape(&e.message)
+            ));
+        }
+        o.push_str("],\n");
+        // Component state.
+        o.push_str("  \"state\": {");
+        for (i, (component, fields)) in self.state.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push_str(&format!("\"{}\": {{", json_escape(component)));
+            for (j, (k, v)) in fields.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                o.push_str(&format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)));
+            }
+            o.push('}');
+        }
+        o.push_str("},\n");
+        // Cumulative metrics.
+        o.push_str("  \"metrics\": {\"counters\": [");
+        for (i, (id, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push('{');
+            json_id(&mut o, id);
+            o.push_str(&format!(", \"value\": {v}}}"));
+        }
+        o.push_str("], \"gauges\": [");
+        for (i, (id, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push('{');
+            json_id(&mut o, id);
+            o.push_str(", \"value\": ");
+            json_num(&mut o, *v);
+            o.push('}');
+        }
+        o.push_str("], \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push('{');
+            json_id(&mut o, &h.id);
+            o.push_str(&format!(", \"count\": {}, \"p50\": ", h.count));
+            json_opt_u64(&mut o, h.p50);
+            o.push_str(", \"p99\": ");
+            json_opt_u64(&mut o, h.p99);
+            o.push_str(", \"max\": ");
+            json_opt_u64(&mut o, h.max);
+            o.push('}');
+        }
+        o.push_str("]}\n}\n");
+        o
+    }
+
+    /// Writes the report to `dir` as `incident-<kind>-<seq>.json`,
+    /// creating the directory if needed. Returns the file path.
+    pub fn write_to_dir(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!(
+            "incident-{}-{:04}.json",
+            self.trigger.kind, self.seq
+        ));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+struct TeeEventSink {
+    rec: Arc<FlightRecorder>,
+    forward: Option<Box<dyn EventSink>>,
+}
+
+impl EventSink for TeeEventSink {
+    fn on_event(&self, level: Level, target: &'static str, message: &str) {
+        self.rec.record_event(level, target, message);
+        if let Some(f) = &self.forward {
+            f.on_event(level, target, message);
+        }
+    }
+}
+
+/// Installs the process-wide event sink as a tee: every event is
+/// retained in `rec`'s ring and (optionally) forwarded to `forward`
+/// (e.g. the default stderr sink to keep operator-visible warnings).
+pub fn install_event_tee(rec: &Arc<FlightRecorder>, forward: Option<Box<dyn EventSink>>) {
+    set_event_sink(Box::new(TeeEventSink {
+        rec: Arc::clone(rec),
+        forward,
+    }));
+}
+
+/// Chains a panic hook that dumps a `kind = "panic"` incident from `rec`
+/// into `dir` before delegating to the previous hook. Install once,
+/// late in startup.
+pub fn install_panic_hook(rec: Arc<FlightRecorder>, dir: PathBuf) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let detail = match info.location() {
+            Some(loc) => format!("panic at {}:{}: {}", loc.file(), loc.line(), payload(info)),
+            None => format!("panic: {}", payload(info)),
+        };
+        let _ = rec.dump_incident(
+            IncidentTrigger {
+                kind: "panic",
+                rule: None,
+                detail,
+            },
+            &dir,
+        );
+        prev(info);
+    }));
+}
+
+fn payload(info: &std::panic::PanicHookInfo<'_>) -> String {
+    if let Some(s) = info.payload().downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = info.payload().downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string payload>".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            span_capacity: 4,
+            event_capacity: 3,
+        });
+        for i in 0..10 {
+            rec.record_event(Level::Warn, "t", &format!("e{i}"));
+        }
+        let report = rec.incident(IncidentTrigger {
+            kind: "manual",
+            rule: None,
+            detail: "test".into(),
+        });
+        assert_eq!(report.events.len(), 3);
+        assert_eq!(report.events[0].message, "e7");
+        assert_eq!(report.seq, 1);
+    }
+
+    #[test]
+    fn incident_json_parses_and_has_schema() {
+        let rec = FlightRecorder::default();
+        rec.observe_state(
+            "storage_engine",
+            vec![
+                ("generation".into(), "3".into()),
+                ("note".into(), "a\"b".into()),
+            ],
+        );
+        rec.record_event(Level::Error, "storage", "torn read");
+        let report = rec.incident(IncidentTrigger {
+            kind: "manual",
+            rule: Some("r1".into()),
+            detail: "detail \"quoted\"".into(),
+        });
+        let doc = JsonValue::parse(&report.to_json()).expect("valid json");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("s3.incident.v1")
+        );
+        assert_eq!(
+            doc.get("trigger")
+                .and_then(|t| t.get("rule"))
+                .and_then(|r| r.as_str()),
+            Some("r1")
+        );
+        let state = doc.get("state").and_then(|s| s.get("storage_engine"));
+        assert_eq!(
+            state.and_then(|s| s.get("note")).and_then(|n| n.as_str()),
+            Some("a\"b")
+        );
+        assert!(doc.get("metrics").and_then(|m| m.get("counters")).is_some());
+    }
+
+    #[test]
+    fn write_to_dir_names_by_kind_and_seq() {
+        let rec = FlightRecorder::default();
+        let dir = std::env::temp_dir().join(format!("s3obs-rec-test-{}", std::process::id()));
+        let r1 = rec.incident(IncidentTrigger {
+            kind: "manual",
+            rule: None,
+            detail: "x".into(),
+        });
+        let p = r1.write_to_dir(&dir).expect("write");
+        assert!(p
+            .file_name()
+            .and_then(|f| f.to_str())
+            .map(|f| f == "incident-manual-0001.json")
+            .unwrap_or(false));
+        let text = std::fs::read_to_string(&p).expect("read back");
+        assert!(JsonValue::parse(&text).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -262,6 +262,16 @@ impl RingCollector {
         })
     }
 
+    /// Copies out all buffered spans, oldest first, without consuming
+    /// them. The flight recorder uses this so an incident dump does not
+    /// steal spans from a trace exporter draining the same ring.
+    pub fn peek(&self) -> Vec<SpanRecord> {
+        match self.buf.lock() {
+            Ok(b) => b.iter().cloned().collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
     /// Removes and returns all buffered spans, oldest first.
     pub fn drain(&self) -> Vec<SpanRecord> {
         match self.buf.lock() {
