@@ -53,6 +53,7 @@ fn main() {
         WriteOpts {
             table_depth: 10,
             block_size: 1024,
+            sketch_bits: 0,
         },
     )
     .unwrap();

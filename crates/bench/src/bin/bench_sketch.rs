@@ -1,0 +1,269 @@
+//! Section-sketch prefilter benchmark: I/O avoided, exactness preserved.
+//!
+//! Builds a pseudo-disk index with its sketch sidecar, then runs the same
+//! query batch twice through a small buffer pool — sketch off, sketch on —
+//! and reports:
+//!
+//! * **bit identity** (asserted before any timing): matches and per-query
+//!   scanned-entry counts are identical in both modes — the sketch only
+//!   ever skipped true-negative section loads;
+//! * **sections loaded**: the sketch must cut section loads by ≥ 30 % on
+//!   this workload;
+//! * **end-to-end speedup** under the constrained pool, where every avoided
+//!   section load is avoided page churn.
+//!
+//! Usage: `bench_sketch [--scale quick|full]`. Writes
+//! `results/BENCH_PR8.json` and exits non-zero if identity breaks or the
+//! section-load reduction falls short.
+
+use s3_bench::{results_dir, Scale};
+use s3_core::bufferpool::{BlockSource, BufferPool, PooledStorage};
+use s3_core::pseudo_disk::{BatchResult, DiskIndex, WriteOpts};
+use s3_core::{
+    CoreMetrics, FileStorage, IsotropicNormal, RecordBatch, S3Index, Sketch, SketchParams,
+    StatQueryOpts,
+};
+use s3_hilbert::HilbertCurve;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DIMS: usize = 6;
+const TABLE_DEPTH: u32 = 14;
+const PAGE_SIZE: u32 = 4096;
+/// Minimum section-load reduction the sketch must deliver here.
+const MIN_REDUCTION: f64 = 0.30;
+
+/// Sparse corpus: records spread over the space so most sketch cells stay
+/// empty — the regime the prefilter is built for (a fingerprint database is
+/// a vanishing fraction of the 2^48-point space).
+fn build_index(n_records: usize) -> S3Index {
+    let mut s = 0x5EED_B10Cu64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut batch = RecordBatch::new(DIMS);
+    for i in 0..n_records {
+        let fp: Vec<u8> = (0..DIMS).map(|_| (next() >> 24) as u8).collect();
+        batch.push(&fp, (i % 97) as u32, i as u32);
+    }
+    S3Index::build(HilbertCurve::new(DIMS, 8).unwrap(), batch)
+}
+
+/// Opens the index file through a fresh buffer pool of `pool_pages` frames,
+/// attaching the sidecar sketch when `with_sketch`.
+fn open_pooled(path: &std::path::Path, pool_pages: usize, with_sketch: bool) -> DiskIndex {
+    let storage = FileStorage::open(path).unwrap();
+    let source = BlockSource::new(Box::new(storage), PAGE_SIZE as usize).unwrap();
+    let pool = Arc::new(BufferPool::new(source, pool_pages));
+    let mut disk = DiskIndex::open_storage(Box::new(PooledStorage::new(pool))).unwrap();
+    if with_sketch {
+        let sidecar = FileStorage::open(Sketch::sidecar_path(path)).unwrap();
+        assert!(
+            disk.attach_sketch_storage(&sidecar),
+            "sidecar must attach cleanly"
+        );
+    }
+    disk
+}
+
+fn run_batch(
+    disk: &DiskIndex,
+    qrefs: &[&[u8]],
+    opts: &StatQueryOpts,
+    mem_budget: u64,
+) -> BatchResult {
+    let model = IsotropicNormal::new(DIMS, 10.0);
+    disk.stat_query_batch(qrefs, &model, opts, mem_budget)
+        .unwrap()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (n_records, n_queries, pool_pages, reps) =
+        scale.pick((24_000, 24, 24, 3), (96_000, 48, 48, 5));
+
+    let index = build_index(n_records);
+    let path = std::env::temp_dir().join(format!("s3-bench-sketch-{}.idx", std::process::id()));
+    DiskIndex::write_with(
+        &index,
+        &path,
+        WriteOpts {
+            table_depth: TABLE_DEPTH,
+            block_size: 256,
+            sketch_bits: 8,
+        },
+    )
+    .unwrap();
+    // The default sidecar depth (table_depth + 4) suits the CLI's smaller
+    // corpora; size this one to the benchmark scale instead. Cell occupancy
+    // n/2^d drives the skip rate, so pick d with ~0.05 records per cell,
+    // and query at matching block depth.
+    let sketch_depth = (usize::BITS - n_records.leading_zeros()) + 4;
+    {
+        let disk = DiskIndex::open(&path).unwrap();
+        let sk = disk
+            .build_sketch(SketchParams {
+                bits_per_entry: 8,
+                depth: sketch_depth,
+            })
+            .unwrap();
+        sk.write_sidecar(&path).unwrap();
+    }
+    let index_bytes = std::fs::metadata(&path).unwrap().len();
+    let sketch_bytes = std::fs::metadata(Sketch::sidecar_path(&path))
+        .unwrap()
+        .len();
+
+    // The CBCD workload shape: a candidate clip yields a run of distorted
+    // fingerprints around a handful of reference records (§III). Every
+    // query has true neighbours; each one's block selection still scatters
+    // along the curve into sections that hold records for no query — the
+    // loads the sketch exists to prove unnecessary.
+    let mut s = 0x0BE5_0001u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let n_clips = 4usize;
+    let bases: Vec<usize> = (0..n_clips)
+        .map(|_| (next() as usize) % n_records)
+        .collect();
+    let queries: Vec<Vec<u8>> = (0..n_queries)
+        .map(|i| {
+            let base = index.records().fingerprint(bases[i % n_clips]);
+            base.iter()
+                .map(|&b| b.wrapping_add((next() % 7) as u8))
+                .collect()
+        })
+        .collect();
+    let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+    let opts = StatQueryOpts::new(0.9, sketch_depth);
+    // Budget sized for a fine section split: many sections, so the sketch
+    // has loads to prove unnecessary.
+    let mem_budget = (index_bytes / 1024).max(2 << 10);
+
+    // Identity gate first — no timing matters if answers moved.
+    let off = run_batch(
+        &open_pooled(&path, pool_pages, false),
+        &qrefs,
+        &opts,
+        mem_budget,
+    );
+    let on = run_batch(
+        &open_pooled(&path, pool_pages, true),
+        &qrefs,
+        &opts,
+        mem_budget,
+    );
+    let identical = on.matches == off.matches
+        && (0..qrefs.len()).all(|qi| on.stats[qi].entries_scanned == off.stats[qi].entries_scanned);
+    assert!(
+        !off.timing.degraded && !on.timing.degraded,
+        "benchmark runs must be clean"
+    );
+
+    let loaded_off = off.timing.sections_loaded;
+    let loaded_on = on.timing.sections_loaded;
+    let skips = on.timing.sketch_skips;
+    let reduction = if loaded_off > 0 {
+        1.0 - loaded_on as f64 / loaded_off as f64
+    } else {
+        0.0
+    };
+
+    // Timed passes: fresh pool per rep so both modes start cold, best of
+    // `reps` to shave scheduler noise.
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    for _ in 0..reps {
+        let disk = open_pooled(&path, pool_pages, false);
+        let t = Instant::now();
+        let b = run_batch(&disk, &qrefs, &opts, mem_budget);
+        best_off = best_off.min(t.elapsed());
+        assert_eq!(b.matches, off.matches);
+
+        let disk = open_pooled(&path, pool_pages, true);
+        let t = Instant::now();
+        let b = run_batch(&disk, &qrefs, &opts, mem_budget);
+        best_on = best_on.min(t.elapsed());
+        assert_eq!(b.matches, off.matches);
+    }
+    let speedup = best_off.as_secs_f64() / best_on.as_secs_f64().max(1e-9);
+
+    let m = CoreMetrics::get();
+    let _ = std::fs::remove_file(Sketch::sidecar_path(&path));
+    let _ = std::fs::remove_file(&path);
+
+    println!(
+        "bench_sketch: {} records / {} KiB index + {} B sidecar, {} queries, {} pool pages",
+        n_records,
+        index_bytes / 1024,
+        sketch_bytes,
+        n_queries,
+        pool_pages
+    );
+    println!(
+        "  sections loaded: {} -> {} ({} sketch-skipped, {:.1}% reduction)",
+        loaded_off,
+        loaded_on,
+        skips,
+        reduction * 100.0
+    );
+    println!(
+        "  bytes loaded: {} -> {}; probes issued: {}",
+        off.timing.bytes_loaded,
+        on.timing.bytes_loaded,
+        m.sketch_probes.get()
+    );
+    println!(
+        "  end-to-end: {best_off:?} -> {best_on:?} ({speedup:.2}x); bit-identical: {identical}"
+    );
+
+    let mut out = String::from("{\n  \"id\": \"bench_sketch_pr8\",\n");
+    let _ = writeln!(out, "  \"records\": {n_records},");
+    let _ = writeln!(out, "  \"queries\": {n_queries},");
+    let _ = writeln!(out, "  \"index_bytes\": {index_bytes},");
+    let _ = writeln!(out, "  \"sketch_bytes\": {sketch_bytes},");
+    let _ = writeln!(out, "  \"pool_pages\": {pool_pages},");
+    let _ = writeln!(
+        out,
+        "  \"mem_budget\": {mem_budget},\n  \"sketch_depth\": {sketch_depth},"
+    );
+    let _ = writeln!(out, "  \"bit_identical\": {identical},");
+    let _ = writeln!(out, "  \"sections_loaded_without_sketch\": {loaded_off},");
+    let _ = writeln!(out, "  \"sections_loaded_with_sketch\": {loaded_on},");
+    let _ = writeln!(out, "  \"sketch_skips\": {skips},");
+    let _ = writeln!(out, "  \"section_load_reduction\": {reduction:.4},");
+    let _ = writeln!(
+        out,
+        "  \"bytes_loaded\": {{\"without\": {}, \"with\": {}}},",
+        off.timing.bytes_loaded, on.timing.bytes_loaded
+    );
+    let _ = writeln!(
+        out,
+        "  \"elapsed_ms\": {{\"without\": {:.3}, \"with\": {:.3}}},",
+        best_off.as_secs_f64() * 1e3,
+        best_on.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(out, "  \"speedup\": {speedup:.3}");
+    out.push_str("}\n");
+    let path = results_dir().join("BENCH_PR8.json");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, out).unwrap();
+    println!("bench_sketch: report at {}", path.display());
+
+    if !identical || reduction < MIN_REDUCTION {
+        eprintln!(
+            "bench_sketch: FAILED (identical={identical}, reduction={:.1}% < {:.0}%)",
+            reduction * 100.0,
+            MIN_REDUCTION * 100.0
+        );
+        std::process::exit(1);
+    }
+}

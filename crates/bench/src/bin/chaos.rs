@@ -27,7 +27,7 @@ use s3_bench::{results_dir, Scale};
 use s3_core::pseudo_disk::{DiskIndex, RetryPolicy, WriteOpts};
 use s3_core::{
     Admission, AdmissionController, Clock, CoreMetrics, FaultPlan, FaultyStorage, IsotropicNormal,
-    Match, MemStorage, MockClock, QueryCtx, RecordBatch, S3Index, Shed, StatQueryOpts,
+    Match, MemStorage, MockClock, QueryCtx, RecordBatch, S3Index, Shed, Sketch, StatQueryOpts,
 };
 use s3_hilbert::HilbertCurve;
 use std::fmt::Write as _;
@@ -59,6 +59,8 @@ struct RunReport {
 #[derive(Clone)]
 struct Workload {
     bytes: Vec<u8>,
+    /// Serialized sketch sidecar for `bytes` (S3SKCH01).
+    sketch: Vec<u8>,
     queries: Vec<Vec<u8>>,
     baseline: Vec<Vec<Match>>,
 }
@@ -84,11 +86,14 @@ fn build_workload(n_records: usize, n_queries: usize) -> Workload {
         WriteOpts {
             table_depth: TABLE_DEPTH,
             block_size: BLOCK_SIZE,
+            sketch_bits: 8,
         },
     )
     .unwrap();
     let bytes = std::fs::read(&path).unwrap();
+    let sketch = std::fs::read(Sketch::sidecar_path(&path)).unwrap();
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(Sketch::sidecar_path(&path));
 
     let step = (n_records / n_queries).max(1);
     let queries: Vec<Vec<u8>> = (0..n_queries)
@@ -102,6 +107,7 @@ fn build_workload(n_records: usize, n_queries: usize) -> Workload {
         .matches;
     Workload {
         bytes,
+        sketch,
         queries,
         baseline,
     }
@@ -426,6 +432,119 @@ fn scenario_mixed(wl: Workload, seed: u64) -> RunReport {
     }
 }
 
+/// The sketch prefilter under chaos, three sub-scenarios in one run:
+/// a corrupted sidecar must fail open (no attach, answers untouched); a
+/// valid sketch over clean storage must skip sections while staying
+/// bit-identical to the sketch-less baseline; and a valid sketch over
+/// faulty main storage must keep every resilience invariant — the sketch
+/// may only ever remove true-negative section loads, never flip an answer.
+fn scenario_sketch(wl: Workload, seed: u64) -> RunReport {
+    // A tighter budget than the other scenarios: more sections means the
+    // sketch has loads to prove unnecessary.
+    const SKETCH_BUDGET: u64 = 1 << 10;
+    let mut violations = Vec::new();
+    let qrefs: Vec<&[u8]> = wl.queries.iter().map(|q| q.as_slice()).collect();
+    let clean = DiskIndex::open_storage(Box::new(MemStorage::new(wl.bytes.clone()))).unwrap();
+    let baseline = clean
+        .stat_query_batch(&qrefs, &model(), &opts(), SKETCH_BUDGET)
+        .unwrap();
+
+    // (a) Corrupt sidecar: every read of it is bit-flipped. Attach must
+    // decline and the index must answer exactly as without a sketch.
+    let mut disk = DiskIndex::open_storage(Box::new(MemStorage::new(wl.bytes.clone()))).unwrap();
+    let bad_sidecar = FaultyStorage::new(
+        MemStorage::new(wl.sketch.clone()),
+        FaultPlan {
+            seed,
+            bit_flip: 1.0,
+            ..FaultPlan::default()
+        },
+    );
+    if disk.attach_sketch_storage(&bad_sidecar) {
+        violations.push("corrupt sidecar attached instead of failing open".into());
+    }
+    let batch = disk
+        .stat_query_batch(&qrefs, &model(), &opts(), SKETCH_BUDGET)
+        .unwrap();
+    if batch.matches != baseline.matches {
+        violations.push("answers changed after a declined sidecar".into());
+    }
+    if batch.timing.sketch_skips != 0 {
+        violations.push("sections skipped without an attached sketch".into());
+    }
+
+    // (b) Valid sketch, clean storage: bit-identical, with skips firing.
+    let mut disk = DiskIndex::open_storage(Box::new(MemStorage::new(wl.bytes.clone()))).unwrap();
+    if !disk.attach_sketch(Sketch::decode(&wl.sketch).unwrap()) {
+        violations.push("valid sidecar refused to attach".into());
+    }
+    let sketched = disk
+        .stat_query_batch(&qrefs, &model(), &opts(), SKETCH_BUDGET)
+        .unwrap();
+    if sketched.matches != baseline.matches {
+        violations.push("sketch-on answers differ from sketch-off baseline".into());
+    }
+    for qi in 0..qrefs.len() {
+        if sketched.stats[qi].entries_scanned != baseline.stats[qi].entries_scanned {
+            violations.push(format!(
+                "query {qi}: sketch changed the records scanned ({} vs {})",
+                sketched.stats[qi].entries_scanned, baseline.stats[qi].entries_scanned
+            ));
+            break;
+        }
+    }
+    if sketched.timing.sketch_skips == 0 {
+        violations.push("sketch scenario is vacuous: no section was ever skipped".into());
+    }
+    if sketched.timing.degraded {
+        violations.push("sketch skips must never count as degradation".into());
+    }
+
+    // (c) Valid sketch over faulty main storage: transient corruption is
+    // retried away to the exact baseline, invariants intact.
+    let fs = Arc::new(FaultyStorage::new(
+        MemStorage::new(wl.bytes.clone()),
+        FaultPlan {
+            seed,
+            transient_error: 0.1,
+            bit_flip: 0.05,
+            skip_reads: 5,
+            ..FaultPlan::default()
+        },
+    ));
+    let mut disk = DiskIndex::open_storage(Box::new(Arc::clone(&fs)))
+        .unwrap()
+        .with_retry_policy(no_backoff(10));
+    if !disk.attach_sketch(Sketch::decode(&wl.sketch).unwrap()) {
+        violations.push("valid sidecar refused to attach over faulty storage".into());
+    }
+    let faulted = disk
+        .stat_query_batch(&qrefs, &model(), &opts(), SKETCH_BUDGET)
+        .unwrap();
+    for qi in 0..qrefs.len() {
+        if !faulted.stats[qi].degraded && faulted.matches[qi] != baseline.matches[qi] {
+            violations.push(format!(
+                "I5 violated: query {qi} clean under faults but differs with the sketch on"
+            ));
+            break;
+        }
+    }
+    RunReport {
+        scenario: "sketch",
+        seed,
+        violations,
+        counters: vec![
+            ("sketch_skips", sketched.timing.sketch_skips as f64),
+            ("sections_loaded", sketched.timing.sections_loaded as f64),
+            (
+                "baseline_sections_loaded",
+                baseline.timing.sections_loaded as f64,
+            ),
+            ("faulted_injected", fs.stats().total() as f64),
+        ],
+    }
+}
+
 /// Admission flood: many threads slam a small gate under each shed policy.
 /// The in-flight bound must hold (2× under DegradeAlpha) and the admission
 /// ledger must balance.
@@ -572,6 +691,10 @@ fn main() {
             ("mixed", {
                 let wl = wl.clone();
                 Box::new(move || scenario_mixed(wl, seed))
+            }),
+            ("sketch", {
+                let wl = wl.clone();
+                Box::new(move || scenario_sketch(wl, seed))
             }),
             ("admission", Box::new(move || scenario_admission(seed))),
         ];

@@ -21,7 +21,11 @@ use std::time::Duration;
 pub struct DetectorConfig {
     /// Distortion-model σ (the robustness/search-time compromise of §IV-C).
     pub sigma: f64,
-    /// Statistical query options (α, depth, refinement, budget).
+    /// Statistical query options (α, depth, refinement, budget). The
+    /// `sketch` flag (on by default) lets disk-backed searches consult the
+    /// per-section Bloom sketch before each section load; results are
+    /// bit-identical either way, only I/O differs. Disable it to measure
+    /// raw section-load behaviour (the CLI exposes this as `--no-sketch`).
     pub query: StatQueryOpts,
     /// Voting parameters (Tukey constant, tolerance, decision threshold).
     pub vote: VoteParams,
@@ -76,6 +80,10 @@ pub struct SearchHealth {
     pub fault_degraded_queries: usize,
     /// Section loads abandoned, summed over the degraded queries.
     pub sections_skipped: usize,
+    /// Section loads the sketch prefilter proved unnecessary, summed over
+    /// all queries. Informational, not a degradation: these sections
+    /// provably held no candidates, so skipping them changes no result.
+    pub sketch_skipped: usize,
 }
 
 impl SearchHealth {
@@ -88,6 +96,7 @@ impl SearchHealth {
                 .filter(|r| r.stats.degraded && !r.stats.cancelled)
                 .count(),
             sections_skipped: results.iter().map(|r| r.stats.sections_skipped).sum(),
+            sketch_skipped: results.iter().map(|r| r.stats.sketch_skipped).sum(),
         }
     }
 }

@@ -27,7 +27,7 @@ use args::Args;
 use s3_cbcd::{
     calibrate_monitor_threshold, DbBuilder, Detector, DetectorConfig, Monitor, MonitorParams,
 };
-use s3_core::pseudo_disk::{DiskIndex, RetryPolicy};
+use s3_core::pseudo_disk::{DiskIndex, RetryPolicy, WriteOpts};
 use s3_core::{
     system_clock, Admission, AdmissionController, BlockSource, BufferPool, FileStorage,
     IsotropicNormal, Permit, PooledStorage, QueryCtx, RecordBatch, S3Index, Shed, StatQueryOpts,
@@ -89,16 +89,21 @@ const USAGE: &str = "s3cbcd — Statistical Similarity Search video copy detecti
 
 USAGE:
   s3cbcd build <index-file> [video.y4m ...] [--videos N] [--frames N] [--seed S]
+                [--sketch-bits B]
       Fingerprint videos (given .y4m files, or a synthetic library) and
-      write a pseudo-disk index.
+      write a pseudo-disk index. A section-sketch sidecar (<file>.skch) is
+      written alongside it with B bits per occupied curve cell (default 8;
+      0 writes no sidecar).
   s3cbcd info <index-file>
       Print header information of an index file.
   s3cbcd query <index-file> [--alpha A] [--sigma S] [--queries N] [--mem MB]
-                [--strict] [--explain]
+                [--strict] [--explain] [--no-sketch]
       Run distorted self-queries through the pseudo-disk engine and report
       retrieval rate and timing. By default unreadable index sections are
       retried then skipped (degraded results); --strict makes that a hard
-      error instead.
+      error instead. When the index has a sketch sidecar, sections the
+      sketch proves empty are skipped without I/O (results are
+      bit-identical); --no-sketch disables the prefilter.
   s3cbcd explain <index-file> [query flags]
       Shorthand for `query --explain`: per query, print the plan the
       statistical filter chose (selected p-blocks with predicted mass),
@@ -264,11 +269,12 @@ fn print_explains(reports: &mut [s3_obs::ExplainReport], admission_degraded: boo
 }
 
 fn cmd_build(rest: Vec<String>) -> Result<CmdStatus, String> {
-    let a = Args::parse(rest, &["videos", "frames", "seed"])?;
+    let a = Args::parse(rest, &["videos", "frames", "seed", "sketch-bits"])?;
     let path = a.positional(0).ok_or("build needs an output path")?;
     let n_videos: usize = a.get_parsed("videos", 8)?;
     let frames: usize = a.get_parsed("frames", 100)?;
     let seed: u64 = a.get_parsed("seed", 1)?;
+    let sketch_bits: u32 = a.get_parsed("sketch-bits", s3_core::DEFAULT_SKETCH_BITS)?;
 
     let params = ExtractorParams::default();
     let mut batch = RecordBatch::new(20);
@@ -298,14 +304,27 @@ fn cmd_build(rest: Vec<String>) -> Result<CmdStatus, String> {
     }
     eprintln!("indexing {} fingerprints ...", batch.len());
     let index = S3Index::build(HilbertCurve::paper(), batch);
-    DiskIndex::write(&index, path).map_err(|e| e.to_string())?;
+    let opts = WriteOpts {
+        sketch_bits,
+        ..WriteOpts::default()
+    };
+    DiskIndex::write_with(&index, path, opts).map_err(|e| e.to_string())?;
+    let disk = DiskIndex::open(path).map_err(|e| e.to_string())?;
     println!(
         "wrote {path}: {} records, {} data bytes",
         index.len(),
-        DiskIndex::open(path)
-            .map_err(|e| e.to_string())?
-            .data_bytes()
+        disk.data_bytes()
     );
+    match disk.sketch() {
+        Some(sk) => println!(
+            "sketch sidecar: {} bytes, {} cells at depth {} ({} bits/cell)",
+            sk.byte_size(),
+            sk.entries(),
+            sk.depth(),
+            sketch_bits
+        ),
+        None => println!("sketch sidecar: none"),
+    }
     Ok(CmdStatus::Clean)
 }
 
@@ -322,6 +341,16 @@ fn cmd_info(rest: Vec<String>) -> Result<CmdStatus, String> {
     );
     println!("key bits   : {}", disk.curve().key_bits());
     println!("data bytes : {}", disk.data_bytes());
+    match disk.sketch() {
+        Some(sk) => println!(
+            "sketch     : {} bytes, {} cells at depth {}, k={}",
+            sk.byte_size(),
+            sk.entries(),
+            sk.depth(),
+            sk.k()
+        ),
+        None => println!("sketch     : none"),
+    }
     Ok(CmdStatus::Clean)
 }
 
@@ -344,7 +373,7 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
             "trace-out",
             "buffer-pool-pages",
         ],
-        &["strict", "explain"],
+        &["strict", "explain", "no-sketch"],
     )?;
     let explain = force_explain || a.has("explain");
     let trace = trace_setup(&a);
@@ -375,8 +404,20 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
         None
     };
     let mut disk = match &pool {
-        Some(pool) => DiskIndex::open_storage(Box::new(PooledStorage::new(Arc::clone(pool))))
-            .map_err(|e| e.to_string())?,
+        Some(pool) => {
+            let mut d = DiskIndex::open_storage(Box::new(PooledStorage::new(Arc::clone(pool))))
+                .map_err(|e| e.to_string())?;
+            // open_storage cannot see the sidecar path; attach it here so
+            // pooled reads get the same prefilter as direct opens
+            // (fail-open: a missing/bad sidecar just means no sketch).
+            let sidecar = s3_core::Sketch::sidecar_path(std::path::Path::new(path));
+            if sidecar.exists() {
+                if let Ok(st) = FileStorage::open(&sidecar) {
+                    let _ = d.attach_sketch_storage(&st);
+                }
+            }
+            d
+        }
         None => DiskIndex::open(path).map_err(|e| e.to_string())?,
     };
     disk.set_retry_policy(RetryPolicy {
@@ -415,6 +456,7 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
     let opts = StatQueryOpts {
         alpha,
         depth,
+        sketch: !a.has("no-sketch"),
         ..StatQueryOpts::new(alpha, depth)
     };
     let (batch, reports) = if explain {
@@ -444,6 +486,12 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
         "sections           : {} ({} loaded, {} bytes)",
         batch.sections, batch.timing.sections_loaded, batch.timing.bytes_loaded
     );
+    if batch.timing.sketch_skips > 0 {
+        println!(
+            "sketch             : {} section load(s) skipped (proven empty, no I/O)",
+            batch.timing.sketch_skips
+        );
+    }
     println!(
         "filter/load/refine : {:?} / {:?} / {:?}",
         batch.timing.filter, batch.timing.load, batch.timing.refine

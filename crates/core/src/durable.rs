@@ -41,9 +41,11 @@ use crate::index::{S3Index, StatQueryOpts};
 use crate::metrics::CoreMetrics;
 use crate::pager::{DataPages, PageMeta, PageStore, DEFAULT_PAGE_SIZE};
 use crate::pseudo_disk::{BatchResult, DiskIndex, WriteOpts};
+use crate::sketch::SketchParams;
 use crate::storage::WritableStorage;
 use crate::wal::{Wal, WalRecord};
 use s3_hilbert::HilbertCurve;
+use s3_obs::event;
 
 type DynStorage = Box<dyn WritableStorage>;
 type DynPages = PageStore<DynStorage>;
@@ -264,7 +266,8 @@ impl DurableIndex {
             DataPages::new(Arc::clone(&pages)),
             opts.pool_pages,
         ));
-        let disk = DiskIndex::open_storage(Box::new(PooledStorage::new(Arc::clone(&pool))))?;
+        let mut disk = DiskIndex::open_storage(Box::new(PooledStorage::new(Arc::clone(&pool))))?;
+        Self::rebuild_sketch(&mut disk, &opts);
         let curve = disk.curve().clone();
         let mut mem = DynamicIndex::empty(curve.clone(), 1.0);
         let mut pending = RecordBatch::new(curve.dims());
@@ -285,6 +288,29 @@ impl DurableIndex {
             recovery,
             merges: 0,
         })
+    }
+
+    /// Builds and attaches the section sketch of the current on-disk
+    /// generation, reading the key column back through the buffer pool
+    /// (the sketch's source pages are pager-resident). Fail-open: a build
+    /// error only disables the prefilter.
+    fn rebuild_sketch(disk: &mut DiskIndex, opts: &DurableOptions) {
+        if opts.write_opts.sketch_bits == 0 {
+            return;
+        }
+        let params = SketchParams {
+            bits_per_entry: opts.write_opts.sketch_bits,
+            depth: 0,
+        };
+        match disk.build_sketch(params) {
+            Ok(sk) => {
+                let _ = disk.attach_sketch(sk);
+            }
+            Err(e) => event::warn(
+                "sketch",
+                &format!("sketch rebuild failed, continuing without prefilter: {e}"),
+            ),
+        }
     }
 
     /// Inserts one record. The insert is WAL-logged and fsynced before it
@@ -363,9 +389,15 @@ impl DurableIndex {
         self.pages.sync()?;
 
         // The merge is durable and applied: swap the reader over the new
-        // generation and retire the log.
+        // generation and retire the log. The sketch is *derived* data —
+        // rebuilt from the new generation's (WAL-committed) key column, so
+        // it needs no WAL records of its own: a crash between the commit
+        // point and here simply rebuilds it at recovery, and its meta-CRC
+        // binding makes attaching a stale sketch to the new generation
+        // impossible.
         self.pool.invalidate()?;
         self.disk = DiskIndex::open_storage(Box::new(PooledStorage::new(Arc::clone(&self.pool))))?;
+        Self::rebuild_sketch(&mut self.disk, &self.opts);
         self.wal.checkpoint()?;
         self.mem = DynamicIndex::empty(self.curve.clone(), 1.0);
         self.pending = RecordBatch::new(self.curve.dims());
@@ -473,6 +505,7 @@ impl DurableIndex {
     /// what the flight recorder stamps into incident dumps.
     pub fn engine_state(&self) -> EngineState {
         let meta = self.pages.meta();
+        let sketch = self.disk.sketch();
         EngineState {
             generation: meta.generation,
             checkpoint_lsn: meta.checkpoint_lsn,
@@ -486,6 +519,9 @@ impl DurableIndex {
             merges: self.merges,
             pool_resident: self.pool.resident(),
             pool_capacity: self.pool.capacity(),
+            sketch_attached: sketch.is_some(),
+            sketch_bytes: sketch.map_or(0, |s| s.byte_size() as u64),
+            sketch_entries: sketch.map_or(0, |s| s.entries()),
             recovery: self.recovery,
         }
     }
@@ -518,6 +554,12 @@ pub struct EngineState {
     pub pool_resident: usize,
     /// Buffer-pool frame capacity.
     pub pool_capacity: usize,
+    /// Whether a section sketch is attached to the on-disk run.
+    pub sketch_attached: bool,
+    /// Bytes of the attached sketch (0 when absent).
+    pub sketch_bytes: u64,
+    /// Distinct curve cells inserted into the attached sketch.
+    pub sketch_entries: u64,
     /// What recovery found when the handle was opened.
     pub recovery: RecoveryReport,
 }
@@ -544,6 +586,9 @@ impl EngineState {
             ("merges".into(), self.merges.to_string()),
             ("pool_resident".into(), self.pool_resident.to_string()),
             ("pool_capacity".into(), self.pool_capacity.to_string()),
+            ("sketch_attached".into(), self.sketch_attached.to_string()),
+            ("sketch_bytes".into(), self.sketch_bytes.to_string()),
+            ("sketch_entries".into(), self.sketch_entries.to_string()),
             ("recovery_outcome".into(), outcome.into()),
             (
                 "recovery_replayed_inserts".into(),

@@ -68,6 +68,12 @@ pub struct StatQueryOpts {
     /// default; bit-identical output either way — the switch exists for
     /// benchmarking the cache itself).
     pub mass_cache: bool,
+    /// Consult the section sketch (when the index carries one) to skip
+    /// section loads that provably hold no candidate. On by default;
+    /// bit-identical matches either way — skips are always true negatives
+    /// (see `s3_core::sketch`). The switch exists for benchmarking and for
+    /// pinning down a suspect sidecar in the field.
+    pub sketch: bool,
 }
 
 impl StatQueryOpts {
@@ -81,6 +87,7 @@ impl StatQueryOpts {
             algo: FilterAlgo::BestFirst,
             max_blocks: 1 << 16,
             mass_cache: true,
+            sketch: true,
         }
     }
 
@@ -133,6 +140,10 @@ pub struct QueryStats {
     pub truncated: bool,
     /// Pseudo-disk only: sections this query needed that stayed unreadable.
     pub sections_skipped: usize,
+    /// Pseudo-disk only: sections the sketch proved hold no candidate for
+    /// this query, skipped without I/O. Never a degradation — every skip
+    /// is a true negative, so the match list is unaffected.
+    pub sketch_skipped: usize,
     /// True if a deadline or cancellation stopped this query before it
     /// finished — the match list covers the work completed up to the stop.
     pub cancelled: bool,
@@ -612,6 +623,7 @@ impl S3Index {
             },
             entries_scanned: res.stats.entries_scanned as u64,
             matches: res.matches.len() as u64,
+            sketch_skipped: res.stats.sketch_skipped as u64,
             phases: vec![
                 ExplainPhase {
                     name: "filter",

@@ -73,6 +73,7 @@ pub mod pager;
 pub mod parallel;
 pub mod pseudo_disk;
 pub mod resilience;
+pub mod sketch;
 pub mod storage;
 pub mod wal;
 
@@ -91,6 +92,7 @@ pub use resilience::{
     next_query_id, system_clock, Admission, AdmissionController, BreakerConfig, CancelCause,
     CancelToken, Clock, Deadline, MockClock, Permit, QueryCtx, SectionBreakers, Shed, SystemClock,
 };
+pub use sketch::{Sketch, SketchParams, DEFAULT_SKETCH_BITS};
 pub use storage::{
     CrashSwitch, FaultPlan, FaultStats, FaultyStorage, FileRwStorage, FileStorage, MemStorage,
     SharedMemStorage, Storage, WritableStorage,

@@ -135,6 +135,21 @@ pub struct CoreMetrics {
     /// `dynamic.merge.replayed` — committed merges re-applied from WAL page
     /// images at recovery.
     pub merge_replayed: Counter,
+    /// `sketch.built` — section sketches constructed (index writes, sidecar
+    /// loads and durable-merge rebuilds all count).
+    pub sketch_built: Counter,
+    /// `sketch.bytes` — serialized size of the most recently built or
+    /// attached sketch.
+    pub sketch_bytes: Gauge,
+    /// `sketch.probes` — Bloom cell probes issued by section consults.
+    pub sketch_probes: Counter,
+    /// `sketch.section_skips` — section loads avoided because the sketch
+    /// proved the section holds no candidate (always a true negative).
+    pub sketch_section_skips: Counter,
+    /// `sketch.sections_loaded` — sections the sketch was consulted for and
+    /// could not rule out (loaded as usual; the skip-rate denominator is
+    /// `section_skips + sections_loaded`).
+    pub sketch_sections_loaded: Counter,
 }
 
 static CORE: OnceLock<CoreMetrics> = OnceLock::new();
@@ -193,6 +208,11 @@ impl CoreMetrics {
                 merge_ok: r.counter("dynamic.merge.ok"),
                 merge_rolled_back: r.counter("dynamic.merge.rolled_back"),
                 merge_replayed: r.counter("dynamic.merge.replayed"),
+                sketch_built: r.counter("sketch.built"),
+                sketch_bytes: r.gauge("sketch.bytes"),
+                sketch_probes: r.counter("sketch.probes"),
+                sketch_section_skips: r.counter("sketch.section_skips"),
+                sketch_sections_loaded: r.counter("sketch.sections_loaded"),
             }
         })
     }
@@ -320,6 +340,21 @@ pub fn default_health_rules() -> Vec<s3_obs::HealthRule> {
             Bounds::at_most(0.5),
         )
         .min_count(2),
+        // A sketch that stops ruling sections out is dead weight: either
+        // the sidecar failed to load (fail-open) or the workload touches
+        // every occupied cell — both worth surfacing once enough sections
+        // have been consulted. Skips are always true negatives, so a *high*
+        // rate is never a correctness concern.
+        HealthRule::new(
+            "sketch-skip-rate",
+            Signal::Ratio {
+                num: "sketch.section_skips",
+                den: &["sketch.section_skips", "sketch.sections_loaded"],
+            },
+            Duration::from_secs(60),
+            Bounds::at_least(0.02),
+        )
+        .min_count(64),
         // Calibration drift (predicted − observed selectivity, basis
         // points): the distortion model drifting far from reality breaks
         // the paper's α capture guarantee in either direction.

@@ -64,6 +64,7 @@ use crate::index::{Match, QueryStats, Refine, S3Index, StatQueryOpts};
 use crate::kernels;
 use crate::metrics::CoreMetrics;
 use crate::resilience::{next_query_id, CancelCause, QueryCtx, SectionBreakers, REFINE_CHUNK};
+use crate::sketch::{Sketch, SketchParams, DEFAULT_SKETCH_BITS};
 use crate::storage::{FileStorage, Storage};
 use s3_hilbert::{HilbertCurve, Key256, KeyBound, KeyRange};
 use s3_obs::{event, span, BlockExplain, ExplainPhase, ExplainReport, LocalHistogram, QueryScope};
@@ -87,6 +88,9 @@ const KEY_LEN: u64 = 32;
 const MAX_TABLE_DEPTH: u32 = 24;
 /// Cap of the exponential retry backoff.
 const MAX_BACKOFF: Duration = Duration::from_millis(100);
+/// Cap on Bloom probes one section consult may issue before giving up and
+/// loading the section (conservative: an exhausted budget never skips).
+const SKETCH_PROBE_BUDGET: u64 = 4096;
 
 /// Write-time options of the on-disk format.
 #[derive(Clone, Copy, Debug)]
@@ -95,6 +99,9 @@ pub struct WriteOpts {
     pub table_depth: u32,
     /// Bytes per checksummed data block.
     pub block_size: u32,
+    /// Bloom bits per occupied cell of the section-sketch sidecar written
+    /// next to the index (`<file>.skch`). `0` writes no sidecar.
+    pub sketch_bits: u32,
 }
 
 impl Default for WriteOpts {
@@ -102,6 +109,7 @@ impl Default for WriteOpts {
         WriteOpts {
             table_depth: TABLE_DEPTH,
             block_size: DEFAULT_BLOCK_SIZE,
+            sketch_bits: DEFAULT_SKETCH_BITS,
         }
     }
 }
@@ -176,6 +184,12 @@ pub struct DiskIndex {
     /// on every batch. Shared so several indexes over one device can pool
     /// failure history.
     breakers: Option<Arc<SectionBreakers>>,
+    /// CRC-32 of the header + index table (v2 only; 0 for v1). Binds the
+    /// sketch sidecar to exactly this index generation.
+    meta_crc: u32,
+    /// Optional section sketch: lets batched queries skip loading sections
+    /// that provably hold no candidate (see [`crate::sketch`]).
+    sketch: Option<Sketch>,
 }
 
 /// Aggregate timing and health of one batched search — the terms of eq. 5
@@ -203,6 +217,10 @@ pub struct BatchTiming {
     /// Of the skipped sections, how many were short-circuited by an open
     /// circuit breaker (no I/O attempted).
     pub breaker_skips: usize,
+    /// Sections the sketch proved hold no candidate, skipped without I/O.
+    /// Not counted in `sections_skipped` and never a degradation: every
+    /// sketch skip is a true negative (see [`crate::sketch`]).
+    pub sketch_skips: usize,
     /// True if any section was skipped or any query was cancelled: results
     /// are complete over the work actually performed only.
     pub degraded: bool,
@@ -437,7 +455,32 @@ impl DiskIndex {
                 let _ = d.sync_all();
             }
         }
+        if opts.sketch_bits > 0 {
+            Self::build_sketch_for(index, opts, &bytes).write_sidecar(path)?;
+        }
         Ok(())
+    }
+
+    /// Builds the section sketch matching a serialized index: cell depth
+    /// resolved from the write options, bound to the stream's meta CRC so
+    /// the sidecar can only ever attach to this exact generation.
+    fn build_sketch_for(index: &S3Index, opts: WriteOpts, encoded: &[u8]) -> Sketch {
+        let curve = index.curve();
+        let table_depth = opts.table_depth.min(curve.key_bits());
+        let meta_len = HEADER_LEN as usize + ((1usize << table_depth) + 1) * 8;
+        let meta_crc = le_u32(&encoded[meta_len..meta_len + 4]);
+        let params = SketchParams {
+            bits_per_entry: opts.sketch_bits,
+            depth: 0,
+        };
+        let depth = params.resolve_depth(table_depth, curve.key_bits());
+        Sketch::build(
+            index.keys(),
+            curve.key_bits(),
+            depth,
+            opts.sketch_bits,
+            meta_crc,
+        )
     }
 
     /// Writes the legacy unchecksummed `S3IDX001` format. Kept so the
@@ -448,6 +491,7 @@ impl DiskIndex {
         let opts = WriteOpts {
             table_depth: TABLE_DEPTH,
             block_size: 0,
+            sketch_bits: 0,
         };
         w.write_all(&encode_meta(index, opts, MAGIC_V1))?;
         write_data_region(&mut w, index, None)?;
@@ -457,8 +501,21 @@ impl DiskIndex {
     /// Opens a pseudo-disk index file: reads the header, the index table and
     /// the CRC tables (record columns stay on disk), verifying their
     /// checksums. Legacy v1 files load with a warning on stderr.
+    ///
+    /// A `<file>.skch` sketch sidecar, when present and valid for this
+    /// exact index generation, is attached so batched queries can skip
+    /// provably-empty section loads. Sidecar problems **fail open**: a
+    /// missing, torn or mismatched sidecar only disables the optimisation.
     pub fn open(path: impl AsRef<Path>) -> Result<DiskIndex, IndexError> {
-        Self::open_storage(Box::new(FileStorage::open(path)?))
+        let path = path.as_ref();
+        let mut index = Self::open_storage(Box::new(FileStorage::open(path)?))?;
+        let sidecar = Sketch::sidecar_path(path);
+        if sidecar.exists() {
+            if let Ok(storage) = FileStorage::open(&sidecar) {
+                index.attach_sketch_storage(&storage);
+            }
+        }
+        Ok(index)
     }
 
     /// As [`DiskIndex::open`], over any [`Storage`] implementation — the
@@ -510,6 +567,8 @@ impl DiskIndex {
             retry: RetryPolicy::default(),
             threads: 1,
             breakers: None,
+            meta_crc: 0,
+            sketch: None,
         };
 
         if version == 1 {
@@ -538,9 +597,11 @@ impl DiskIndex {
         let mut meta_crc = Crc32::new();
         meta_crc.update(&header);
         meta_crc.update(&raw);
-        if meta_crc.finalize() != le_u32(&stored) {
+        let meta_crc = meta_crc.finalize();
+        if meta_crc != le_u32(&stored) {
             return Err(checksum_failure("header", 0));
         }
+        index.meta_crc = meta_crc;
         index.data_off = HEADER_LEN + table_bytes + 4;
 
         let n_blocks = data_len.div_ceil(u64::from(block_size));
@@ -618,6 +679,79 @@ impl DiskIndex {
     /// The attached circuit breakers, if any.
     pub fn breakers(&self) -> Option<&Arc<SectionBreakers>> {
         self.breakers.as_ref()
+    }
+
+    /// Reads, validates and attaches a sketch sidecar from any [`Storage`]
+    /// (a file, a fault-injecting wrapper, pooled page storage). **Fails
+    /// open**: any decode error, checksum mismatch or generation mismatch
+    /// leaves the index sketch-less — sections simply load as before — and
+    /// returns `false`. A wrong skip is impossible by construction.
+    pub fn attach_sketch_storage(&mut self, storage: &dyn Storage) -> bool {
+        match Sketch::read_storage(storage) {
+            Ok(sk) => self.attach_sketch(sk),
+            Err(e) => {
+                event::warn(
+                    "sketch",
+                    &format!("sidecar unreadable, continuing without sketch: {e}"),
+                );
+                false
+            }
+        }
+    }
+
+    /// Attaches an already-decoded sketch after validating it belongs to
+    /// this exact index generation (same key width, cell depth no coarser
+    /// than the table, matching meta CRC). Returns `false` — and leaves
+    /// the index sketch-less — on any mismatch.
+    pub fn attach_sketch(&mut self, sketch: Sketch) -> bool {
+        let compatible = self.version == 2
+            && sketch.key_bits() == self.curve.key_bits()
+            && sketch.depth() >= self.table_depth
+            && sketch.index_crc() == self.meta_crc;
+        if !compatible {
+            event::warn(
+                "sketch",
+                "sidecar does not match this index generation, ignoring it",
+            );
+            return false;
+        }
+        CoreMetrics::get()
+            .sketch_bytes
+            .set(sketch.byte_size() as f64);
+        self.sketch = Some(sketch);
+        true
+    }
+
+    /// Drops the attached sketch (sections always load).
+    pub fn clear_sketch(&mut self) {
+        self.sketch = None;
+    }
+
+    /// The attached section sketch, if any.
+    pub fn sketch(&self) -> Option<&Sketch> {
+        self.sketch.as_ref()
+    }
+
+    /// Builds a sketch for this opened index by streaming the (CRC-
+    /// verified) key column back through the storage — the rebuild path of
+    /// durable merges, where the index bytes live in the page store and the
+    /// read goes through the buffer pool. The result is bound to this
+    /// generation's meta CRC; attach it with [`DiskIndex::attach_sketch`].
+    pub fn build_sketch(&self, params: SketchParams) -> Result<Sketch, IndexError> {
+        let n = usize::try_from(self.n)
+            .map_err(|_| bad_format("record count exceeds the address space"))?;
+        let mut raw = vec![0u8; n * KEY_LEN as usize];
+        let mut scratch = Vec::new();
+        self.read_verified(0, &mut raw, &mut scratch)?;
+        let keys: Vec<Key256> = raw.chunks_exact(KEY_LEN as usize).map(read_key).collect();
+        let depth = params.resolve_depth(self.table_depth, self.curve.key_bits());
+        Ok(Sketch::build(
+            &keys,
+            self.curve.key_bits(),
+            depth,
+            params.bits_per_entry.max(1),
+            self.meta_crc,
+        ))
     }
 
     /// On-disk format version of the opened file (1 or 2).
@@ -760,6 +894,72 @@ impl DiskIndex {
         key.shr(shift).low_u128() as usize
     }
 
+    /// True if the sketch proves section `s` (under a `2^r` split) holds
+    /// no record of any `(query, range)` in `work` — i.e. every depth-`d`
+    /// cell in every `range ∩ section` slot span probes absent.
+    ///
+    /// Exactness: a record refinement could visit lies in some
+    /// `range ∩ section`, so its cell is inside the probed span, and Bloom
+    /// filters have no false negatives — the cell would have probed
+    /// present. Conservative on both exits: a probe hit or an exhausted
+    /// probe budget returns `false` (load the section).
+    fn sketch_rules_out(
+        &self,
+        sk: &Sketch,
+        r: u32,
+        s: usize,
+        work: &[(u32, u32)],
+        per_query_ranges: &[Vec<KeyRange>],
+    ) -> bool {
+        let metrics = CoreMetrics::get();
+        let shift = self.curve.key_bits() - sk.depth();
+        // Cells per table slot and table slots per section are both powers
+        // of two, so a section's cell span is a pair of shifts.
+        let cell_shift = sk.depth() - self.table_depth;
+        let sec_shift = self.table_depth - r;
+        let sec_lo = ((s as u64) << sec_shift) << cell_shift;
+        let sec_hi = ((((s as u64) + 1) << sec_shift) << cell_shift) - 1;
+        let mut probes = 0u64;
+        for &(qi, ri) in work {
+            let range = &per_query_ranges[qi as usize][ri as usize];
+            let lo = range.lo.shr(shift).low_u128() as u64;
+            let hi = match &range.hi {
+                KeyBound::End => (1u64 << sk.depth()) - 1,
+                KeyBound::Excl(h) => {
+                    let hs = h.shr(shift).low_u128() as u64;
+                    if h.and(&Key256::low_mask(shift)).is_zero() {
+                        // The exclusive bound sits on a cell boundary: the
+                        // last covered cell is the one before it.
+                        match hs.checked_sub(1) {
+                            Some(v) => v,
+                            None => continue, // empty range
+                        }
+                    } else {
+                        hs
+                    }
+                }
+            };
+            let a = lo.max(sec_lo);
+            let b = hi.min(sec_hi);
+            if a > b {
+                continue; // the range does not reach into this section
+            }
+            if probes + (b - a + 1) > SKETCH_PROBE_BUDGET {
+                metrics.sketch_probes.add(probes);
+                return false; // too much to prove cheaply — just load
+            }
+            for cell in a..=b {
+                probes += 1;
+                if sk.contains_slot(cell) {
+                    metrics.sketch_probes.add(probes);
+                    return false;
+                }
+            }
+        }
+        metrics.sketch_probes.add(probes);
+        true
+    }
+
     /// Runs a batch of statistical queries through the pseudo-disk engine.
     ///
     /// `mem_budget` bounds the bytes of record data resident at once (one
@@ -834,6 +1034,7 @@ impl DiskIndex {
             Some(model),
             ctx,
             Some(stat),
+            opts.sketch,
             |q| {
                 let outcome = match ctx {
                     Some(ctx) => select_blocks_best_first_cancellable(
@@ -917,6 +1118,7 @@ impl DiskIndex {
             None,
             ctx,
             None,
+            true,
             |q| {
                 let outcome = select_blocks_range(&self.curve, q, depth, eps, usize::MAX);
                 let stats = QueryStats {
@@ -940,6 +1142,7 @@ impl DiskIndex {
         model: Option<&dyn DistortionModel>,
         ctx: Option<&QueryCtx>,
         stat: Option<StatInfo>,
+        use_sketch: bool,
         filter: impl Fn(&[u8]) -> (FilterOutcome, QueryStats),
     ) -> Result<(BatchResult, Option<Vec<ExplainReport>>), IndexError> {
         let r = self
@@ -1095,6 +1298,26 @@ impl DiskIndex {
                     mark_section_skipped(&mut stats, work, false);
                     continue;
                 }
+            }
+            // Sketch consult: skip the load when every candidate cell of
+            // every intersecting range probes absent — a provable true
+            // negative (no stats degradation, no I/O, bit-identical
+            // matches). An inconclusive consult (budget exhausted, a cell
+            // present) falls through to the normal load.
+            if let Some(sk) = self.sketch.as_ref().filter(|_| use_sketch) {
+                if self.sketch_rules_out(sk, r, s, work, &per_query_ranges) {
+                    timing.sketch_skips += 1;
+                    metrics.sketch_section_skips.inc();
+                    let mut prev = u32::MAX;
+                    for &(qi, _) in work {
+                        if qi != prev {
+                            stats[qi as usize].sketch_skipped += 1;
+                            prev = qi;
+                        }
+                    }
+                    continue;
+                }
+                metrics.sketch_sections_loaded.inc();
             }
             let mut sec_span = span!("disk.section", "section" => s as f64);
             let t_load = Instant::now();
@@ -1353,6 +1576,7 @@ impl DiskIndex {
                     depth: si.depth,
                     entries_scanned: st.entries_scanned as u64,
                     matches: matches[qi].len() as u64,
+                    sketch_skipped: st.sketch_skipped as u64,
                     observed_selectivity: if self.n > 0 {
                         st.entries_scanned as f64 / self.n as f64
                     } else {
@@ -1942,6 +2166,7 @@ mod tests {
         let opts = WriteOpts {
             table_depth: 6,
             block_size: 64,
+            sketch_bits: 0,
         };
         DiskIndex::write_with(&idx, &path, opts).unwrap();
         let disk = DiskIndex::open(&path).unwrap();
@@ -1976,6 +2201,7 @@ mod tests {
         let opts = WriteOpts {
             table_depth: 6,
             block_size: 256,
+            sketch_bits: 0,
         };
         let (idx, bytes) = mem_index(1000, opts);
         let plan = FaultPlan {
@@ -2009,6 +2235,7 @@ mod tests {
         let opts = WriteOpts {
             table_depth: 6,
             block_size: 256,
+            sketch_bits: 0,
         };
         let (idx, bytes) = mem_index(1000, opts);
         let plan = FaultPlan {
@@ -2068,6 +2295,7 @@ mod tests {
         let opts = WriteOpts {
             table_depth: 4,
             block_size: 128,
+            sketch_bits: 0,
         };
         let (idx, bytes, plan, queries) = dead_zone_setup(opts);
         let storage = FaultyStorage::new(MemStorage::new(bytes), plan);
@@ -2110,6 +2338,7 @@ mod tests {
         let opts = WriteOpts {
             table_depth: 4,
             block_size: 128,
+            sketch_bits: 0,
         };
         let (_idx, bytes, plan, queries) = dead_zone_setup(opts);
         let storage = FaultyStorage::new(MemStorage::new(bytes), plan);
@@ -2133,6 +2362,7 @@ mod tests {
         let opts = WriteOpts {
             table_depth: 6,
             block_size: 256,
+            sketch_bits: 0,
         };
         let (_idx, mut bytes) = mem_index(500, opts);
         let disk = DiskIndex::open_storage(Box::new(MemStorage::new(bytes.clone()))).unwrap();

@@ -52,6 +52,7 @@ fn fixture() -> &'static (S3Index, Vec<u8>) {
             WriteOpts {
                 table_depth: TABLE_DEPTH,
                 block_size: BLOCK_SIZE,
+                sketch_bits: 0,
             },
         )
         .unwrap();

@@ -68,6 +68,11 @@ pub struct ExplainReport {
     /// Matches returned (must equal the sum of per-block `matched` on a
     /// clean run).
     pub matches: u64,
+    /// Sections the section sketch proved empty for this query and skipped
+    /// without I/O. Informational, never a degradation: sketch skips are
+    /// true negatives, so per-block accounting still reconciles — the
+    /// skipped sections would have contributed zero scanned records.
+    pub sketch_skipped: u64,
     /// Per-phase wall-clock.
     pub phases: Vec<ExplainPhase>,
     /// Degradation annotations, empty on a clean run (e.g.
@@ -138,6 +143,13 @@ impl ExplainReport {
             self.observed_selectivity * 100.0,
             self.matches
         );
+        if self.sketch_skipped > 0 {
+            let _ = writeln!(
+                out,
+                "  sketch: {} section load(s) skipped (proven empty, no I/O)",
+                self.sketch_skipped
+            );
+        }
         if !self.blocks.is_empty() {
             let _ = writeln!(out, "  blocks (depth  pred.mass    scanned  matched):");
             let shown = self.blocks.len().min(32);
@@ -180,7 +192,7 @@ impl ExplainReport {
             "\"query_id\":{},\"algo\":\"{}\",\"alpha\":{},\"depth\":{},\
              \"tmax\":{},\"iterations\":{},\"predicted_mass\":{},\
              \"observed_selectivity\":{},\"entries_scanned\":{},\"matches\":{},\
-             \"reconciles\":{},\"degraded\":{}",
+             \"sketch_skipped\":{},\"reconciles\":{},\"degraded\":{}",
             self.query_id,
             json_escape(self.algo),
             num(self.alpha),
@@ -191,6 +203,7 @@ impl ExplainReport {
             num(self.observed_selectivity),
             self.entries_scanned,
             self.matches,
+            self.sketch_skipped,
             self.reconciles(),
             self.degraded(),
         );
@@ -268,6 +281,7 @@ mod tests {
             observed_selectivity: 0.014,
             entries_scanned: 140,
             matches: 5,
+            sketch_skipped: 0,
             phases: vec![
                 ExplainPhase {
                     name: "filter",
