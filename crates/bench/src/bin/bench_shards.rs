@@ -1,0 +1,216 @@
+//! Tail-latency benchmark of the sharded scatter-gather engine: hedged
+//! reads vs a seeded slow-replica fault. Writes `results/BENCH_PR9.json`.
+//!
+//! Layout: 4 shards × 2 replicas. Every primary replica stalls on every
+//! read (seeded, real clock — hedging triggers on observed latency); every
+//! backup is clean. The same batch runs K trials with hedging off and K
+//! with hedging on, and the report compares p50/p99 batch latency.
+//!
+//! Correctness comes first: before any timing, the harness asserts that the
+//! clean sharded layout, the stalled unhedged run and the stalled hedged
+//! run all return matches bit-identical to the single-node baseline — a
+//! latency win that changed an answer would be worthless.
+
+use s3_bench::{results_dir, Experiment, Scale, Series};
+use s3_core::pseudo_disk::{DiskIndex, WriteOpts};
+use s3_core::{
+    FaultPlan, FaultyStorage, HedgeConfig, IsotropicNormal, Match, MemStorage, RecordBatch,
+    S3Index, ShardPlan, ShardedIndex, ShardedOptions, StatQueryOpts, Storage,
+};
+use s3_hilbert::HilbertCurve;
+use std::time::{Duration, Instant};
+
+const DIMS: usize = 6;
+const SHARDS: usize = 4;
+const SEED: u64 = 0xBEE5;
+/// Tight section budget: several sections per shard file. A cancelled
+/// hedge loser may finish its one in-flight section load (the I3 unit) but
+/// abandons the rest — that gap between "one stalled section" and "every
+/// stalled section" is exactly what hedging converts into a p99 win.
+const MEM_BUDGET: u64 = 1 << 10;
+/// Primary-replica stall per read. Large against the 2 ms hedge delay, so
+/// the hedged backup wins decisively; small enough to keep the unhedged
+/// control runs affordable.
+const STALL_MS: u64 = 4;
+
+fn write_opts() -> WriteOpts {
+    WriteOpts {
+        table_depth: 8,
+        block_size: 128,
+        sketch_bits: 0,
+    }
+}
+
+fn build_index(n_records: usize) -> S3Index {
+    let mut s = SEED | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut batch = RecordBatch::new(DIMS);
+    for i in 0..n_records {
+        let fp: Vec<u8> = (0..DIMS).map(|_| (next() >> 24) as u8).collect();
+        batch.push(&fp, (i % 7) as u32, i as u32);
+    }
+    S3Index::build(HilbertCurve::new(DIMS, 8).unwrap(), batch)
+}
+
+fn queries(index: &S3Index, n: usize) -> Vec<Vec<u8>> {
+    let step = (index.len() / n).max(1);
+    (0..n)
+        .map(|i| index.records().fingerprint(i * step).to_vec())
+        .collect()
+}
+
+/// The benchmark layout: stalled primaries, clean backups.
+fn stalled_sharded(index: &S3Index, hedged: bool) -> ShardedIndex {
+    let plan = ShardPlan::balanced(index, SHARDS);
+    let mut storages: Vec<Vec<Box<dyn Storage>>> = Vec::new();
+    for s in 0..plan.shards() {
+        let bytes = plan.shard_bytes(index, s, write_opts()).unwrap();
+        let slow: Box<dyn Storage> = Box::new(FaultyStorage::new(
+            MemStorage::new(bytes.clone()),
+            FaultPlan {
+                seed: SEED ^ (s as u64) << 8,
+                skip_reads: 8,
+                stall_every_n: 1,
+                stall_ms: STALL_MS,
+                ..FaultPlan::default()
+            },
+        ));
+        storages.push(vec![slow, Box::new(MemStorage::new(bytes))]);
+    }
+    ShardedIndex::open(
+        plan,
+        storages,
+        ShardedOptions {
+            mem_budget: MEM_BUDGET,
+            hedge: HedgeConfig {
+                enabled: hedged,
+                min_delay: Duration::from_millis(2),
+                ..HedgeConfig::default()
+            },
+            ..ShardedOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 * p).ceil() as usize).min(sorted_ms.len()) - 1;
+    sorted_ms[idx]
+}
+
+#[allow(clippy::type_complexity)]
+fn run_trials(
+    sharded: &ShardedIndex,
+    qrefs: &[&[u8]],
+    model: &IsotropicNormal,
+    opts: &StatQueryOpts,
+    trials: usize,
+    baseline: &[Vec<Match>],
+) -> (Vec<f64>, usize, usize) {
+    let mut times_ms = Vec::with_capacity(trials);
+    let mut hedges = 0usize;
+    let mut hedge_wins = 0usize;
+    for _ in 0..trials {
+        let t0 = Instant::now();
+        let got = sharded.stat_query_batch(qrefs, model, opts).unwrap();
+        times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(got.shard_skips, 0, "stalls must never lose a shard");
+        assert_eq!(got.batch.matches, baseline, "answers drifted mid-bench");
+        hedges += got.hedges;
+        hedge_wins += got.hedge_wins;
+    }
+    times_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times_ms, hedges, hedge_wins)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (n_records, n_queries, trials) = scale.pick((600, 16, 25), (2400, 32, 40));
+    println!("bench_shards: {n_records} records, {n_queries} queries, {trials} trials per mode");
+
+    let index = build_index(n_records);
+    let q = queries(&index, n_queries);
+    let qrefs: Vec<&[u8]> = q.iter().map(Vec::as_slice).collect();
+    let model = IsotropicNormal::new(DIMS, 12.0);
+    let opts = StatQueryOpts::new(0.9, 12);
+
+    // Single-node baseline, then the equality gate: every layout and mode
+    // must reproduce it bit-identically before any latency is measured.
+    let bytes = DiskIndex::encode_to_vec(&index, write_opts()).unwrap();
+    let single = DiskIndex::open_storage(Box::new(MemStorage::new(bytes))).unwrap();
+    let baseline = single
+        .stat_query_batch(&qrefs, &model, &opts, MEM_BUDGET)
+        .unwrap()
+        .matches;
+    let clean = ShardedIndex::build_mem(
+        &index,
+        SHARDS,
+        2,
+        write_opts(),
+        ShardedOptions {
+            mem_budget: MEM_BUDGET,
+            ..ShardedOptions::default()
+        },
+    )
+    .unwrap()
+    .stat_query_batch(&qrefs, &model, &opts)
+    .unwrap();
+    assert_eq!(
+        clean.batch.matches, baseline,
+        "clean sharded layout must be bit-identical to single-node"
+    );
+    println!("equality gate: clean sharded == single-node ({n_queries} queries) OK");
+
+    let unhedged_ix = stalled_sharded(&index, false);
+    let hedged_ix = stalled_sharded(&index, true);
+
+    let (unhedged, _, _) = run_trials(&unhedged_ix, &qrefs, &model, &opts, trials, &baseline);
+    let (hedged, hedges, hedge_wins) =
+        run_trials(&hedged_ix, &qrefs, &model, &opts, trials, &baseline);
+
+    let (u50, u99) = (percentile(&unhedged, 0.50), percentile(&unhedged, 0.99));
+    let (h50, h99) = (percentile(&hedged, 0.50), percentile(&hedged, 0.99));
+    println!("unhedged: p50 {u50:.2} ms, p99 {u99:.2} ms");
+    println!("hedged  : p50 {h50:.2} ms, p99 {h99:.2} ms ({hedges} hedges, {hedge_wins} wins)");
+    println!("p99 speedup: {:.2}x", u99 / h99);
+
+    let mut exp = Experiment::new(
+        "BENCH_PR9",
+        "Sharded scatter-gather: hedged reads vs seeded slow-replica stalls",
+        "trial (sorted by latency)",
+        "batch latency (ms)",
+    );
+    exp.note(format!(
+        "{SHARDS} shards x 2 replicas, primary stalls {STALL_MS} ms/read (seed {SEED:#x}), \
+         backup clean; {n_queries} queries, {trials} trials per mode"
+    ));
+    exp.note("equality gate: clean sharded and both stalled modes bit-identical to single-node");
+    exp.note(format!(
+        "unhedged p50 {u50:.2} ms / p99 {u99:.2} ms; hedged p50 {h50:.2} ms / p99 {h99:.2} ms \
+         ({hedges} hedges, {hedge_wins} wins); p99 cut {:.2}x",
+        u99 / h99
+    ));
+    let xs: Vec<f64> = (0..trials).map(|i| i as f64).collect();
+    exp.push_series(Series::new("unhedged_ms", xs.clone(), unhedged));
+    exp.push_series(Series::new("hedged_ms", xs, hedged));
+    exp.push_series(Series::new(
+        "p99_ms",
+        vec![0.0, 1.0], // 0 = unhedged, 1 = hedged
+        vec![u99, h99],
+    ));
+
+    exp.print();
+    let dir = results_dir();
+    exp.save_json(&dir).expect("write results json");
+    println!("wrote {}", dir.join("BENCH_PR9.json").display());
+
+    assert!(
+        h99 < u99,
+        "hedging must cut p99 under a stalled primary ({h99:.2} ms !< {u99:.2} ms)"
+    );
+}

@@ -18,16 +18,26 @@
 //!   matches are identical to the fault-free run.
 //!
 //! All time runs on a [`MockClock`] (stalls advance it, deadlines read it),
-//! so the whole matrix is deterministic and costs zero wall-clock sleeping.
+//! so the whole matrix is deterministic and costs zero wall-clock sleeping —
+//! except the shard scenarios, which exercise the scatter-gather engine's
+//! hedged reads and therefore stall on the real clock (tens of ms per run).
 //!
-//! Usage: `chaos [--scale quick|full]`. Writes `results/CHAOS.json` and
+//! Shard scenarios (`shard_kill`, `shard_slow`, `shard_flaky`,
+//! `shard_split_brain`) add the distribution-level invariants: a lost shard
+//! is accounted per affected query and never silently dropped, slow and
+//! flaky replicas are absorbed by hedging/failover with bit-identical
+//! answers, and a stale sketch sidecar offered to a replica fails open.
+//!
+//! Usage: `chaos [--scale quick|full]`. Writes `results/CHAOS.json`
+//! (`version: 2` of the schema, with the shard scenarios included) and
 //! exits non-zero if any invariant was violated.
 
 use s3_bench::{results_dir, Scale};
 use s3_core::pseudo_disk::{DiskIndex, RetryPolicy, WriteOpts};
 use s3_core::{
-    Admission, AdmissionController, Clock, CoreMetrics, FaultPlan, FaultyStorage, IsotropicNormal,
-    Match, MemStorage, MockClock, QueryCtx, RecordBatch, S3Index, Shed, Sketch, StatQueryOpts,
+    Admission, AdmissionController, Clock, CoreMetrics, FaultPlan, FaultyStorage, HedgeConfig,
+    IsotropicNormal, Match, MemStorage, MockClock, QueryCtx, RecordBatch, S3Index, ShardPlan,
+    ShardedBatchResult, ShardedIndex, ShardedOptions, Shed, Sketch, StatQueryOpts, Storage,
 };
 use s3_hilbert::HilbertCurve;
 use std::fmt::Write as _;
@@ -611,12 +621,305 @@ fn scenario_admission(seed: u64) -> RunReport {
     }
 }
 
+/// Rebuilds the in-memory index behind a workload so shard scenarios can
+/// re-slice it into per-shard replica files.
+fn rebuild_index(wl: &Workload) -> S3Index {
+    let disk = DiskIndex::open_storage(Box::new(MemStorage::new(wl.bytes.clone()))).unwrap();
+    let records = disk.to_record_batch().unwrap();
+    S3Index::build(disk.curve().clone(), records)
+}
+
+fn shard_write_opts() -> WriteOpts {
+    WriteOpts {
+        table_depth: TABLE_DEPTH,
+        block_size: BLOCK_SIZE,
+        sketch_bits: 0,
+    }
+}
+
+/// Shard-aware I4/I5: `degraded` must be true exactly when sections or
+/// whole shards were skipped (or the query was cancelled), and every query
+/// not flagged must be bit-identical to the fault-free single-node answer.
+fn check_shard_flags_and_identity(
+    got: &ShardedBatchResult,
+    wl: &Workload,
+    violations: &mut Vec<String>,
+) {
+    for qi in 0..wl.queries.len() {
+        let st = &got.batch.stats[qi];
+        if st.degraded != (st.sections_skipped > 0 || st.shard_skips > 0 || st.cancelled) {
+            violations.push(format!(
+                "I4 violated: query {qi} degraded={} but sections_skipped={} \
+                 shard_skips={} cancelled={}",
+                st.degraded, st.sections_skipped, st.shard_skips, st.cancelled
+            ));
+        }
+        if !st.degraded && got.batch.matches[qi] != wl.baseline[qi] {
+            violations.push(format!(
+                "I5 violated: query {qi} not flagged degraded yet answers differ \
+                 ({} vs {} matches)",
+                got.batch.matches[qi].len(),
+                wl.baseline[qi].len()
+            ));
+        }
+    }
+    let any_query_degraded = got.batch.stats.iter().any(|st| st.degraded);
+    if any_query_degraded && !got.batch.timing.degraded {
+        violations.push("I4 violated: a query degraded but the batch flag is clean".into());
+    }
+    if got.shard_skips > 0 && !got.batch.timing.degraded {
+        violations.push("I4 violated: a shard was lost but the batch flag is clean".into());
+    }
+}
+
+/// Every replica of one shard is dead: the batch completes, the lost key
+/// range is honestly accounted per affected query, and queries that never
+/// needed the dead shard stay bit-identical (I5 restricted to survivors).
+fn scenario_shard_kill(wl: Workload, seed: u64) -> RunReport {
+    let index = rebuild_index(&wl);
+    let plan = ShardPlan::balanced(&index, 4);
+    let dead = 1 + (seed as usize % 3); // vary the victim across seeds
+    let mut storages: Vec<Vec<Box<dyn Storage>>> = Vec::new();
+    for s in 0..plan.shards() {
+        let bytes = plan.shard_bytes(&index, s, shard_write_opts()).unwrap();
+        let mk = |bytes: Vec<u8>| -> Box<dyn Storage> {
+            if s == dead {
+                Box::new(FaultyStorage::new(
+                    MemStorage::new(bytes),
+                    FaultPlan {
+                        seed,
+                        skip_reads: 8,
+                        dead_range: Some(0..u64::MAX),
+                        ..FaultPlan::default()
+                    },
+                ))
+            } else {
+                Box::new(MemStorage::new(bytes))
+            }
+        };
+        storages.push(vec![mk(bytes.clone()), mk(bytes)]);
+    }
+    let sharded = ShardedIndex::open(
+        plan,
+        storages,
+        ShardedOptions {
+            mem_budget: MEM_BUDGET,
+            retry: no_backoff(0),
+            ..ShardedOptions::default()
+        },
+    )
+    .unwrap();
+    let qrefs: Vec<&[u8]> = wl.queries.iter().map(|q| q.as_slice()).collect();
+
+    let mut violations = Vec::new();
+    let got = sharded.stat_query_batch(&qrefs, &model(), &opts()).unwrap();
+    check_shard_flags_and_identity(&got, &wl, &mut violations);
+    if got.shard_skips != 1 {
+        violations.push(format!(
+            "exactly one shard was killed but shard_skips = {}",
+            got.shard_skips
+        ));
+    }
+    let affected = got
+        .batch
+        .stats
+        .iter()
+        .filter(|st| st.shard_skips > 0)
+        .count();
+    if affected == 0 {
+        violations.push("a shard was lost but no query accounts for it".into());
+    }
+    RunReport {
+        scenario: "shard_kill",
+        seed,
+        violations,
+        counters: vec![
+            ("shard_skips", got.shard_skips as f64),
+            ("affected_queries", affected as f64),
+            ("failovers", got.failovers as f64),
+        ],
+    }
+}
+
+/// A uniformly slow primary replica with a clean backup: hedged reads must
+/// fire and the merged answer must stay bit-identical — latency faults are
+/// absorbed, never surfaced as degradation.
+fn scenario_shard_slow(wl: Workload, seed: u64) -> RunReport {
+    let index = rebuild_index(&wl);
+    let plan = ShardPlan::balanced(&index, 3);
+    let mut storages: Vec<Vec<Box<dyn Storage>>> = Vec::new();
+    for s in 0..plan.shards() {
+        let bytes = plan.shard_bytes(&index, s, shard_write_opts()).unwrap();
+        // Real wall-clock stalls: hedging triggers on observed latency, so
+        // this scenario cannot run on the mock clock.
+        let slow: Box<dyn Storage> = Box::new(FaultyStorage::new(
+            MemStorage::new(bytes.clone()),
+            FaultPlan {
+                seed: seed ^ s as u64,
+                skip_reads: 8,
+                stall_every_n: 1,
+                stall_ms: 40,
+                ..FaultPlan::default()
+            },
+        ));
+        storages.push(vec![slow, Box::new(MemStorage::new(bytes))]);
+    }
+    let sharded = ShardedIndex::open(
+        plan,
+        storages,
+        ShardedOptions {
+            mem_budget: MEM_BUDGET,
+            hedge: HedgeConfig {
+                enabled: true,
+                min_delay: Duration::from_millis(2),
+                ..HedgeConfig::default()
+            },
+            ..ShardedOptions::default()
+        },
+    )
+    .unwrap();
+    let qrefs: Vec<&[u8]> = wl.queries.iter().map(|q| q.as_slice()).collect();
+
+    let mut violations = Vec::new();
+    let got = sharded.stat_query_batch(&qrefs, &model(), &opts()).unwrap();
+    check_shard_flags_and_identity(&got, &wl, &mut violations);
+    if got.hedges == 0 {
+        violations.push("stalled primaries never triggered a hedged read".into());
+    }
+    if got.shard_skips > 0 || got.batch.timing.degraded {
+        violations.push("slow replicas must be hedged around, not degrade the batch".into());
+    }
+    if got.batch.matches != wl.baseline {
+        violations.push("hedged batch differs from the fault-free baseline".into());
+    }
+    RunReport {
+        scenario: "shard_slow",
+        seed,
+        violations,
+        counters: vec![
+            ("hedges", got.hedges as f64),
+            ("hedge_wins", got.hedge_wins as f64),
+            ("failovers", got.failovers as f64),
+        ],
+    }
+}
+
+/// A flaky primary that errors on nearly every read, with a clean backup:
+/// failover must recover every shard to the exact answer, no degradation.
+fn scenario_shard_flaky(wl: Workload, seed: u64) -> RunReport {
+    let index = rebuild_index(&wl);
+    let plan = ShardPlan::balanced(&index, 3);
+    let mut storages: Vec<Vec<Box<dyn Storage>>> = Vec::new();
+    for s in 0..plan.shards() {
+        let bytes = plan.shard_bytes(&index, s, shard_write_opts()).unwrap();
+        let flaky: Box<dyn Storage> = Box::new(FaultyStorage::new(
+            MemStorage::new(bytes.clone()),
+            FaultPlan {
+                seed: seed ^ (s as u64) << 8,
+                skip_reads: 8,
+                transient_error: 0.95,
+                ..FaultPlan::default()
+            },
+        ));
+        storages.push(vec![flaky, Box::new(MemStorage::new(bytes))]);
+    }
+    let sharded = ShardedIndex::open(
+        plan,
+        storages,
+        ShardedOptions {
+            mem_budget: MEM_BUDGET,
+            retry: no_backoff(0),
+            hedge: HedgeConfig {
+                enabled: false,
+                ..HedgeConfig::default()
+            },
+            ..ShardedOptions::default()
+        },
+    )
+    .unwrap();
+    let qrefs: Vec<&[u8]> = wl.queries.iter().map(|q| q.as_slice()).collect();
+
+    let mut violations = Vec::new();
+    let got = sharded.stat_query_batch(&qrefs, &model(), &opts()).unwrap();
+    check_shard_flags_and_identity(&got, &wl, &mut violations);
+    if got.failovers == 0 {
+        violations.push("flaky primaries never failed over".into());
+    }
+    if got.shard_skips > 0 || got.batch.timing.degraded {
+        violations.push("clean backups must absorb flaky primaries completely".into());
+    }
+    if got.batch.matches != wl.baseline {
+        violations.push("failover batch differs from the fault-free baseline".into());
+    }
+    RunReport {
+        scenario: "shard_flaky",
+        seed,
+        violations,
+        counters: vec![
+            ("failovers", got.failovers as f64),
+            ("shard_skips", got.shard_skips as f64),
+        ],
+    }
+}
+
+/// Split brain via a stale sidecar: a replica is offered the sketch of the
+/// FULL index (a different file, different meta binding). The attach must
+/// fail open — a sketch bound to other data could silently drop true
+/// positives, the one failure mode the prefilter is never allowed.
+fn scenario_shard_split_brain(wl: Workload, seed: u64) -> RunReport {
+    let index = rebuild_index(&wl);
+    let plan = ShardPlan::balanced(&index, 2);
+    let mut storages: Vec<Vec<Box<dyn Storage>>> = Vec::new();
+    for s in 0..plan.shards() {
+        let bytes = plan.shard_bytes(&index, s, shard_write_opts()).unwrap();
+        storages.push(vec![
+            Box::new(MemStorage::new(bytes.clone())),
+            Box::new(MemStorage::new(bytes)),
+        ]);
+    }
+    let mut sharded = ShardedIndex::open(
+        plan,
+        storages,
+        ShardedOptions {
+            mem_budget: MEM_BUDGET,
+            ..ShardedOptions::default()
+        },
+    )
+    .unwrap();
+    let mut violations = Vec::new();
+    // The stale sidecar belongs to the unsharded index file; every shard
+    // file has a different record set, so every replica must refuse it.
+    let stale = MemStorage::new(wl.sketch.clone());
+    let attached = sharded.replica_mut(0, 0).attach_sketch_storage(&stale);
+    if attached {
+        violations.push("replica accepted a sidecar built for different data".into());
+    }
+    let qrefs: Vec<&[u8]> = wl.queries.iter().map(|q| q.as_slice()).collect();
+    let got = sharded.stat_query_batch(&qrefs, &model(), &opts()).unwrap();
+    check_shard_flags_and_identity(&got, &wl, &mut violations);
+    if got.batch.matches != wl.baseline {
+        violations.push("stale-sidecar run differs from the fault-free baseline".into());
+    }
+    if got.batch.timing.sketch_skips != 0 {
+        violations.push("a declined sidecar must never skip section loads".into());
+    }
+    RunReport {
+        scenario: "shard_split_brain",
+        seed,
+        violations,
+        counters: vec![
+            ("stale_attached", f64::from(u8::from(attached))),
+            ("sketch_skips", got.batch.timing.sketch_skips as f64),
+        ],
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn write_report(reports: &[RunReport], failed: usize, path: &std::path::Path) {
-    let mut out = String::from("{\n  \"id\": \"chaos\",\n");
+    let mut out = String::from("{\n  \"id\": \"chaos\",\n  \"version\": 2,\n");
     let _ = writeln!(out, "  \"runs\": {},", reports.len());
     let _ = writeln!(out, "  \"failed\": {failed},");
     out.push_str("  \"scenarios\": [\n");
@@ -697,6 +1000,22 @@ fn main() {
                 Box::new(move || scenario_sketch(wl, seed))
             }),
             ("admission", Box::new(move || scenario_admission(seed))),
+            ("shard_kill", {
+                let wl = wl.clone();
+                Box::new(move || scenario_shard_kill(wl, seed))
+            }),
+            ("shard_slow", {
+                let wl = wl.clone();
+                Box::new(move || scenario_shard_slow(wl, seed))
+            }),
+            ("shard_flaky", {
+                let wl = wl.clone();
+                Box::new(move || scenario_shard_flaky(wl, seed))
+            }),
+            ("shard_split_brain", {
+                let wl = wl.clone();
+                Box::new(move || scenario_shard_split_brain(wl, seed))
+            }),
         ];
         for (name, run) in runs {
             match guarded(run) {

@@ -10,7 +10,8 @@ use crate::registry::ReferenceDb;
 use crate::spatial::{vote_spatial, SpatialCandidateVotes, SpatialDetection, SpatialVoteParams};
 use crate::voting::{vote, CandidateVotes, Detection, VoteParams};
 use s3_core::{
-    next_query_id, parallel, system_clock, IsotropicNormal, QueryCtx, QueryResult, StatQueryOpts,
+    next_query_id, parallel, system_clock, IsotropicNormal, QueryCtx, QueryResult, QueryStats,
+    ShardedIndex, StatQueryOpts,
 };
 use s3_obs::ExplainReport;
 use s3_video::{extract_fingerprints, LocalFingerprint, VideoSource};
@@ -84,6 +85,10 @@ pub struct SearchHealth {
     /// all queries. Informational, not a degradation: these sections
     /// provably held no candidates, so skipping them changes no result.
     pub sketch_skipped: usize,
+    /// Sharded backend only: shard losses summed over the degraded queries
+    /// (each lost shard counts once per query that needed it). Non-zero
+    /// means whole key ranges were unavailable, not just single sections.
+    pub shard_skips: usize,
 }
 
 impl SearchHealth {
@@ -97,6 +102,7 @@ impl SearchHealth {
                 .count(),
             sections_skipped: results.iter().map(|r| r.stats.sections_skipped).sum(),
             sketch_skipped: results.iter().map(|r| r.stats.sketch_skipped).sum(),
+            shard_skips: results.iter().map(|r| r.stats.shard_skips as usize).sum(),
         }
     }
 }
@@ -106,6 +112,7 @@ pub struct Detector<'a> {
     db: &'a ReferenceDb,
     model: IsotropicNormal,
     config: DetectorConfig,
+    sharded: Option<ShardedIndex>,
 }
 
 impl<'a> Detector<'a> {
@@ -126,7 +133,32 @@ impl<'a> Detector<'a> {
             config.query.refine = s3_core::Refine::Range(law.quantile(q));
         }
         let model = IsotropicNormal::new(s3_video::FINGERPRINT_DIMS, config.sigma);
-        Detector { db, model, config }
+        Detector {
+            db,
+            model,
+            config,
+            sharded: None,
+        }
+    }
+
+    /// Routes the search stage through a sharded scatter-gather backend
+    /// instead of the in-memory reference index.
+    ///
+    /// The shard plan must cover the same records in the same global order
+    /// as `db.index()` (build it with [`s3_core::ShardPlan::balanced`] over
+    /// that index): match indexes coming back from the shards are global, so
+    /// id/time-code lookup and spatial position lookup work unchanged. The
+    /// explain path ([`Detector::detect_fingerprints_explained`]) stays on
+    /// the in-memory index — it is a per-plan diagnostic, not a serving path.
+    #[must_use]
+    pub fn with_shard_backend(mut self, sharded: ShardedIndex) -> Self {
+        self.sharded = Some(sharded);
+        self
+    }
+
+    /// The sharded backend, when one was attached.
+    pub fn shard_backend(&self) -> Option<&ShardedIndex> {
+        self.sharded.as_ref()
     }
 
     /// The configuration in use.
@@ -300,6 +332,9 @@ impl<'a> Detector<'a> {
 
     /// One search batch, under the configured deadline when one is set.
     fn run_search(&self, queries: &[&[u8]]) -> Vec<QueryResult> {
+        if let Some(sharded) = &self.sharded {
+            return self.run_search_sharded(sharded, queries);
+        }
         match self.config.deadline {
             Some(budget) => {
                 let ctx = QueryCtx::with_deadline(system_clock(), budget);
@@ -319,6 +354,43 @@ impl<'a> Detector<'a> {
                 &self.config.query,
                 self.config.threads,
             ),
+        }
+    }
+
+    /// The scatter-gather variant of the search stage. A non-strict backend
+    /// degrades instead of erroring; if the backend does error (strict mode,
+    /// or a malformed query), the batch comes back empty and degraded rather
+    /// than panicking — the health report carries the verdict.
+    fn run_search_sharded(&self, sharded: &ShardedIndex, queries: &[&[u8]]) -> Vec<QueryResult> {
+        let res = match self.config.deadline {
+            Some(budget) => {
+                let ctx = QueryCtx::with_deadline(system_clock(), budget);
+                sharded.stat_query_batch_ctx(queries, &self.model, &self.config.query, &ctx)
+            }
+            None => sharded.stat_query_batch(queries, &self.model, &self.config.query),
+        };
+        match res {
+            Ok(got) => got
+                .batch
+                .matches
+                .into_iter()
+                .zip(got.batch.stats)
+                .map(|(matches, stats)| QueryResult { matches, stats })
+                .collect(),
+            Err(e) => {
+                s3_obs::event::warn("detect.shard", &format!("sharded search failed: {e}"));
+                queries
+                    .iter()
+                    .map(|_| QueryResult {
+                        matches: Vec::new(),
+                        stats: QueryStats {
+                            degraded: true,
+                            shard_skips: 1,
+                            ..QueryStats::default()
+                        },
+                    })
+                    .collect()
+            }
         }
     }
 }
@@ -435,6 +507,30 @@ mod tests {
         assert!(spatial[0].nsim <= temporal[0].nsim);
         // An exact copy is fully coherent: the spatial stage keeps ~all votes.
         assert!(spatial[0].nsim * 10 >= temporal[0].nsim * 8);
+    }
+
+    #[test]
+    fn sharded_backend_matches_in_memory() {
+        let db = build_db(4);
+        let copy = ProceduralVideo::new(96, 72, 80, 1002);
+        let fps = s3_video::extract_fingerprints(&copy, db.extractor_params());
+        let plain = Detector::new(&db, config());
+        let (want, h0) = plain.detect_fingerprints_checked(&fps);
+        let sharded = ShardedIndex::build_mem(
+            db.index(),
+            3,
+            2,
+            s3_core::pseudo_disk::WriteOpts::default(),
+            s3_core::ShardedOptions::default(),
+        )
+        .unwrap();
+        let det = Detector::new(&db, config()).with_shard_backend(sharded);
+        assert!(det.shard_backend().is_some());
+        let (got, h1) = det.detect_fingerprints_checked(&fps);
+        assert_eq!(h0.degraded_queries, 0);
+        assert_eq!(h1.degraded_queries, 0);
+        assert_eq!(h1.shard_skips, 0);
+        assert_eq!(got, want, "scatter-gather must reproduce the verdict");
     }
 
     #[test]

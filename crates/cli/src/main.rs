@@ -20,6 +20,7 @@
 //! workload and prints the populated registry in the chosen format.
 
 mod args;
+mod faults;
 mod metrics;
 mod watch;
 
@@ -29,8 +30,10 @@ use s3_cbcd::{
 };
 use s3_core::pseudo_disk::{DiskIndex, RetryPolicy, WriteOpts};
 use s3_core::{
-    system_clock, Admission, AdmissionController, BlockSource, BufferPool, FileStorage,
-    IsotropicNormal, Permit, PooledStorage, QueryCtx, RecordBatch, S3Index, Shed, StatQueryOpts,
+    system_clock, Admission, AdmissionController, BlockSource, BufferPool, FaultPlan,
+    FaultyStorage, FileStorage, HedgeConfig, IsotropicNormal, MemStorage, Permit, PooledStorage,
+    QueryCtx, RecordBatch, S3Index, ShardPlan, ShardedIndex, ShardedOptions, Shed, StatQueryOpts,
+    Storage,
 };
 use s3_hilbert::HilbertCurve;
 use s3_video::{
@@ -98,22 +101,31 @@ USAGE:
       Print header information of an index file.
   s3cbcd query <index-file> [--alpha A] [--sigma S] [--queries N] [--mem MB]
                 [--strict] [--explain] [--no-sketch]
+                [--shards N] [--replicas R] [--no-hedge]
       Run distorted self-queries through the pseudo-disk engine and report
       retrieval rate and timing. By default unreadable index sections are
       retried then skipped (degraded results); --strict makes that a hard
       error instead. When the index has a sketch sidecar, sections the
       sketch proves empty are skipped without I/O (results are
       bit-identical); --no-sketch disables the prefilter.
+      --shards N re-slices the index into N contiguous key ranges served by
+      R in-memory replicas each (default 2) through the scatter-gather
+      engine: clean runs are bit-identical to single-node, replica faults
+      fail over, slow primaries get hedged backup reads (--no-hedge
+      disables hedging), and a shard losing every replica degrades only
+      the queries that needed it (--strict errors instead).
   s3cbcd explain <index-file> [query flags]
       Shorthand for `query --explain`: per query, print the plan the
       statistical filter chose (selected p-blocks with predicted mass),
       what refinement actually scanned and matched per block, per-phase
       timings, and every degradation annotation.
   s3cbcd detect [ref.y4m ...] [--candidate FILE] [--videos N] [--frames N]
-                [--seed S] [--attack NAME]
+                [--seed S] [--attack NAME] [--shards N] [--replicas R]
       Build an in-memory reference DB (from .y4m files or a synthetic
       library), then detect a candidate: either --candidate FILE, or an
-      attacked copy of one reference.
+      attacked copy of one reference. --shards N routes the search stage
+      through the scatter-gather engine (R replicas per shard, default 2);
+      detection verdicts are identical on clean runs.
       Attacks: resize | shift | gamma | contrast | noise | combo
   s3cbcd monitor [--archive N] [--stream-frames N] [--seed S] [--strict]
       Monitor a synthetic broadcast with embedded copies; report events,
@@ -161,6 +173,14 @@ USAGE:
       --trace-out <path>      capture all spans of the run and write them
                               as Chrome trace-event JSON (load the file in
                               Perfetto or chrome://tracing)
+      --fault <scenario>      inject seeded storage faults, as in `watch`:
+                              none | torn | stall | mixed. query applies
+                              them to the index file (or every shard
+                              replica under --shards); detect shards the
+                              search stage first (--shards defaults to 1
+                              when only --fault is given)
+      --fault-seed <S>        fault schedule seed (default: --seed), so a
+                              degraded run reproduces exactly
 
 EXIT CODES:
   0  complete results
@@ -372,8 +392,12 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
             "metrics-every",
             "trace-out",
             "buffer-pool-pages",
+            "fault",
+            "fault-seed",
+            "shards",
+            "replicas",
         ],
-        &["strict", "explain", "no-sketch"],
+        &["strict", "explain", "no-sketch", "no-hedge"],
     )?;
     let explain = force_explain || a.has("explain");
     let trace = trace_setup(&a);
@@ -387,16 +411,54 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
 
     let threads: usize = a.get_parsed("threads", default_threads())?;
     let admission = admit_batch(&a)?;
+    let admission_degraded = admission.as_ref().is_some_and(|(_, degraded)| *degraded);
     let ctx = query_ctx(&a)?;
-    if admission.as_ref().is_some_and(|(_, degraded)| *degraded) {
+    if admission_degraded {
         alpha = s3_core::resilience::degraded_alpha(alpha);
     }
+    let fplan = faults::from_args(&a, seed)?;
+    let n_shards: usize = a.get_parsed("shards", 0)?;
+    if n_shards > 0 {
+        let setup = QuerySetup {
+            alpha,
+            sigma,
+            n_queries,
+            mem_mb,
+            seed,
+        };
+        let st = query_sharded(&a, explain, admission_degraded, setup, &ctx, fplan)?;
+        trace_write(trace)?;
+        if let Some(path) = metrics_json {
+            metrics::dump_json(&path)?;
+        }
+        return Ok(st);
+    }
+    // Single-node path. `--fault` wraps the base file in the same seeded
+    // fault-injecting storage the `watch` dashboard uses, so a degraded run
+    // reproduces from its command line alone.
+    let base_storage = || -> Result<Box<dyn Storage>, String> {
+        let file = FileStorage::open(path).map_err(|e| e.to_string())?;
+        Ok(match &fplan {
+            Some(p) => Box::new(FaultyStorage::new(file, p.clone())),
+            None => Box::new(file),
+        })
+    };
+    // open_storage cannot see the sidecar path; attach it after the fact so
+    // wrapped opens get the same prefilter as direct opens (fail-open: a
+    // missing/bad sidecar just means no sketch).
+    let attach_sidecar = |d: &mut DiskIndex| {
+        let sidecar = s3_core::Sketch::sidecar_path(std::path::Path::new(path));
+        if sidecar.exists() {
+            if let Ok(st) = FileStorage::open(&sidecar) {
+                let _ = d.attach_sketch_storage(&st);
+            }
+        }
+    };
     // --buffer-pool-pages N bounds resident index memory: the file is read
     // through an LRU-K buffer pool of N 4 KiB blocks instead of directly.
     let pool_pages: usize = a.get_parsed("buffer-pool-pages", 0)?;
     let pool = if pool_pages > 0 {
-        let storage = FileStorage::open(path).map_err(|e| e.to_string())?;
-        let source = BlockSource::new(Box::new(storage), 4096).map_err(|e| e.to_string())?;
+        let source = BlockSource::new(base_storage()?, 4096).map_err(|e| e.to_string())?;
         // Each worker thread pins one page at a time; capacity below the
         // thread count could exhaust the pool mid-batch.
         Some(Arc::new(BufferPool::new(source, pool_pages.max(threads))))
@@ -407,15 +469,12 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
         Some(pool) => {
             let mut d = DiskIndex::open_storage(Box::new(PooledStorage::new(Arc::clone(pool))))
                 .map_err(|e| e.to_string())?;
-            // open_storage cannot see the sidecar path; attach it here so
-            // pooled reads get the same prefilter as direct opens
-            // (fail-open: a missing/bad sidecar just means no sketch).
-            let sidecar = s3_core::Sketch::sidecar_path(std::path::Path::new(path));
-            if sidecar.exists() {
-                if let Ok(st) = FileStorage::open(&sidecar) {
-                    let _ = d.attach_sketch_storage(&st);
-                }
-            }
+            attach_sidecar(&mut d);
+            d
+        }
+        None if fplan.is_some() => {
+            let mut d = DiskIndex::open_storage(base_storage()?).map_err(|e| e.to_string())?;
+            attach_sidecar(&mut d);
             d
         }
         None => DiskIndex::open(path).map_err(|e| e.to_string())?,
@@ -429,27 +488,7 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
     let default_depth = StatQueryOpts::for_db_size(alpha, disk.len() as usize).depth;
     let depth: u32 = a.get_parsed("depth", default_depth)?;
 
-    // Synthetic mid-range probes (the distribution real descriptors live in).
-    let mut s = seed | 1;
-    let mut next = move || {
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        s
-    };
-    let queries: Vec<Vec<u8>> = (0..n_queries)
-        .map(|_| {
-            (0..dims)
-                .map(|_| {
-                    let mut acc = 0.0f64;
-                    for _ in 0..4 {
-                        acc += (next() >> 40) as f64 / (1u64 << 24) as f64 - 0.5;
-                    }
-                    (128.0 + acc * sigma * 3.0).clamp(0.0, 255.0) as u8
-                })
-                .collect()
-        })
-        .collect();
+    let queries = synth_queries(n_queries, dims, sigma, seed);
     let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
 
     let model = IsotropicNormal::new(dims, sigma);
@@ -529,13 +568,208 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
             }
         );
     }
-    let admission_degraded = admission.is_some_and(|(_, degraded)| degraded);
+    drop(admission);
     if let Some(mut reports) = reports {
         print_explains(&mut reports, admission_degraded);
     }
     trace_write(trace)?;
     if let Some(path) = metrics_json {
         metrics::dump_json(&path)?;
+    }
+    if batch.timing.degraded || admission_degraded {
+        Ok(CmdStatus::Degraded)
+    } else {
+        Ok(CmdStatus::Clean)
+    }
+}
+
+/// Synthetic mid-range probes (the distribution real descriptors live in).
+fn synth_queries(n: usize, dims: usize, sigma: f64, seed: u64) -> Vec<Vec<u8>> {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    (0..n)
+        .map(|_| {
+            (0..dims)
+                .map(|_| {
+                    let mut acc = 0.0f64;
+                    for _ in 0..4 {
+                        acc += (next() >> 40) as f64 / (1u64 << 24) as f64 - 0.5;
+                    }
+                    (128.0 + acc * sigma * 3.0).clamp(0.0, 255.0) as u8
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Query parameters already resolved by `cmd_query` (admission degradation
+/// applied to `alpha`), handed to the sharded branch.
+struct QuerySetup {
+    alpha: f64,
+    sigma: f64,
+    n_queries: usize,
+    mem_mb: u64,
+    seed: u64,
+}
+
+/// Builds the per-shard replica storages for `--shards N --replicas R`: the
+/// index is re-sliced into shard files served from memory, each replica
+/// optionally behind its own decorrelated fault schedule.
+fn shard_storages(
+    index: &S3Index,
+    plan: &ShardPlan,
+    replicas: usize,
+    fplan: &Option<FaultPlan>,
+) -> Result<Vec<Vec<Box<dyn Storage>>>, String> {
+    let mut storages: Vec<Vec<Box<dyn Storage>>> = Vec::new();
+    for s_i in 0..plan.shards() {
+        let bytes = plan
+            .shard_bytes(index, s_i, WriteOpts::default())
+            .map_err(|e| e.to_string())?;
+        let mut reps: Vec<Box<dyn Storage>> = Vec::new();
+        for r_i in 0..replicas {
+            reps.push(match fplan {
+                Some(p) => Box::new(FaultyStorage::new(
+                    MemStorage::new(bytes.clone()),
+                    faults::replica_plan(p, s_i, r_i),
+                )),
+                None => Box::new(MemStorage::new(bytes.clone())),
+            });
+        }
+        storages.push(reps);
+    }
+    Ok(storages)
+}
+
+/// The `--shards N` branch of `query`/`explain`: re-shard the index file
+/// into N contiguous key ranges × R in-memory replicas and serve the batch
+/// through the scatter-gather engine, reporting per-shard accounting.
+fn query_sharded(
+    a: &Args,
+    explain: bool,
+    admission_degraded: bool,
+    qs: QuerySetup,
+    ctx: &QueryCtx,
+    fplan: Option<FaultPlan>,
+) -> Result<CmdStatus, String> {
+    let path = a.positional(0).ok_or("query needs an index path")?;
+    let n_shards: usize = a.get_parsed("shards", 0)?;
+    let n_replicas: usize = a.get_parsed("replicas", 2)?;
+    if n_replicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    // Clean open to recover the records; replica storages get the faults.
+    let clean = DiskIndex::open(path).map_err(|e| e.to_string())?;
+    let records = clean.to_record_batch().map_err(|e| e.to_string())?;
+    let index = S3Index::build(clean.curve().clone(), records);
+    let plan = ShardPlan::balanced(&index, n_shards);
+    let storages = shard_storages(&index, &plan, n_replicas, &fplan)?;
+    let sharded = ShardedIndex::open(
+        plan,
+        storages,
+        ShardedOptions {
+            mem_budget: qs.mem_mb << 20,
+            strict: a.has("strict"),
+            hedge: HedgeConfig {
+                enabled: !a.has("no-hedge"),
+                ..HedgeConfig::default()
+            },
+            ..ShardedOptions::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    let dims = sharded.curve().dims();
+    let default_depth = StatQueryOpts::for_db_size(qs.alpha, sharded.len() as usize).depth;
+    let depth: u32 = a.get_parsed("depth", default_depth)?;
+    let queries = synth_queries(qs.n_queries, dims, qs.sigma, qs.seed);
+    let qrefs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+    let model = IsotropicNormal::new(dims, qs.sigma);
+    let opts = StatQueryOpts {
+        sketch: !a.has("no-sketch"),
+        ..StatQueryOpts::new(qs.alpha, depth)
+    };
+
+    let (got, reports) = if explain {
+        let (g, r) = sharded
+            .stat_query_batch_explain(&qrefs, &model, &opts, Some(ctx))
+            .map_err(|e| e.to_string())?;
+        (g, Some(r))
+    } else {
+        let g = sharded
+            .stat_query_batch_ctx(&qrefs, &model, &opts, ctx)
+            .map_err(|e| e.to_string())?;
+        (g, None)
+    };
+
+    let batch = &got.batch;
+    let total_matches: usize = batch.matches.iter().map(Vec::len).sum();
+    let total_scanned: usize = batch.stats.iter().map(|st| st.entries_scanned).sum();
+    println!("queries            : {}", queries.len());
+    println!("depth p            : {depth}");
+    println!(
+        "shards             : {} x {} replicas ({} dispatched)",
+        n_shards,
+        n_replicas,
+        got.shards.len()
+    );
+    println!("matches            : {total_matches}");
+    println!(
+        "scanned            : {} per query (avg)",
+        total_scanned / queries.len().max(1)
+    );
+    println!(
+        "sections           : {} ({} loaded, {} bytes)",
+        batch.sections, batch.timing.sections_loaded, batch.timing.bytes_loaded
+    );
+    println!(
+        "filter/load/refine : {:?} / {:?} / {:?}",
+        batch.timing.filter, batch.timing.load, batch.timing.refine
+    );
+    println!("  shard  served-by  failovers  hedged  outcome     elapsed");
+    for r in &got.shards {
+        let outcome = if r.skipped {
+            if r.breaker_open {
+                "BREAKER"
+            } else {
+                "LOST"
+            }
+        } else if r.hedge_won {
+            "hedge-won"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:>5}  {:>9}  {:>9}  {:>6}  {:<10}  {:.2?}",
+            r.shard,
+            r.served_by.map_or("-".into(), |i| i.to_string()),
+            r.failovers,
+            if r.hedged { "yes" } else { "no" },
+            outcome,
+            Duration::from_nanos(r.elapsed_ns)
+        );
+    }
+    if got.shard_skips > 0 || got.hedges > 0 || got.failovers > 0 {
+        println!(
+            "shard health       : {} lost, {} hedges ({} won), {} failovers{}",
+            got.shard_skips,
+            got.hedges,
+            got.hedge_wins,
+            got.failovers,
+            if batch.timing.degraded {
+                " — DEGRADED results"
+            } else {
+                ""
+            }
+        );
+    }
+    if let Some(mut reports) = reports {
+        print_explains(&mut reports, admission_degraded);
     }
     if batch.timing.degraded || admission_degraded {
         Ok(CmdStatus::Degraded)
@@ -561,8 +795,12 @@ fn cmd_detect(rest: Vec<String>) -> Result<CmdStatus, String> {
             "metrics-every",
             "trace-out",
             "buffer-pool-pages",
+            "fault",
+            "fault-seed",
+            "shards",
+            "replicas",
         ],
-        &["explain"],
+        &["explain", "no-hedge"],
     )?;
     if a.get("buffer-pool-pages").is_some() {
         eprintln!("note: --buffer-pool-pages applies to disk-backed indexes; detect builds its database in memory");
@@ -654,7 +892,35 @@ fn cmd_detect(rest: Vec<String>) -> Result<CmdStatus, String> {
     if admission.as_ref().is_some_and(|(_, degraded)| *degraded) {
         config.query.alpha = s3_core::resilience::degraded_alpha(config.query.alpha);
     }
-    let detector = Detector::new(&db, config);
+    // --shards N routes the search stage through the scatter-gather engine
+    // (in-memory replicas re-sliced from the reference index). --fault
+    // injects seeded storage faults into the replicas; with --fault but no
+    // --shards, a single-shard layout carries the faults.
+    let fplan = faults::from_args(&a, seed)?;
+    let n_shards: usize = a.get_parsed("shards", if fplan.is_some() { 1 } else { 0 })?;
+    let n_replicas: usize = a.get_parsed("replicas", 2)?;
+    if n_replicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    let mut detector = Detector::new(&db, config);
+    if n_shards > 0 {
+        let plan = ShardPlan::balanced(db.index(), n_shards);
+        let storages = shard_storages(db.index(), &plan, n_replicas, &fplan)?;
+        let sharded = ShardedIndex::open(
+            plan,
+            storages,
+            ShardedOptions {
+                hedge: HedgeConfig {
+                    enabled: !a.has("no-hedge"),
+                    ..HedgeConfig::default()
+                },
+                ..ShardedOptions::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        eprintln!("search backend: {n_shards} shard(s) x {n_replicas} replica(s)");
+        detector = detector.with_shard_backend(sharded);
+    }
     let (detections, health, reports) = if a.has("explain") {
         let (d, h, r) = detector.detect_fingerprints_explained(&candidate_fps);
         (d, h, Some(r))
@@ -667,11 +933,23 @@ fn cmd_detect(rest: Vec<String>) -> Result<CmdStatus, String> {
     }
     if health.degraded_queries > 0 {
         println!(
-            "health: {} degraded queries ({} deadline-cancelled, {} fault), {} sections skipped",
+            "health: {} degraded queries ({} deadline-cancelled, {} fault), {} sections skipped, {} shard losses",
             health.degraded_queries,
             health.cancelled_queries,
             health.fault_degraded_queries,
-            health.sections_skipped
+            health.sections_skipped,
+            health.shard_skips
+        );
+    }
+    if n_shards > 0 {
+        let m = s3_core::CoreMetrics::get();
+        println!(
+            "shards: {} scatter-gather queries, {} lost, {} hedges ({} won), {} failovers",
+            m.shard_queries.get(),
+            m.shard_skips.get(),
+            m.shard_hedges.get(),
+            m.shard_hedge_wins.get(),
+            m.shard_failovers.get()
         );
     }
     for d in &detections {

@@ -11,13 +11,13 @@
 //! renders such a dump for humans.
 
 use crate::args::Args;
+use crate::faults;
 use crate::metrics;
 use crate::CmdStatus;
 use s3_core::pseudo_disk::{DiskIndex, WriteOpts};
 use s3_core::{
-    default_health_rules, system_clock, BlockSource, BufferPool, FaultPlan, FaultyStorage,
-    IsotropicNormal, MemStorage, PooledStorage, QueryCtx, RecordBatch, S3Index, StatQueryOpts,
-    Storage,
+    default_health_rules, system_clock, BlockSource, BufferPool, FaultyStorage, IsotropicNormal,
+    MemStorage, PooledStorage, QueryCtx, RecordBatch, S3Index, StatQueryOpts, Storage,
 };
 use s3_hilbert::HilbertCurve;
 use s3_obs::{
@@ -44,43 +44,11 @@ const DASH_RATES: &[&str] = &[
     "storage.crc_failures",
     "disk.retries",
     "resilience.deadline_exceeded",
+    "shard.queries",
+    "shard.skips",
+    "shard.hedges",
+    "shard.failovers",
 ];
-
-/// Builds the fault plan for `--fault <name>`. Probabilities and stall
-/// cadence are fixed per scenario so runs are reproducible given `--seed`.
-fn fault_plan(name: &str, seed: u64) -> Result<Option<FaultPlan>, String> {
-    // Let the open path's metadata reads through clean (open takes a
-    // handful of logical reads); only the query workload sees faults.
-    let base = FaultPlan {
-        seed,
-        skip_reads: 8,
-        ..FaultPlan::default()
-    };
-    Ok(match name {
-        "none" => None,
-        "torn" => Some(FaultPlan {
-            torn_read: 0.5,
-            ..base
-        }),
-        "stall" => Some(FaultPlan {
-            stall_every_n: 4,
-            stall_ms: 5,
-            ..base
-        }),
-        "mixed" => Some(FaultPlan {
-            torn_read: 0.3,
-            stall_every_n: 6,
-            stall_ms: 5,
-            transient_error: 0.05,
-            ..base
-        }),
-        other => {
-            return Err(format!(
-                "unknown fault scenario '{other}' (expected none | torn | stall | mixed)"
-            ))
-        }
-    })
-}
 
 pub fn cmd_watch(rest: Vec<String>) -> Result<CmdStatus, String> {
     let a = Args::parse_with_switches(
@@ -93,6 +61,7 @@ pub fn cmd_watch(rest: Vec<String>) -> Result<CmdStatus, String> {
             "frames",
             "seed",
             "fault",
+            "fault-seed",
             "incident-dir",
             "pool-pages",
             "top",
@@ -109,7 +78,7 @@ pub fn cmd_watch(rest: Vec<String>) -> Result<CmdStatus, String> {
     let n_videos: usize = a.get_parsed("videos", 2)?;
     let frames: usize = a.get_parsed("frames", 48)?;
     let seed: u64 = a.get_parsed("seed", 0xD1CE)?;
-    let plan = fault_plan(a.get("fault").unwrap_or("none"), seed)?;
+    let plan = faults::from_args(&a, seed)?;
     let incident_dir = PathBuf::from(a.get("incident-dir").unwrap_or("incidents"));
     let pool_pages: usize = a.get_parsed("pool-pages", 96)?;
     let top: usize = a.get_parsed("top", 8)?;

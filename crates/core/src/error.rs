@@ -53,6 +53,18 @@ pub enum IndexError {
         /// The final failure.
         source: Box<IndexError>,
     },
+    /// Sharded strict mode only: every replica of a shard failed (or its
+    /// breaker was open), so the shard's key range went unanswered. (In
+    /// non-strict mode the shard is skipped and affected queries degrade.)
+    ShardLost {
+        /// Index of the lost shard in the shard plan.
+        shard: usize,
+        /// Replicas that were attempted before giving up (0 when the
+        /// shard's circuit breaker rejected the request outright).
+        replicas_tried: usize,
+        /// The last replica's failure, when one was attempted.
+        source: Option<Box<IndexError>>,
+    },
 }
 
 impl fmt::Display for IndexError {
@@ -85,6 +97,17 @@ impl fmt::Display for IndexError {
                 f,
                 "section {section} unreadable after {retries} retries: {source}"
             ),
+            IndexError::ShardLost {
+                shard,
+                replicas_tried,
+                source,
+            } => match source {
+                Some(src) => write!(
+                    f,
+                    "shard {shard} lost after {replicas_tried} replica(s): {src}"
+                ),
+                None => write!(f, "shard {shard} lost: circuit breaker open"),
+            },
         }
     }
 }
@@ -94,6 +117,9 @@ impl Error for IndexError {
         match self {
             IndexError::Io(e) => Some(e),
             IndexError::SectionLost { source, .. } => Some(source),
+            IndexError::ShardLost {
+                source: Some(src), ..
+            } => Some(src.as_ref()),
             _ => None,
         }
     }

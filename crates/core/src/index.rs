@@ -147,8 +147,19 @@ pub struct QueryStats {
     /// True if a deadline or cancellation stopped this query before it
     /// finished — the match list covers the work completed up to the stop.
     pub cancelled: bool,
+    /// Pseudo-disk only: section-load retries spent on behalf of this
+    /// query (a retry for a section shared by several queries is counted
+    /// once per query that needed the section). A hedged shard request
+    /// that loses the race contributes nothing here — only the winning
+    /// replica's work is merged.
+    pub retries: u32,
+    /// Sharded queries only: shards this query needed whose every replica
+    /// stayed unreachable. Like `sections_skipped`, any non-zero value
+    /// means the match list may be missing records from that key range.
+    pub shard_skips: u32,
     /// True if the match list may be incomplete for any reason: sections
-    /// stayed unreadable (`sections_skipped > 0`) or the query was
+    /// stayed unreadable (`sections_skipped > 0`), whole shards were lost
+    /// (`shard_skips > 0`), or the query was
     /// [`cancelled`](QueryStats::cancelled). Results are exact over the work
     /// actually performed.
     pub degraded: bool,
@@ -250,6 +261,37 @@ impl S3Index {
         let records = records.permuted(&perm);
         let keys: Vec<Key256> = keyed.into_iter().map(|(k, _)| k).collect();
         let table_depth = Self::pick_table_depth(&curve, n);
+        let table = Self::build_table(&curve, &keys, table_depth);
+        S3Index {
+            curve,
+            keys,
+            records,
+            table,
+            table_depth,
+        }
+    }
+
+    /// Builds an index over records **already sorted by Hilbert key**,
+    /// preserving their order exactly — no re-sort, so ties between equal
+    /// keys keep the caller's ordering. This is the constructor the shard
+    /// router uses to carve a contiguous slice of a sorted parent index
+    /// into a sub-index whose record order (and therefore whose answers)
+    /// stay bit-identical to the parent's slice.
+    ///
+    /// # Panics
+    /// If `keys.len() != records.len()`, the dimensions mismatch, or (debug
+    /// builds only) the keys are not sorted.
+    pub fn from_sorted_parts(
+        curve: HilbertCurve,
+        keys: Vec<Key256>,
+        records: RecordBatch,
+    ) -> S3Index {
+        assert_eq!(records.dims(), curve.dims(), "dimension mismatch");
+        assert_eq!(curve.order(), 8, "fingerprints are byte vectors (order 8)");
+        assert_eq!(keys.len(), records.len(), "keys/records length mismatch");
+        assert!(records.len() <= u32::MAX as usize, "too many records");
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys not sorted");
+        let table_depth = Self::pick_table_depth(&curve, keys.len());
         let table = Self::build_table(&curve, &keys, table_depth);
         S3Index {
             curve,
@@ -624,6 +666,7 @@ impl S3Index {
             entries_scanned: res.stats.entries_scanned as u64,
             matches: res.matches.len() as u64,
             sketch_skipped: res.stats.sketch_skipped as u64,
+            shards: Vec::new(),
             phases: vec![
                 ExplainPhase {
                     name: "filter",

@@ -73,6 +73,7 @@ pub mod pager;
 pub mod parallel;
 pub mod pseudo_disk;
 pub mod resilience;
+pub mod shard;
 pub mod sketch;
 pub mod storage;
 pub mod wal;
@@ -91,6 +92,9 @@ pub use pseudo_disk::{DiskIndex, RetryPolicy, WriteOpts};
 pub use resilience::{
     next_query_id, system_clock, Admission, AdmissionController, BreakerConfig, CancelCause,
     CancelToken, Clock, Deadline, MockClock, Permit, QueryCtx, SectionBreakers, Shed, SystemClock,
+};
+pub use shard::{
+    HedgeConfig, ShardPlan, ShardReport, ShardedBatchResult, ShardedIndex, ShardedOptions,
 };
 pub use sketch::{Sketch, SketchParams, DEFAULT_SKETCH_BITS};
 pub use storage::{

@@ -150,6 +150,23 @@ pub struct CoreMetrics {
     /// could not rule out (loaded as usual; the skip-rate denominator is
     /// `section_skips + sections_loaded`).
     pub sketch_sections_loaded: Counter,
+    /// `shard.queries` — shard dispatches by the scatter-gather router
+    /// (one per shard whose key span a batch actually touched).
+    pub shard_queries: Counter,
+    /// `shard.skips` — dispatches that lost every replica (the shard's key
+    /// range went unanswered and affected queries degraded).
+    pub shard_skips: Counter,
+    /// `shard.hedges` — backup replica requests launched because the
+    /// primary exceeded the shard's hedge threshold.
+    pub shard_hedges: Counter,
+    /// `shard.hedge_wins` — hedged requests whose backup answered first.
+    pub shard_hedge_wins: Counter,
+    /// `shard.failovers` — replica attempts spawned because an earlier
+    /// replica failed.
+    pub shard_failovers: Counter,
+    /// `shard.breaker_open` — dispatches rejected outright by an open
+    /// per-shard circuit breaker.
+    pub shard_breaker_open: Counter,
 }
 
 static CORE: OnceLock<CoreMetrics> = OnceLock::new();
@@ -213,6 +230,12 @@ impl CoreMetrics {
                 sketch_probes: r.counter("sketch.probes"),
                 sketch_section_skips: r.counter("sketch.section_skips"),
                 sketch_sections_loaded: r.counter("sketch.sections_loaded"),
+                shard_queries: r.counter("shard.queries"),
+                shard_skips: r.counter("shard.skips"),
+                shard_hedges: r.counter("shard.hedges"),
+                shard_hedge_wins: r.counter("shard.hedge_wins"),
+                shard_failovers: r.counter("shard.failovers"),
+                shard_breaker_open: r.counter("shard.breaker_open"),
             }
         })
     }
@@ -365,6 +388,21 @@ pub fn default_health_rules() -> Vec<s3_obs::HealthRule> {
             Bounds::within(-2500.0, 2500.0),
         )
         .critical(Bounds::within(-6000.0, 6000.0)),
+        // Shards dropping out of scatter-gather answers: every skip means a
+        // whole key range went unanswered for a batch, degrading each
+        // affected query. Failover and hedging should absorb single-replica
+        // faults; a sustained skip rate means whole replica sets are down.
+        HealthRule::new(
+            "shard-availability",
+            Signal::Ratio {
+                num: "shard.skips",
+                den: &["shard.queries"],
+            },
+            Duration::from_secs(60),
+            Bounds::at_most(0.01),
+        )
+        .critical(Bounds::at_most(0.25))
+        .min_count(8),
     ]
 }
 

@@ -90,7 +90,7 @@ const MAX_TABLE_DEPTH: u32 = 24;
 const MAX_BACKOFF: Duration = Duration::from_millis(100);
 /// Cap on Bloom probes one section consult may issue before giving up and
 /// loading the section (conservative: an exhausted budget never skips).
-const SKETCH_PROBE_BUDGET: u64 = 4096;
+pub const SKETCH_PROBE_BUDGET: u64 = 4096;
 
 /// Write-time options of the on-disk format.
 #[derive(Clone, Copy, Debug)]
@@ -1035,6 +1035,7 @@ impl DiskIndex {
             ctx,
             Some(stat),
             opts.sketch,
+            None,
             |q| {
                 let outcome = match ctx {
                     Some(ctx) => select_blocks_best_first_cancellable(
@@ -1119,6 +1120,7 @@ impl DiskIndex {
             ctx,
             None,
             true,
+            None,
             |q| {
                 let outcome = select_blocks_range(&self.curve, q, depth, eps, usize::MAX);
                 let stats = QueryStats {
@@ -1133,6 +1135,42 @@ impl DiskIndex {
         .map(|(batch, _)| batch)
     }
 
+    /// Runs the scan stages of a batch against **pre-computed** per-query
+    /// key ranges, skipping stage-1 filtering entirely. This is the shard
+    /// replica entry point: the shard router runs the (database-independent)
+    /// filter once and hands every replica the same merged ranges, so the
+    /// per-replica scan stays bit-identical to the single-node scan over
+    /// this replica's slice of the records. Filter-derived counters
+    /// (`nodes_expanded`, `mass`, …) are left zeroed — the router owns them
+    /// — and the per-query registry recording (`record_query`,
+    /// `record_calibration`) is suppressed so a sharded batch is folded
+    /// into the metrics exactly once, by the router.
+    #[allow(clippy::too_many_arguments)] // mirrors query_batch_inner's knob set
+    pub(crate) fn scan_prepared_ctx(
+        &self,
+        queries: &[&[u8]],
+        ranges: &[Vec<KeyRange>],
+        refine: Refine,
+        model: Option<&dyn DistortionModel>,
+        mem_budget: u64,
+        use_sketch: bool,
+        ctx: Option<&QueryCtx>,
+    ) -> Result<BatchResult, IndexError> {
+        debug_assert_eq!(queries.len(), ranges.len());
+        self.query_batch_inner(
+            queries,
+            mem_budget,
+            refine,
+            model,
+            ctx,
+            None,
+            use_sketch,
+            Some(ranges),
+            |_| unreachable!("prepared scan never filters"),
+        )
+        .map(|(batch, _)| batch)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn query_batch_inner(
         &self,
@@ -1143,6 +1181,7 @@ impl DiskIndex {
         ctx: Option<&QueryCtx>,
         stat: Option<StatInfo>,
         use_sketch: bool,
+        prepared: Option<&[Vec<KeyRange>]>,
         filter: impl Fn(&[u8]) -> (FilterOutcome, QueryStats),
     ) -> Result<(BatchResult, Option<Vec<ExplainReport>>), IndexError> {
         let r = self
@@ -1169,7 +1208,34 @@ impl DiskIndex {
         // block lists drop right after range merging as before).
         let mut outcomes: Vec<Option<FilterOutcome>> = Vec::new();
         let mut filter_ns: Vec<u64> = Vec::new();
+        // Prepared path: the caller (shard router) already filtered; adopt
+        // its ranges verbatim so every replica scans the identical plan.
+        // EXPLAIN capture is router-side only on this path.
+        if let Some(pre) = prepared {
+            debug_assert!(!want_explain, "prepared scans never capture explain");
+            for (qi, q) in queries.iter().enumerate() {
+                if q.len() != self.curve.dims() {
+                    return Err(IndexError::QueryDims {
+                        expected: self.curve.dims(),
+                        got: q.len(),
+                    });
+                }
+                if should_stop() {
+                    per_query_ranges.push(Vec::new());
+                    stats.push(QueryStats {
+                        cancelled: true,
+                        ..QueryStats::default()
+                    });
+                    continue;
+                }
+                per_query_ranges.push(pre[qi].clone());
+                stats.push(QueryStats::default());
+            }
+        }
         for (qi, q) in queries.iter().enumerate() {
+            if prepared.is_some() {
+                break;
+            }
             if q.len() != self.curve.dims() {
                 return Err(IndexError::QueryDims {
                     expected: self.curve.dims(),
@@ -1327,6 +1393,22 @@ impl DiskIndex {
             timing.load += load_time;
             timing.section_load.record_duration(load_time);
             metrics.section_load.record_duration(load_time);
+            // Retries are attributed to every query that needed this
+            // section (same convention as `sections_skipped`): once per
+            // distinct qi in `work`, whether the load finally succeeded
+            // or not.
+            {
+                let (Ok(retries) | Err((retries, _))) = &loaded;
+                if *retries > 0 {
+                    let mut prev = u32::MAX;
+                    for &(qi, _) in work {
+                        if qi != prev {
+                            stats[qi as usize].retries += retries;
+                            prev = qi;
+                        }
+                    }
+                }
+            }
             match loaded {
                 Ok(retries) => {
                     if let Some(br) = &self.breakers {
@@ -1550,16 +1632,28 @@ impl DiskIndex {
 
         // Fold the batch into the registry: per-query work counters plus
         // the amortised per-query latency `T_tot = T + T_load/N_sig` (eq. 5).
-        let per_query = timing.per_query(queries.len());
-        for st in &stats {
-            metrics.record_query(st, per_query);
-        }
-        // Always-on selectivity calibration for statistical queries: the
-        // filter's achieved mass vs. the database fraction refinement
-        // actually visited — the paper's capture invariant, live.
-        if let Some(si) = &stat {
+        // A prepared (per-shard) scan is one fragment of a larger logical
+        // batch — the shard router records the merged stats once, so a
+        // replica must not also count its fragment here. Physical I/O
+        // metrics above (section loads, bytes, retries) stay per-replica:
+        // they measure work actually done.
+        if prepared.is_none() {
+            let per_query = timing.per_query(queries.len());
             for st in &stats {
-                metrics.record_calibration(st.mass, si.alpha, st.entries_scanned, self.n as usize);
+                metrics.record_query(st, per_query);
+            }
+            // Always-on selectivity calibration for statistical queries: the
+            // filter's achieved mass vs. the database fraction refinement
+            // actually visited — the paper's capture invariant, live.
+            if let Some(si) = &stat {
+                for st in &stats {
+                    metrics.record_calibration(
+                        st.mass,
+                        si.alpha,
+                        st.entries_scanned,
+                        self.n as usize,
+                    );
+                }
             }
         }
 

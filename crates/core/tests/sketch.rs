@@ -14,8 +14,7 @@ use proptest::prelude::*;
 use s3_core::pseudo_disk::{DiskIndex, WriteOpts};
 use s3_core::{
     DurableIndex, DurableOptions, FaultPlan, FaultyStorage, IsotropicNormal, MemStorage,
-    RecordBatch, S3Index, SharedMemStorage, Sketch, StatQueryOpts, Storage,
-    WritableStorage,
+    RecordBatch, S3Index, SharedMemStorage, Sketch, StatQueryOpts, Storage, WritableStorage,
 };
 use s3_hilbert::HilbertCurve;
 use std::sync::OnceLock;
@@ -375,4 +374,76 @@ fn sidecar_round_trips_through_storage() {
     storage.read_at(0, &mut buf).unwrap();
     let sk = Sketch::decode(&buf).unwrap();
     assert_eq!(sk.encode_to_vec(), *sketch_bytes);
+}
+
+/// Satellite regression: a range decomposition that blows past the
+/// 4096-probe consult budget must ALWAYS fall back to loading the section
+/// — never skip it — and the `sketch.probes` counter stops at the budget
+/// for every consult instead of walking the whole span.
+///
+/// The workload makes the budget unreachable on purpose: a deep sketch
+/// (4096 cells per table slot), a huge memory budget (one section spanning
+/// the whole file, hundreds of slots) and very broad queries (low filter
+/// depth, near-1 mass target) produce `range ∩ section` cell spans orders
+/// of magnitude past the budget.
+#[test]
+fn probe_budget_exhaustion_always_loads() {
+    use s3_core::pseudo_disk::SKETCH_PROBE_BUDGET;
+    use s3_core::{CoreMetrics, SketchParams};
+
+    let (_, bytes, _) = fixture();
+    let mut with_sketch =
+        DiskIndex::open_storage(Box::new(MemStorage::new(bytes.clone()))).unwrap();
+    let deep = with_sketch
+        .build_sketch(SketchParams {
+            bits_per_entry: 8,
+            depth: 20, // 12 bits below the table: 4096 cells per slot
+        })
+        .unwrap();
+    assert!(with_sketch.attach_sketch(deep), "deep sketch must attach");
+    let without_sketch = DiskIndex::open_storage(Box::new(MemStorage::new(bytes.clone()))).unwrap();
+
+    let model = IsotropicNormal::new(DIMS, 60.0);
+    let opts = StatQueryOpts::new(0.999, 4); // depth-4 blocks: 16 slots each
+    let q = probes(0xB1D6E7, 6);
+    let queries: Vec<&[u8]> = q.iter().map(Vec::as_slice).collect();
+    let big_budget = 1u64 << 20; // whole file in one section
+
+    let m = CoreMetrics::get();
+    // Snapshot order makes the per-consult bound robust against tests
+    // running concurrently in this binary: consults first (low) and probes
+    // second (high) at the start, the reverse at the end, so concurrent
+    // consults can only weaken the left side and strengthen the right.
+    let consults0 = m.sketch_section_skips.get() + m.sketch_sections_loaded.get();
+    let probes0 = m.sketch_probes.get();
+
+    let on = with_sketch
+        .stat_query_batch(&queries, &model, &opts, big_budget)
+        .unwrap();
+
+    let probes1 = m.sketch_probes.get();
+    let consults1 = m.sketch_section_skips.get() + m.sketch_sections_loaded.get();
+
+    let off = without_sketch
+        .stat_query_batch(&queries, &model, &opts, big_budget)
+        .unwrap();
+
+    // Fallback, not skip: the budget-exhausted consult loads the section,
+    // so the sketch-on run does exactly the sketch-off run's work.
+    assert_eq!(on.timing.sketch_skips, 0, "budget exhaustion must not skip");
+    assert_eq!(
+        on.timing.sections_loaded, off.timing.sections_loaded,
+        "every consulted section must still be loaded"
+    );
+    assert_eq!(on.matches, off.matches, "answers must stay bit-identical");
+    assert!(
+        on.stats.iter().any(|s| s.entries_scanned > 0),
+        "the broad workload must actually scan"
+    );
+    assert!(consults1 > consults0, "the sketch must have been consulted");
+    // Every consult stops probing at the budget.
+    assert!(
+        probes1 - probes0 <= SKETCH_PROBE_BUDGET * (consults1 - consults0),
+        "a consult probed past SKETCH_PROBE_BUDGET"
+    );
 }

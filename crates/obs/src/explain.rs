@@ -30,6 +30,32 @@ pub struct BlockExplain {
     pub matched: u64,
 }
 
+/// One shard's contribution to a scatter-gather query.
+#[derive(Clone, Debug, Default)]
+pub struct ShardExplain {
+    /// Shard index in the shard plan.
+    pub shard: usize,
+    /// Replica that served the answer (`None` when the shard was skipped).
+    pub served_by: Option<usize>,
+    /// Replica attempts spawned after an earlier replica failed.
+    pub failovers: u32,
+    /// True if a hedged backup request was launched for this shard.
+    pub hedged: bool,
+    /// True if the hedged backup answered first.
+    pub hedge_won: bool,
+    /// True if every replica stayed unreachable — this query's answer is
+    /// missing the shard's whole key range.
+    pub skipped: bool,
+    /// True if the shard's circuit breaker rejected the dispatch outright.
+    pub breaker_open: bool,
+    /// Records this shard's replica scanned for this query.
+    pub entries_scanned: u64,
+    /// Matches this shard contributed to this query.
+    pub matches: u64,
+    /// Wall-clock from dispatch to the winning response, in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
 /// Wall-clock spent in one phase of the query, in nanoseconds.
 #[derive(Clone, Debug)]
 pub struct ExplainPhase {
@@ -73,6 +99,11 @@ pub struct ExplainReport {
     /// true negatives, so per-block accounting still reconciles — the
     /// skipped sections would have contributed zero scanned records.
     pub sketch_skipped: u64,
+    /// Per-shard rows of a scatter-gather query (empty on single-node
+    /// runs). When present, per-block accounting is replaced by per-shard
+    /// accounting: each shard's replica scanned its slice of the records,
+    /// and the shard sums must reconcile with the query totals.
+    pub shards: Vec<ShardExplain>,
     /// Per-phase wall-clock.
     pub phases: Vec<ExplainPhase>,
     /// Degradation annotations, empty on a clean run (e.g.
@@ -102,11 +133,28 @@ impl ExplainReport {
         !self.annotations.is_empty()
     }
 
-    /// Whether per-block accounting reconciles exactly with the query
-    /// totals. Guaranteed on clean runs; a degraded run that stopped
-    /// mid-scan may not reconcile (and says so in its annotations).
+    /// Sum of per-shard scanned records (scatter-gather runs).
+    pub fn shard_scanned(&self) -> u64 {
+        self.shards.iter().map(|s| s.entries_scanned).sum()
+    }
+
+    /// Sum of per-shard matches (scatter-gather runs).
+    pub fn shard_matched(&self) -> u64 {
+        self.shards.iter().map(|s| s.matches).sum()
+    }
+
+    /// Whether the detailed accounting reconciles exactly with the query
+    /// totals. Single-node runs reconcile per block; scatter-gather runs
+    /// (any [`ShardExplain`] rows present) reconcile per shard, since each
+    /// shard's replica scans its own slice of the records. Guaranteed on
+    /// clean runs; a degraded run that stopped mid-scan may not reconcile
+    /// (and says so in its annotations).
     pub fn reconciles(&self) -> bool {
-        self.block_scanned() == self.entries_scanned && self.block_matched() == self.matches
+        if self.shards.is_empty() {
+            self.block_scanned() == self.entries_scanned && self.block_matched() == self.matches
+        } else {
+            self.shard_scanned() == self.entries_scanned && self.shard_matched() == self.matches
+        }
     }
 
     /// Renders a human-readable multi-line report.
@@ -164,16 +212,59 @@ impl ExplainReport {
                 let _ = writeln!(out, "    ... {} more blocks", self.blocks.len() - shown);
             }
         }
+        if !self.shards.is_empty() {
+            let _ = writeln!(
+                out,
+                "  shards (id  served_by  failovers  hedged  scanned  matched  ns):"
+            );
+            for s in &self.shards {
+                let served = match (s.served_by, s.breaker_open) {
+                    (Some(r), _) => format!("r{r}"),
+                    (None, true) => "breaker".to_string(),
+                    (None, false) => "lost".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "    s={:<3} {:>9} {:>10} {:>7} {:>8} {:>8} {:>10}{}",
+                    s.shard,
+                    served,
+                    s.failovers,
+                    if s.hedged {
+                        if s.hedge_won {
+                            "won"
+                        } else {
+                            "yes"
+                        }
+                    } else {
+                        "no"
+                    },
+                    s.entries_scanned,
+                    s.matches,
+                    s.elapsed_ns,
+                    if s.skipped { "  SKIPPED" } else { "" },
+                );
+            }
+        }
         for p in &self.phases {
             let _ = writeln!(out, "  phase {:<7} {:>12} ns", p.name, p.ns);
         }
-        let _ = writeln!(
-            out,
-            "  reconciles: {} (blocks scanned={} matched={})",
-            self.reconciles(),
-            self.block_scanned(),
-            self.block_matched()
-        );
+        if self.shards.is_empty() {
+            let _ = writeln!(
+                out,
+                "  reconciles: {} (blocks scanned={} matched={})",
+                self.reconciles(),
+                self.block_scanned(),
+                self.block_matched()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  reconciles: {} (shards scanned={} matched={})",
+                self.reconciles(),
+                self.shard_scanned(),
+                self.shard_matched()
+            );
+        }
         if self.annotations.is_empty() {
             let _ = writeln!(out, "  degradation: none");
         } else {
@@ -217,6 +308,27 @@ impl ExplainReport {
                 num(b.predicted_mass),
                 b.scanned,
                 b.matched
+            );
+        }
+        out.push_str("],\"shards\":[");
+        for (i, s) in self.shards.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"shard\":{},\"served_by\":{},\"failovers\":{},\"hedged\":{},\
+                 \"hedge_won\":{},\"skipped\":{},\"breaker_open\":{},\
+                 \"entries_scanned\":{},\"matches\":{},\"elapsed_ns\":{}}}",
+                if i == 0 { "" } else { "," },
+                s.shard,
+                s.served_by
+                    .map_or_else(|| "null".to_string(), |r| r.to_string()),
+                s.failovers,
+                s.hedged,
+                s.hedge_won,
+                s.skipped,
+                s.breaker_open,
+                s.entries_scanned,
+                s.matches,
+                s.elapsed_ns,
             );
         }
         out.push_str("],\"phases\":{");
@@ -282,6 +394,7 @@ mod tests {
             entries_scanned: 140,
             matches: 5,
             sketch_skipped: 0,
+            shards: vec![],
             phases: vec![
                 ExplainPhase {
                     name: "filter",
@@ -294,6 +407,47 @@ mod tests {
             ],
             annotations: vec![],
         }
+    }
+
+    #[test]
+    fn sharded_report_reconciles_per_shard() {
+        let mut r = sample();
+        // Per-block accounting is replaced by per-shard rows: the blocks'
+        // sums no longer matter, the shard sums must cover the totals.
+        r.blocks.clear();
+        r.shards = vec![
+            ShardExplain {
+                shard: 0,
+                served_by: Some(0),
+                entries_scanned: 90,
+                matches: 3,
+                ..ShardExplain::default()
+            },
+            ShardExplain {
+                shard: 1,
+                served_by: Some(1),
+                failovers: 1,
+                hedged: true,
+                hedge_won: true,
+                entries_scanned: 50,
+                matches: 2,
+                ..ShardExplain::default()
+            },
+        ];
+        assert!(r.reconciles());
+        let text = r.to_text();
+        assert!(text.contains("shards (id"), "{text}");
+        assert!(text.contains("won"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"shards\":[{\"shard\":0"), "{json}");
+        assert!(json.contains("\"hedge_won\":true"), "{json}");
+        // A lost shard breaks reconciliation and is rendered as such.
+        r.shards[1].served_by = None;
+        r.shards[1].skipped = true;
+        r.shards[1].entries_scanned = 0;
+        r.shards[1].matches = 0;
+        assert!(!r.reconciles());
+        assert!(r.to_text().contains("SKIPPED"));
     }
 
     #[test]

@@ -66,7 +66,7 @@ mod trace;
 mod window;
 
 pub use event::{set_event_sink, EventSink, Level, MemEventSink, StderrSink};
-pub use explain::{BlockExplain, ExplainPhase, ExplainReport};
+pub use explain::{BlockExplain, ExplainPhase, ExplainReport, ShardExplain};
 pub use health::{Bounds, HealthEngine, HealthReport, HealthRule, RuleOutcome, Signal, Verdict};
 pub use json::{JsonError, JsonValue};
 pub use metrics::{
