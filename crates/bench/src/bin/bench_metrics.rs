@@ -161,6 +161,58 @@ fn main() {
         0,
         "a clean benchmark run must not dump incidents"
     );
+    // --- Phase 5: durable telemetry armed (embedded tsdb persisting one
+    // windowed frame per batch). Persistence must never change answers,
+    // and its cost — one JSON sample appended + flushed per *batch* —
+    // must amortize to noise per query. Interleaved min-of-N timing keeps
+    // the comparison honest on a noisy CI box.
+    let tel_dir = dir.join("bench_telemetry");
+    let _ = std::fs::remove_dir_all(&tel_dir);
+    let tel_windows = s3_obs::MetricWindows::new(64);
+    let tel_wall = s3_obs::WallTime::new();
+    tel_windows.tick(&tel_wall);
+    let mut tsdb =
+        s3_obs::Tsdb::open(&tel_dir, s3_obs::TsdbConfig::default()).expect("open bench tsdb");
+    let mut plain_min = u64::MAX;
+    let mut tel_min = u64::MAX;
+    let mut res_tel = None;
+    const ROUNDS: usize = 5;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        let r = disk
+            .stat_query_batch(&qrefs, &model, &opts, mem)
+            .expect("batch query (persistence off)");
+        plain_min = plain_min.min(t.elapsed().as_nanos() as u64);
+        assert_eq!(match_key(&res_off), match_key(&r));
+        let t = Instant::now();
+        let r = disk
+            .stat_query_batch(&qrefs, &model, &opts, mem)
+            .expect("batch query (persistence armed)");
+        tel_windows.tick(&tel_wall);
+        tsdb.append_latest(&tel_windows).expect("append telemetry");
+        tel_min = tel_min.min(t.elapsed().as_nanos() as u64);
+        res_tel = Some(r);
+    }
+    assert_eq!(
+        match_key(&res_off),
+        match_key(&res_tel.expect("telemetry rounds ran")),
+        "persisting telemetry changed query results"
+    );
+    tsdb.sync().expect("sync bench tsdb");
+    let samples_appended = s3_obs::Tsdb::read(&tel_dir).expect("read back").len();
+    let tel_segments = s3_obs::segment_paths(&tel_dir, "tsdb")
+        .expect("list segments")
+        .len();
+    assert!(samples_appended >= ROUNDS, "telemetry samples went missing");
+    let tsdb_overhead_pct = (tel_min as f64 / plain_min as f64 - 1.0) * 100.0;
+    // <1% relative, with a small absolute floor so a sub-millisecond
+    // quick-scale batch can't fail on timer granularity alone.
+    assert!(
+        (tel_min as f64) < plain_min as f64 * 1.01 + 2e6,
+        "tsdb persistence overhead too high: {tsdb_overhead_pct:.2}% \
+         ({tel_min} ns vs {plain_min} ns per batch)"
+    );
+    let _ = std::fs::remove_dir_all(&tel_dir);
     let _ = std::fs::remove_file(&path);
 
     let per = |total: u64| total / n_queries as u64;
@@ -219,4 +271,22 @@ fn main() {
     );
     std::fs::write(&out, json).expect("write recorder overhead");
     eprintln!("recorder overhead written to {}", out.display());
+
+    // Durable-telemetry overhead artifact: persistence off vs. armed
+    // (one appended frame per batch), interleaved min-of-N.
+    let out = results_dir().join("BENCH_PR10.json");
+    let json = format!(
+        "{{\n  \"queries\": {},\n  \"db_records\": {},\n  \"ns_per_query_no_persistence\": {},\n  \
+         \"ns_per_query_persistence\": {},\n  \"tsdb_overhead_pct\": {:.3},\n  \
+         \"samples_appended\": {},\n  \"tsdb_segments\": {},\n  \"results_identical\": true\n}}\n",
+        n_queries,
+        index.len(),
+        per(plain_min),
+        per(tel_min),
+        tsdb_overhead_pct,
+        samples_appended,
+        tel_segments,
+    );
+    std::fs::write(&out, json).expect("write telemetry overhead");
+    eprintln!("telemetry overhead written to {}", out.display());
 }

@@ -113,6 +113,7 @@ pub struct Detector<'a> {
     model: IsotropicNormal,
     config: DetectorConfig,
     sharded: Option<ShardedIndex>,
+    slowlog: Option<std::sync::Arc<s3_obs::SlowLog>>,
 }
 
 impl<'a> Detector<'a> {
@@ -138,6 +139,7 @@ impl<'a> Detector<'a> {
             model,
             config,
             sharded: None,
+            slowlog: None,
         }
     }
 
@@ -159,6 +161,21 @@ impl<'a> Detector<'a> {
     /// The sharded backend, when one was attached.
     pub fn shard_backend(&self) -> Option<&ShardedIndex> {
         self.sharded.as_ref()
+    }
+
+    /// Attaches a slow-query log: every explained search
+    /// ([`Detector::detect_fingerprints_explained`]) offers its per-query
+    /// [`ExplainReport`]s for capture, so degraded or
+    /// slower-than-threshold queries keep their full plan on disk.
+    #[must_use]
+    pub fn with_slowlog(mut self, slowlog: std::sync::Arc<s3_obs::SlowLog>) -> Self {
+        self.slowlog = Some(slowlog);
+        self
+    }
+
+    /// The attached slow-query log, when any.
+    pub fn slowlog(&self) -> Option<&std::sync::Arc<s3_obs::SlowLog>> {
+        self.slowlog.as_ref()
     }
 
     /// The configuration in use.
@@ -231,6 +248,18 @@ impl<'a> Detector<'a> {
             reports.push(rep);
         }
         let health = SearchHealth::of(&results);
+        if let Some(log) = &self.slowlog {
+            for rep in &reports {
+                let latency_ns: u64 = rep.phases.iter().map(|p| p.ns).sum();
+                log.observe(
+                    rep.query_id,
+                    latency_ns,
+                    rep.degraded(),
+                    &rep.annotations,
+                    &rep.to_json(),
+                );
+            }
+        }
         let buffer: Vec<CandidateVotes> = fps
             .iter()
             .zip(&results)

@@ -22,6 +22,7 @@
 mod args;
 mod faults;
 mod metrics;
+mod telemetry;
 mod watch;
 
 use args::Args;
@@ -72,6 +73,8 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(rest),
         "watch" => watch::cmd_watch(rest),
         "incident" => watch::cmd_incident(rest),
+        "history" => telemetry::cmd_history(rest),
+        "slowlog" => telemetry::cmd_slowlog(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(CmdStatus::Clean)
@@ -100,7 +103,7 @@ USAGE:
   s3cbcd info <index-file>
       Print header information of an index file.
   s3cbcd query <index-file> [--alpha A] [--sigma S] [--queries N] [--mem MB]
-                [--strict] [--explain] [--no-sketch]
+                [--strict] [--explain] [--no-sketch] [--telemetry-dir DIR]
                 [--shards N] [--replicas R] [--no-hedge]
       Run distorted self-queries through the pseudo-disk engine and report
       retrieval rate and timing. By default unreadable index sections are
@@ -114,6 +117,10 @@ USAGE:
       fail over, slow primaries get hedged backup reads (--no-hedge
       disables hedging), and a shard losing every replica degrades only
       the queries that needed it (--strict errors instead).
+      --telemetry-dir DIR persists one windowed-rate frame covering the
+      batch into the embedded time-series store under DIR and captures
+      every degraded query's EXPLAIN into the slow-query log there;
+      results are unaffected. Read back with `history` / `slowlog`.
   s3cbcd explain <index-file> [query flags]
       Shorthand for `query --explain`: per query, print the plan the
       statistical filter chose (selected p-blocks with predicted mass),
@@ -138,18 +145,36 @@ USAGE:
   s3cbcd watch [--ticks N] [--interval-ms MS] [--fault none|torn|stall|mixed]
                [--queries N] [--videos N] [--frames N] [--seed S]
                [--incident-dir DIR] [--pool-pages N] [--top N]
-               [--deadline-ms MS] [--plain]
+               [--deadline-ms MS] [--telemetry-dir DIR]
+               [--latency-slo-ms MS] [--plain]
       Live ops dashboard: run a self-contained query workload (optionally
       with injected storage faults) and redraw windowed rates, rolling
       latency quantiles, per-rule health verdicts and the buffer pool's
       hottest pages every tick. When health leaves Healthy, the flight
       recorder dumps an incident report JSON into --incident-dir and the
       command exits 2. --plain appends frames instead of clearing the
-      screen (pipe/CI friendly).
+      screen (pipe/CI friendly). --telemetry-dir DIR arms durable
+      telemetry: every tick's windowed rates are appended to an embedded
+      time-series store under DIR (rendered back as per-rate sparklines,
+      surviving crashes — see `history`), degraded or slow queries get
+      their EXPLAIN captured into the slow-query log (see `slowlog`),
+      and SLO burn rates (availability, latency against
+      --latency-slo-ms, default 500, correctness) join the health rules;
+      an exhausted error budget dumps an `slo`-kind incident.
   s3cbcd incident <report.json>
       Pretty-print a flight-recorder incident dump (s3.incident.v1):
       trigger, health rules, windowed rates, slowest spans, recent events
       and component state.
+  s3cbcd history <telemetry-dir> [--series NAME] [--tier raw|1m|1h]
+                 [--last N] [--json]
+      Render time-series samples persisted by `watch`/`query
+      --telemetry-dir`: a per-series sparkline overview, one series in
+      detail (--series), or the raw samples as s3.history.v1 JSON
+      (--json). --tier selects the downsampling tier (default raw).
+  s3cbcd slowlog <telemetry-dir> [--show IDX] [--last N] [--json]
+      List the slow-query log captured alongside the time series (one
+      row per degraded or over-threshold query), or pretty-print one
+      entry's full EXPLAIN capture with --show.
 
   query/detect/monitor also accept:
       --threads N             worker threads for the search stage
@@ -396,6 +421,7 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
             "fault-seed",
             "shards",
             "replicas",
+            "telemetry-dir",
         ],
         &["strict", "explain", "no-sketch", "no-hedge"],
     )?;
@@ -498,7 +524,11 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
         sketch: !a.has("no-sketch"),
         ..StatQueryOpts::new(alpha, depth)
     };
-    let (batch, reports) = if explain {
+    // --telemetry-dir needs the explain reports for slow-query capture,
+    // even when they are not printed. The explain engine returns the same
+    // BatchResult, so answers are unaffected.
+    let telemetry = telemetry_setup(&a);
+    let (batch, reports) = if explain || telemetry.is_some() {
         let (b, r) = disk
             .stat_query_batch_explain(&qrefs, &model, &opts, mem_mb << 20, Some(&ctx))
             .map_err(|e| e.to_string())?;
@@ -509,6 +539,7 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
             .map_err(|e| e.to_string())?;
         (b, None)
     };
+    persist_telemetry(telemetry, reports.as_deref().unwrap_or(&[]))?;
 
     let total_matches: usize = batch.matches.iter().map(Vec::len).sum();
     let total_scanned: usize = batch.stats.iter().map(|st| st.entries_scanned).sum();
@@ -569,8 +600,10 @@ fn cmd_query(rest: Vec<String>, force_explain: bool) -> Result<CmdStatus, String
         );
     }
     drop(admission);
-    if let Some(mut reports) = reports {
-        print_explains(&mut reports, admission_degraded);
+    if explain {
+        if let Some(mut reports) = reports {
+            print_explains(&mut reports, admission_degraded);
+        }
     }
     trace_write(trace)?;
     if let Some(path) = metrics_json {
@@ -695,7 +728,8 @@ fn query_sharded(
         ..StatQueryOpts::new(qs.alpha, depth)
     };
 
-    let (got, reports) = if explain {
+    let telemetry = telemetry_setup(a);
+    let (got, reports) = if explain || telemetry.is_some() {
         let (g, r) = sharded
             .stat_query_batch_explain(&qrefs, &model, &opts, Some(ctx))
             .map_err(|e| e.to_string())?;
@@ -706,6 +740,7 @@ fn query_sharded(
             .map_err(|e| e.to_string())?;
         (g, None)
     };
+    persist_telemetry(telemetry, reports.as_deref().unwrap_or(&[]))?;
 
     let batch = &got.batch;
     let total_matches: usize = batch.matches.iter().map(Vec::len).sum();
@@ -768,14 +803,60 @@ fn query_sharded(
             }
         );
     }
-    if let Some(mut reports) = reports {
-        print_explains(&mut reports, admission_degraded);
+    if explain {
+        if let Some(mut reports) = reports {
+            print_explains(&mut reports, admission_degraded);
+        }
     }
     if batch.timing.degraded || admission_degraded {
         Ok(CmdStatus::Degraded)
     } else {
         Ok(CmdStatus::Clean)
     }
+}
+
+/// Applies `--telemetry-dir DIR`: ticks a baseline frame so the windowed
+/// rates persisted afterwards cover exactly the batch. Returns `None`
+/// when the flag is absent (telemetry then costs nothing).
+fn telemetry_setup(
+    a: &Args,
+) -> Option<(std::path::PathBuf, s3_obs::MetricWindows, s3_obs::WallTime)> {
+    let dir = std::path::PathBuf::from(a.get("telemetry-dir")?);
+    let wall = s3_obs::WallTime::new();
+    let windows = s3_obs::MetricWindows::new(16);
+    windows.tick(&wall);
+    Some((dir, windows, wall))
+}
+
+/// Persists the batch's telemetry under the `--telemetry-dir` directory:
+/// one windowed frame appended to the embedded time-series store, plus a
+/// slow-query log capture of every degraded query's EXPLAIN. Read back
+/// with `history` / `slowlog`. No-op when telemetry is unarmed.
+fn persist_telemetry(
+    telemetry: Option<(std::path::PathBuf, s3_obs::MetricWindows, s3_obs::WallTime)>,
+    reports: &[s3_obs::ExplainReport],
+) -> Result<(), String> {
+    let Some((dir, windows, wall)) = telemetry else {
+        return Ok(());
+    };
+    windows.tick(&wall);
+    let err = |e: std::io::Error| format!("telemetry dir {}: {e}", dir.display());
+    let mut tsdb = s3_obs::Tsdb::open(&dir, s3_obs::TsdbConfig::default()).map_err(err)?;
+    tsdb.append_latest(&windows).map_err(err)?;
+    tsdb.sync().map_err(err)?;
+    let slowlog = s3_obs::SlowLog::open(&dir, s3_obs::SlowLogConfig::default()).map_err(err)?;
+    for rep in reports {
+        let latency_ns: u64 = rep.phases.iter().map(|p| p.ns).sum();
+        slowlog.observe(
+            rep.query_id,
+            latency_ns,
+            rep.degraded(),
+            &rep.annotations,
+            &rep.to_json(),
+        );
+    }
+    slowlog.sync().map_err(err)?;
+    Ok(())
 }
 
 fn cmd_detect(rest: Vec<String>) -> Result<CmdStatus, String> {

@@ -16,13 +16,15 @@ use crate::metrics;
 use crate::CmdStatus;
 use s3_core::pseudo_disk::{DiskIndex, WriteOpts};
 use s3_core::{
-    default_health_rules, system_clock, BlockSource, BufferPool, FaultyStorage, IsotropicNormal,
-    MemStorage, PooledStorage, QueryCtx, RecordBatch, S3Index, StatQueryOpts, Storage,
+    default_health_rules, default_slos, system_clock, BlockSource, BufferPool, FaultyStorage,
+    IsotropicNormal, MemStorage, PooledStorage, QueryCtx, RecordBatch, S3Index, StatQueryOpts,
+    Storage,
 };
 use s3_hilbert::HilbertCurve;
 use s3_obs::{
     install_event_tee, install_panic_hook, FlightRecorder, HealthEngine, HealthReport,
-    IncidentTrigger, JsonValue, MetricWindows, RecorderConfig, Verdict, WallTime,
+    IncidentTrigger, JsonValue, MetricWindows, RecorderConfig, SloEngine, SloStatus, SlowLog,
+    SlowLogConfig, Tsdb, TsdbConfig, Verdict, WallTime,
 };
 use s3_video::{extract_fingerprints, ExtractorParams, ProceduralVideo};
 use std::path::PathBuf;
@@ -50,6 +52,18 @@ const DASH_RATES: &[&str] = &[
     "shard.failovers",
 ];
 
+/// How many persisted samples the dashboard's sparkline columns span.
+const SPARK_WIDTH: usize = 32;
+
+/// The durable-telemetry stack armed by `--telemetry-dir`: the embedded
+/// time-series store (windowed rates, crash-durable), the slow-query
+/// log (EXPLAIN captures) and the SLO burn-rate engine.
+struct Telemetry {
+    tsdb: Tsdb,
+    slowlog: SlowLog,
+    slo: SloEngine,
+}
+
 pub fn cmd_watch(rest: Vec<String>) -> Result<CmdStatus, String> {
     let a = Args::parse_with_switches(
         rest,
@@ -69,6 +83,8 @@ pub fn cmd_watch(rest: Vec<String>) -> Result<CmdStatus, String> {
             "mem-kb",
             "metrics-json",
             "metrics-every",
+            "telemetry-dir",
+            "latency-slo-ms",
         ],
         &["plain"],
     )?;
@@ -87,6 +103,8 @@ pub fn cmd_watch(rest: Vec<String>) -> Result<CmdStatus, String> {
     // that keeps reads (and thus injected faults) flowing at steady state.
     let mem_budget: u64 = a.get_parsed::<u64>("mem-kb", 64)? << 10;
     let plain = a.has("plain");
+    let telemetry_dir = a.get("telemetry-dir").map(PathBuf::from);
+    let latency_slo = Duration::from_millis(a.get_parsed("latency-slo-ms", 500)?);
     let (metrics_json, _ticker) = metrics::shared_flags(&a)?;
 
     // Self-contained corpus: synthetic videos → fingerprints → index bytes.
@@ -135,10 +153,26 @@ pub fn cmd_watch(rest: Vec<String>) -> Result<CmdStatus, String> {
     // distortion model nothing statistically meaningful to calibrate
     // against, so that gauge reads a large constant unrelated to health.
     let windows = Arc::new(MetricWindows::new(512));
-    let rules: Vec<_> = default_health_rules()
+    // --telemetry-dir arms the durable stack: tsdb + slow-query log +
+    // SLO burn rates. Its stores live beside each other in one directory
+    // so `history`/`slowlog` (and a post-crash restart) find everything.
+    let mut telemetry = match &telemetry_dir {
+        None => None,
+        Some(dir) => {
+            let err = |e: std::io::Error| format!("telemetry dir {}: {e}", dir.display());
+            let tsdb = Tsdb::open(dir, TsdbConfig::default()).map_err(err)?;
+            let slowlog = SlowLog::open(dir, SlowLogConfig::default()).map_err(err)?;
+            let slo = SloEngine::new(default_slos(latency_slo));
+            Some(Telemetry { tsdb, slowlog, slo })
+        }
+    };
+    let mut rules: Vec<_> = default_health_rules()
         .into_iter()
         .filter(|r| r.name != "calibration-drift")
         .collect();
+    if let Some(tel) = &telemetry {
+        rules.extend(tel.slo.health_rules());
+    }
     let engine = HealthEngine::new(rules);
     let recorder = Arc::new(FlightRecorder::new(RecorderConfig::default()));
     recorder.attach_spans();
@@ -154,17 +188,79 @@ pub fn cmd_watch(rest: Vec<String>) -> Result<CmdStatus, String> {
     windows.tick(&wall); // baseline frame
     let mut incidents: Vec<PathBuf> = Vec::new();
     let mut last: Option<HealthReport> = None;
+    let mut slo_status: Vec<SloStatus> = Vec::new();
+    let mut samples_appended = 0usize;
     for t in 1..=ticks {
         let ctx = if deadline_ms > 0 {
             QueryCtx::with_deadline(system_clock(), Duration::from_millis(deadline_ms))
         } else {
             QueryCtx::unbounded()
         };
-        let _ = disk
-            .stat_query_batch_ctx(&qrefs, &model, &opts, mem_budget, &ctx)
-            .map_err(|e| e.to_string())?;
+        // With telemetry armed, the batch runs through the EXPLAIN engine
+        // so the slow-query log can capture full reports; the answers and
+        // the metrics the dashboard shows are identical either way.
+        let reports = if telemetry.is_some() {
+            let (_batch, reports) = disk
+                .stat_query_batch_explain(&qrefs, &model, &opts, mem_budget, Some(&ctx))
+                .map_err(|e| e.to_string())?;
+            reports
+        } else {
+            let _ = disk
+                .stat_query_batch_ctx(&qrefs, &model, &opts, mem_budget, &ctx)
+                .map_err(|e| e.to_string())?;
+            Vec::new()
+        };
         std::thread::sleep(interval);
         windows.tick(&wall);
+        if let Some(tel) = telemetry.as_mut() {
+            // "Slow" tracks the workload: the rolling p99 is the capture
+            // threshold, so the log keeps the tail, not a fixed constant.
+            if let Some(p99) = windows.quantile("query.latency", 0.99, DASH_LOOKBACK) {
+                tel.slowlog.set_threshold_ns(p99);
+            }
+            for rep in &reports {
+                let latency_ns: u64 = rep.phases.iter().map(|p| p.ns).sum();
+                tel.slowlog.observe(
+                    rep.query_id,
+                    latency_ns,
+                    rep.degraded(),
+                    &rep.annotations,
+                    &rep.to_json(),
+                );
+            }
+            samples_appended += tel
+                .tsdb
+                .append_latest(&windows)
+                .map_err(|e| format!("appending telemetry: {e}"))?;
+            // SLO burn gauges land in the next frame (documented one-tick
+            // lag), where the health rules added above pick them up.
+            slo_status = tel.slo.evaluate(&windows);
+            for st in &slo_status {
+                if !st.newly_exhausted {
+                    continue;
+                }
+                record_pool_state(&recorder, &pool, &disk, top);
+                let path = recorder
+                    .dump_incident(
+                        IncidentTrigger {
+                            kind: "slo",
+                            rule: Some(st.name.to_owned()),
+                            detail: format!(
+                                "error budget exhausted: burn {:.1}x, {:.1} bad of {} events",
+                                st.burn, st.consumed_bad, st.total_events
+                            ),
+                        },
+                        &incident_dir,
+                    )
+                    .map_err(|e| format!("writing incident report: {e}"))?;
+                eprintln!(
+                    "slo {}: error budget exhausted — incident dumped to {}",
+                    st.name,
+                    path.display()
+                );
+                incidents.push(path);
+            }
+        }
         let report = engine.evaluate(&windows);
         recorder.observe_health(&report);
         if report.transitioned && report.verdict != Verdict::Healthy {
@@ -195,13 +291,36 @@ pub fn cmd_watch(rest: Vec<String>) -> Result<CmdStatus, String> {
         }
         print!(
             "{}",
-            render_dashboard(t, ticks, &report, &windows, &pool, top, plain)
+            render_dashboard(
+                t,
+                ticks,
+                &report,
+                &windows,
+                &pool,
+                top,
+                plain,
+                telemetry.as_ref(),
+                &slo_status
+            )
         );
         last = Some(report);
     }
 
     if let Some(path) = metrics_json {
         metrics::dump_json(&path)?;
+    }
+    if let Some(tel) = telemetry.as_mut() {
+        let err = |e: std::io::Error| format!("flushing telemetry: {e}");
+        tel.tsdb.flush_aggregates().map_err(err)?;
+        tel.tsdb.sync().map_err(err)?;
+        tel.slowlog.sync().map_err(err)?;
+        if let Some(dir) = &telemetry_dir {
+            println!(
+                "telemetry: {samples_appended} sample(s), {} slow-quer(ies) captured under {}",
+                tel.slowlog.recent().len(),
+                dir.display()
+            );
+        }
     }
     let final_verdict = last.map_or(Verdict::Healthy, |r| r.verdict);
     println!(
@@ -246,7 +365,11 @@ fn record_pool_state(
 }
 
 /// One frame of the dashboard. With `--plain` the ANSI clear is skipped so
-/// output appends (pipe/CI friendly); the content is identical.
+/// output appends (pipe/CI friendly); the content is identical. With
+/// telemetry armed, each rate row carries a sparkline of its persisted
+/// history (read back from the tsdb, so it spans restarts), and SLO
+/// burn/budget rows plus a slow-query-log row join the frame.
+#[allow(clippy::too_many_arguments)] // one render site; a struct would just rename the list
 fn render_dashboard(
     tick: u32,
     ticks: u32,
@@ -255,6 +378,8 @@ fn render_dashboard(
     pool: &BufferPool<BlockSource>,
     top: usize,
     plain: bool,
+    telemetry: Option<&Telemetry>,
+    slo: &[SloStatus],
 ) -> String {
     let mut o = String::with_capacity(2048);
     if !plain {
@@ -271,7 +396,21 @@ fn render_dashboard(
     o.push_str("\nrates (per s, 10s window)\n");
     for name in DASH_RATES {
         let rate = windows.rate(name, DASH_LOOKBACK).unwrap_or(0.0);
-        o.push_str(&format!("  {name:<32} {rate:>12.2}\n"));
+        match telemetry {
+            Some(tel) => {
+                let hist: Vec<f64> = tel
+                    .tsdb
+                    .recent()
+                    .map(|s| s.rate(name).unwrap_or(0.0))
+                    .collect();
+                let tail = &hist[hist.len().saturating_sub(SPARK_WIDTH)..];
+                o.push_str(&format!(
+                    "  {name:<32} {rate:>12.2}  {}\n",
+                    crate::telemetry::sparkline(tail)
+                ));
+            }
+            None => o.push_str(&format!("  {name:<32} {rate:>12.2}\n")),
+        }
     }
     let p50 = windows.quantile("query.latency", 0.50, DASH_LOOKBACK);
     let p99 = windows.quantile("query.latency", 0.99, DASH_LOOKBACK);
@@ -288,6 +427,30 @@ fn render_dashboard(
             r.level.as_str(),
             r.name,
             value
+        ));
+    }
+    if let Some(tel) = telemetry {
+        if !slo.is_empty() {
+            o.push_str("\nSLOs (burn = error rate / budget)\n");
+            for st in slo {
+                o.push_str(&format!(
+                    "  {:<24} burn {:>8.2}x  budget {:>6.1}%{}\n",
+                    st.name,
+                    st.burn,
+                    st.budget_remaining * 100.0,
+                    if st.exhausted { "  EXHAUSTED" } else { "" }
+                ));
+            }
+        }
+        let threshold = tel.slowlog.threshold_ns();
+        o.push_str(&format!(
+            "\nslow-query log — {} in ring, threshold {}\n",
+            tel.slowlog.recent().len(),
+            if threshold == u64::MAX {
+                "- (degraded only)".to_owned()
+            } else {
+                format!("{} us", threshold / 1_000)
+            }
         ));
     }
     o.push_str(&format!(

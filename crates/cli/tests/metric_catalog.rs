@@ -64,6 +64,26 @@ fn smoke_workload() {
     assert!(!reports.is_empty(), "smoke produced no explain reports");
     let _ = std::fs::remove_file(&path);
 
+    // Durable telemetry (tsdb.*, slowlog.*, slo.*): append one windowed
+    // frame to the embedded time-series store, capture one degraded
+    // query into the slow-query log, and evaluate the stock SLOs.
+    let tel_dir = dir.join("metric_catalog_tel");
+    let _ = std::fs::remove_dir_all(&tel_dir);
+    let windows = s3_obs::MetricWindows::new(8);
+    let time = s3_obs::ManualTime::new();
+    windows.tick(&time);
+    time.advance(std::time::Duration::from_secs(1));
+    windows.tick(&time);
+    let mut tsdb = s3_obs::Tsdb::open(&tel_dir, s3_obs::TsdbConfig::default()).expect("open tsdb");
+    tsdb.append_latest(&windows).expect("append frame");
+    let slowlog =
+        s3_obs::SlowLog::open(&tel_dir, s3_obs::SlowLogConfig::default()).expect("open slowlog");
+    slowlog.observe(1, 1_000_000, true, &[], "{\"query_id\":1}");
+    let slo = s3_obs::SloEngine::new(s3_core::default_slos(std::time::Duration::from_millis(500)));
+    let _ = slo.evaluate(&windows);
+    drop(tsdb);
+    let _ = std::fs::remove_dir_all(&tel_dir);
+
     // Events (events.*) — emit one of each level through the sink API.
     s3_obs::event::info("catalog", "smoke info");
     s3_obs::event::warn("catalog", "smoke warn");

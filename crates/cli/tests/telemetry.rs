@@ -1,0 +1,189 @@
+//! Durable-telemetry integration: a faulty `watch` run leaves a
+//! telemetry directory that `history` and `slowlog` can read back after
+//! the process is gone (windowed rates, slow-query EXPLAIN captures and
+//! SLO incident dumps), and arming telemetry on `query` never changes
+//! the answers.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use s3_obs::JsonValue;
+
+fn s3cbcd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_s3cbcd"))
+        .args(args)
+        .output()
+        .expect("failed to spawn s3cbcd")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("killed by signal")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+/// A seeded faulty watch run persists telemetry that a *fresh* process
+/// reads back: `history --json` yields s3.history.v1 samples with the
+/// workload's activity, `slowlog` lists degraded captures, `--show`
+/// renders a full EXPLAIN, and the exhausted SLO budget left an
+/// slo-kind incident dump.
+#[test]
+fn watch_telemetry_survives_process_exit() {
+    let dir = tmpdir("watch-telemetry");
+    let tel = dir.join("tel");
+    let inc = dir.join("inc");
+    let out = s3cbcd(&[
+        "watch",
+        "--plain",
+        "--ticks",
+        "10",
+        "--interval-ms",
+        "30",
+        "--fault",
+        "mixed",
+        "--seed",
+        "77",
+        "--telemetry-dir",
+        tel.to_str().expect("utf-8 path"),
+        "--incident-dir",
+        inc.to_str().expect("utf-8 path"),
+    ]);
+    // Mixed faults degrade the run (exit 2); a clean pass (0) is legal too.
+    let c = code(&out);
+    assert!(
+        c == 0 || c == 2,
+        "watch failed hard ({c}): {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // history --json: schema'd samples with real activity, read by a
+    // process that shares nothing with the writer.
+    let hist = s3cbcd(&["history", tel.to_str().expect("utf-8"), "--json"]);
+    assert_eq!(code(&hist), 0, "{}", String::from_utf8_lossy(&hist.stderr));
+    let doc = JsonValue::parse(&String::from_utf8_lossy(&hist.stdout)).expect("history JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some("s3.history.v1")
+    );
+    let samples = doc
+        .get("samples")
+        .and_then(|s| s.as_array())
+        .expect("samples array");
+    assert!(!samples.is_empty(), "no samples persisted");
+    let active = samples.iter().any(|s| {
+        s.get("counters")
+            .and_then(|c| c.as_object())
+            .is_some_and(|c| c.keys().any(|k| k.starts_with("io.")))
+    });
+    assert!(active, "no io.* activity in any persisted sample");
+
+    // Sparkline overview renders from the same store.
+    let over = s3cbcd(&["history", tel.to_str().expect("utf-8")]);
+    assert_eq!(code(&over), 0);
+    assert!(String::from_utf8_lossy(&over.stdout).contains("raw sample(s)"));
+
+    // slowlog: the faulty run captured degraded queries, EXPLAIN included.
+    let list = s3cbcd(&["slowlog", tel.to_str().expect("utf-8")]);
+    assert_eq!(code(&list), 0, "{}", String::from_utf8_lossy(&list.stderr));
+    let list_text = String::from_utf8_lossy(&list.stdout).to_string();
+    assert!(
+        list_text.lines().any(|l| l.contains("yes")),
+        "no degraded slow-query entries:\n{list_text}"
+    );
+    let show = s3cbcd(&["slowlog", tel.to_str().expect("utf-8"), "--show", "0"]);
+    assert_eq!(code(&show), 0, "{}", String::from_utf8_lossy(&show.stderr));
+    let show_text = String::from_utf8_lossy(&show.stdout).to_string();
+    assert!(show_text.contains("EXPLAIN query"), "{show_text}");
+    assert!(show_text.contains("phases"), "{show_text}");
+
+    // Sustained fault-induced degradation exhausts the availability or
+    // correctness budget: an slo-kind incident dump must exist.
+    let slo_incident = std::fs::read_dir(&inc)
+        .expect("incident dir")
+        .flatten()
+        .any(|e| e.file_name().to_string_lossy().contains("incident-slo-"));
+    assert!(slo_incident, "no slo-kind incident dumped under {inc:?}");
+}
+
+/// Strips run-specific lines (timings vary) so armed and unarmed runs
+/// compare on the answers alone.
+fn result_lines(stdout: &[u8]) -> Vec<String> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| {
+            l.starts_with("queries")
+                || l.starts_with("depth")
+                || l.starts_with("matches")
+                || l.starts_with("blocks")
+        })
+        .map(str::to_owned)
+        .collect()
+}
+
+/// `query --telemetry-dir` routes through the EXPLAIN engine for
+/// capture, but the answers must be bit-identical to an unarmed run —
+/// and the batch's windowed frame must land in the store.
+#[test]
+fn query_answers_identical_with_telemetry_armed() {
+    let dir = tmpdir("query-telemetry");
+    let idx = dir.join("qt.s3i");
+    let out = s3cbcd(&[
+        "build",
+        idx.to_str().expect("utf-8"),
+        "--videos",
+        "2",
+        "--frames",
+        "30",
+        "--seed",
+        "1",
+    ]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+
+    let base = &[
+        "query",
+        idx.to_str().expect("utf-8"),
+        "--queries",
+        "24",
+        "--seed",
+        "5",
+    ];
+    let plain = s3cbcd(base);
+    assert_eq!(
+        code(&plain),
+        0,
+        "{}",
+        String::from_utf8_lossy(&plain.stderr)
+    );
+
+    let tel = dir.join("tel");
+    let mut armed_args: Vec<&str> = base.to_vec();
+    let tel_s = tel.to_str().expect("utf-8").to_owned();
+    armed_args.extend(["--telemetry-dir", &tel_s]);
+    let armed = s3cbcd(&armed_args);
+    assert_eq!(
+        code(&armed),
+        0,
+        "{}",
+        String::from_utf8_lossy(&armed.stderr)
+    );
+
+    assert_eq!(
+        result_lines(&plain.stdout),
+        result_lines(&armed.stdout),
+        "telemetry changed the query answers"
+    );
+
+    let hist = s3cbcd(&["history", &tel_s, "--json"]);
+    assert_eq!(code(&hist), 0);
+    let doc = JsonValue::parse(&String::from_utf8_lossy(&hist.stdout)).expect("history JSON");
+    let n = doc
+        .get("samples")
+        .and_then(|s| s.as_array())
+        .map_or(0, <[JsonValue]>::len);
+    assert_eq!(n, 1, "query should persist exactly one windowed frame");
+}

@@ -9,6 +9,7 @@
 //!
 //! The full catalog is documented in `docs/observability.md`.
 
+use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 use std::time::Duration;
 
@@ -406,9 +407,118 @@ pub fn default_health_rules() -> Vec<s3_obs::HealthRule> {
     ]
 }
 
+/// The stock SLO objectives for a query-serving deployment, in terms of
+/// the metrics [`CoreMetrics`] registers:
+///
+/// * **availability** — ≥ 99.5 % of queries answered non-degraded
+///   (`query.degraded` over `query.latency` sample counts);
+/// * **latency** — ≥ 99 % of queries inside `latency_target`
+///   (fraction of `query.latency` above the target, via
+///   [`s3_obs::HistogramSnapshot::fraction_above`]);
+/// * **correctness** — ≥ 99.5 % of queries honouring the paper's α
+///   capture invariant (`calibration.alpha_violations`).
+///
+/// Each spec exposes a burn-rate [`s3_obs::HealthRule`]
+/// (`slo-availability`, `slo-latency`, `slo-correctness`) reading the
+/// `slo.burn.*` gauges an [`s3_obs::SloEngine`] publishes.
+pub fn default_slos(latency_target: Duration) -> Vec<s3_obs::SloSpec> {
+    use s3_obs::{SloSignal, SloSpec};
+    let threshold_ns = latency_target.as_nanos().min(u64::MAX as u128) as u64;
+    vec![
+        SloSpec::new(
+            "availability",
+            "slo-availability",
+            SloSignal::CounterOverHistogram {
+                bad: "query.degraded",
+                total_hist: "query.latency",
+            },
+            0.995,
+            "slo.burn.availability",
+            "slo.budget.availability",
+        ),
+        SloSpec {
+            min_count: 16,
+            ..SloSpec::new(
+                "latency",
+                "slo-latency",
+                SloSignal::FractionAbove {
+                    histogram: "query.latency",
+                    threshold: threshold_ns.max(1),
+                },
+                0.99,
+                "slo.burn.latency",
+                "slo.budget.latency",
+            )
+        },
+        SloSpec {
+            min_count: 16,
+            ..SloSpec::new(
+                "correctness",
+                "slo-correctness",
+                SloSignal::CounterOverHistogram {
+                    bad: "calibration.alpha_violations",
+                    total_hist: "query.latency",
+                },
+                0.995,
+                "slo.burn.correctness",
+                "slo.budget.correctness",
+            )
+        },
+    ]
+}
+
+/// Conventional telemetry directory for an index file: a sibling
+/// `<index>.telemetry/` directory holding the tsdb and slowlog
+/// segments. `DurableIndex`/`DiskIndex` address storage through handles
+/// rather than paths, so the CLI derives this from the path it opened.
+pub fn telemetry_dir(index_path: &Path) -> PathBuf {
+    let mut name = index_path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "index".to_owned());
+    name.push_str(".telemetry");
+    index_path.with_file_name(name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_slos_reference_registered_metrics() {
+        let _ = CoreMetrics::get();
+        let snap = registry().snapshot();
+        let counters: Vec<&str> = snap.counters.iter().map(|(id, _)| id.name).collect();
+        let hists: Vec<&str> = snap.histograms.iter().map(|(id, _)| id.name).collect();
+        let slos = default_slos(Duration::from_millis(500));
+        assert_eq!(slos.len(), 3);
+        for spec in &slos {
+            match spec.signal {
+                s3_obs::SloSignal::CounterOverHistogram { bad, total_hist } => {
+                    assert!(counters.contains(&bad), "{}: unregistered {bad}", spec.name);
+                    assert!(
+                        hists.contains(&total_hist),
+                        "{}: unregistered {total_hist}",
+                        spec.name
+                    );
+                }
+                s3_obs::SloSignal::FractionAbove { histogram, .. } => {
+                    assert!(
+                        hists.contains(&histogram),
+                        "{}: unregistered {histogram}",
+                        spec.name
+                    );
+                }
+            }
+            assert!(spec.target > 0.9 && spec.target < 1.0);
+        }
+    }
+
+    #[test]
+    fn telemetry_dir_is_index_sibling() {
+        let d = telemetry_dir(Path::new("/data/idx.s3"));
+        assert_eq!(d, Path::new("/data/idx.s3.telemetry"));
+    }
 
     #[test]
     fn default_rules_cover_registered_metrics() {

@@ -30,6 +30,15 @@
 //! events and component state, dumping an [`IncidentReport`] JSON
 //! document (readable back with [`JsonValue`]) when something trips.
 //!
+//! Telemetry is also durable: a [`Tsdb`] persists window frames into
+//! CRC-framed rotated segment files (torn tails truncated on reopen)
+//! with 1m/1h downsampling tiers and byte/age retention, a [`SlowLog`]
+//! captures the full [`ExplainReport`] of degraded or
+//! slower-than-quantile queries to the same format, and an [`SloEngine`]
+//! evaluates availability/latency/correctness objectives as
+//! multi-window burn rates feeding the health engine and the flight
+//! recorder.
+//!
 //! ```
 //! use s3_obs::{registry, span};
 //!
@@ -61,8 +70,12 @@ mod health;
 mod json;
 mod metrics;
 mod recorder;
+mod segment;
+mod slo;
+mod slowlog;
 mod span;
 mod trace;
+mod tsdb;
 mod window;
 
 pub use event::{set_event_sink, EventSink, Level, MemEventSink, StderrSink};
@@ -77,9 +90,16 @@ pub use recorder::{
     install_event_tee, install_panic_hook, EventRecord, FlightRecorder, HistogramSummary,
     IncidentReport, IncidentTrigger, RecorderConfig,
 };
+pub use segment::{
+    crc32, read_records, segment_paths, SegmentConfig, SegmentStore, SEGMENT_HEADER_LEN,
+    SEGMENT_MAGIC, SEGMENT_VERSION,
+};
+pub use slo::{SloEngine, SloSignal, SloSpec, SloStatus};
+pub use slowlog::{SlowEntry, SlowLog, SlowLogConfig, SlowRead};
 pub use span::{
     clear_span_sink, current_query, set_span_sink, QueryScope, RingCollector, Span, SpanRecord,
     SpanSink,
 };
 pub use trace::to_chrome_trace;
+pub use tsdb::{key_matches, unix_ms_now, HistSummary, Tier, Tsdb, TsdbConfig, TsdbSample};
 pub use window::{ManualTime, MetricWindows, TimeSource, WallTime, WindowFrame};

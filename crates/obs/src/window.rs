@@ -97,6 +97,13 @@ pub struct WindowFrame {
     pub gauges: Vec<(MetricId, f64)>,
     /// Histogram sample deltas during the interval (non-empty only).
     pub histograms: Vec<(MetricId, HistogramSnapshot)>,
+    /// Counters whose cumulative value *decreased* across the interval —
+    /// the registry restarted (process crash + warm dashboard reattach).
+    /// Their entry in `counters` holds the post-restart value (everything
+    /// counted since the reset) instead of a clamped-to-zero delta, and
+    /// this marker lets consumers (tsdb backfill, sparklines) render a
+    /// restart instead of a false idle dip.
+    pub resets: Vec<MetricId>,
 }
 
 struct Inner {
@@ -379,6 +386,7 @@ fn intern(s: String) -> &'static str {
 /// `later`'s values for gauges.
 fn diff_frame(start: Duration, end: Duration, earlier: &Snapshot, later: &Snapshot) -> WindowFrame {
     let mut counters = Vec::new();
+    let mut resets = Vec::new();
     for &(id, v) in &later.counters {
         let before = earlier
             .counters
@@ -386,7 +394,15 @@ fn diff_frame(start: Duration, end: Duration, earlier: &Snapshot, later: &Snapsh
             .find(|(e, _)| *e == id)
             .map(|&(_, v)| v)
             .unwrap_or(0);
-        let d = v.saturating_sub(before);
+        let d = if v < before {
+            // Counter went backwards: the registry restarted underneath
+            // us. The best estimate of activity this interval is the
+            // post-restart cumulative value, not a clamped zero.
+            resets.push(id);
+            v
+        } else {
+            v - before
+        };
         if d > 0 {
             counters.push((id, d));
         }
@@ -408,6 +424,7 @@ fn diff_frame(start: Duration, end: Duration, earlier: &Snapshot, later: &Snapsh
         counters,
         gauges,
         histograms,
+        resets,
     }
 }
 
@@ -527,6 +544,42 @@ mod tests {
         assert_eq!(w.frames(), 1);
         assert_eq!(w.delta("a", secs(60)), Some(1));
         assert_eq!(w.rate("a", secs(60)), None);
+    }
+
+    #[test]
+    fn registry_reset_emits_marker_not_zero_rate() {
+        let t = ManualTime::new();
+        let w = MetricWindows::new(8);
+        // Warm process: counter at 100 when the baseline is taken.
+        let reg = Registry::new();
+        reg.counter("a").add(100);
+        w.tick_at(t.now(), reg.snapshot());
+        // Process restarts underneath the dashboard: a fresh registry
+        // whose counter has only reached 5 by the next tick.
+        let reg2 = Registry::new();
+        reg2.counter("a").add(5);
+        t.advance(secs(10));
+        w.tick_at(t.now(), reg2.snapshot());
+        // The first post-restart frame reports the post-restart activity
+        // (5 events → 0.5/s), not a saturating-clamped zero, and carries
+        // an explicit reset marker for that counter.
+        assert_eq!(w.delta("a", secs(60)), Some(5));
+        assert_eq!(w.rate("a", secs(60)), Some(0.5));
+        let frames = w.frames_snapshot();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].resets.len(), 1);
+        assert_eq!(frames[0].resets[0].name, "a");
+        // A reset all the way to zero still leaves a marker even though
+        // no counter entry is emitted (deltas stay non-zero-only).
+        let reg3 = Registry::new();
+        reg3.counter("a").add(0);
+        t.advance(secs(10));
+        w.tick_at(t.now(), reg3.snapshot());
+        let frames = w.frames_snapshot();
+        assert_eq!(frames.len(), 2);
+        assert!(frames[1].counters.iter().all(|(id, _)| id.name != "a"));
+        assert_eq!(frames[1].resets.len(), 1);
+        assert_eq!(frames[1].resets[0].name, "a");
     }
 
     #[test]
